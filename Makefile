@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/systolic/ ./internal/core/ ./internal/server/ .
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate every paper table and figure (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/benchtab -all
+
+# Short fuzzing passes over the decoders.
+fuzz:
+	$(GO) test -fuzz FuzzReadBinary -fuzztime 10s ./internal/rle/
+	$(GO) test -fuzz FuzzReadText -fuzztime 10s ./internal/rle/
+	$(GO) test -fuzz FuzzReadPBM -fuzztime 10s ./internal/bitmap/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,151 @@
+// Command benchtab regenerates the paper's evaluation tables and
+// figures on freshly generated workloads:
+//
+//	benchtab -fig3             # Figure 3: the worked execution trace
+//	benchtab -fig5             # Figure 5: iterations vs. error percent
+//	benchtab -table1           # Table 1: systolic vs. sequential
+//	benchtab -ablation         # §6 broadcast-bus ablation
+//	benchtab -all              # everything
+//
+// Output is text tables; -csv switches tabular experiments to CSV.
+// -trials and -seed control averaging and reproducibility.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sysrle/internal/experiments"
+	"sysrle/internal/metrics"
+)
+
+func main() {
+	var (
+		fig2      = flag.Bool("fig2", false, "print the Figure 2 architecture diagram")
+		fig3      = flag.Bool("fig3", false, "print the Figure 3 execution trace")
+		fig4      = flag.Bool("fig4", false, "print the Figure 4 cell-state taxonomy")
+		fig5      = flag.Bool("fig5", false, "run the Figure 5 sweep")
+		table1    = flag.Bool("table1", false, "run the Table 1 comparison")
+		ablation  = flag.Bool("ablation", false, "run the broadcast-bus ablation")
+		density   = flag.Bool("density", false, "run the §5 density-robustness sweep")
+		resources = flag.Bool("resources", false, "print the conclusion's processor-count comparison")
+		util      = flag.Bool("util", false, "run the §5 array-utilization sweep")
+		pcb       = flag.Bool("pcb", false, "run the §1 PCB inspection sweep")
+		deploy    = flag.Bool("deploy", false, "run the per-row vs flattened deployment comparison")
+		all       = flag.Bool("all", false, "run every experiment")
+		trials    = flag.Int("trials", experiments.DefaultConfig().Trials, "random trials per data point")
+		seed      = flag.Int64("seed", experiments.DefaultConfig().Seed, "workload RNG seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+	if *all {
+		*fig2, *fig3, *fig4, *fig5, *table1, *ablation = true, true, true, true, true, true
+		*density, *resources, *util, *pcb, *deploy = true, true, true, true, true
+	}
+	anySelected := *fig2 || *fig3 || *fig4 || *fig5 || *table1 || *ablation ||
+		*density || *resources || *util || *pcb || *deploy
+	if !anySelected {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Trials: *trials, Seed: *seed}
+	emit := func(t *metrics.Table) {
+		if *csv {
+			if t.Title != "" {
+				fmt.Printf("# %s\n", t.Title)
+			}
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+
+	if *fig2 {
+		fmt.Println(experiments.Figure2())
+		fmt.Println()
+	}
+	if *fig3 {
+		text, err := experiments.Figure3Trace()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 3: execution of the systolic algorithm on the Figure 1 inputs")
+		fmt.Println(text)
+	}
+	if *fig4 {
+		emit(experiments.Figure4Table())
+	}
+	if *fig5 {
+		points, err := experiments.Figure5(cfg, experiments.PaperFigure5())
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.Figure5Table(points))
+	}
+	if *table1 {
+		params := experiments.PaperTable1()
+		rows, err := experiments.Table1(cfg, params)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.Table1Table(params, rows))
+	}
+	if *ablation {
+		points, err := experiments.Ablation(cfg, experiments.PaperFigure5())
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.AblationTable(points))
+	}
+	if *density {
+		points, err := experiments.DensitySweep(cfg, 10000, 0.10,
+			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7})
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.DensityTable(points))
+	}
+	if *resources {
+		emit(experiments.ResourceTable(
+			[]int{1024, 4096, 10000, 65536, 1 << 20}, 0.30, 12))
+	}
+	if *util {
+		points, err := experiments.Utilization(cfg, experiments.PaperFigure5())
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.UtilizationTable(points))
+	}
+	if *pcb {
+		pcbCfg := cfg
+		if pcbCfg.Trials > 5 {
+			pcbCfg.Trials = 5 // board generation dominates; a few boards suffice
+		}
+		points, err := experiments.PCBSweep(pcbCfg,
+			[][2]int{{400, 300}, {800, 600}, {1600, 1200}}, []int{0, 5, 20})
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.PCBTable(points))
+	}
+	if *deploy {
+		depCfg := cfg
+		if depCfg.Trials > 5 {
+			depCfg.Trials = 5
+		}
+		points, err := experiments.Deployment(depCfg,
+			[][2]int{{400, 300}, {800, 600}, {1600, 1200}}, 8)
+		if err != nil {
+			fatal(err)
+		}
+		emit(experiments.DeploymentTable(points))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
+}

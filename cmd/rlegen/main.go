@@ -1,0 +1,108 @@
+// Command rlegen generates test imagery for the other tools: paper
+// §5 row workloads, synthetic PCB boards, and error-perturbed copies
+// of existing images.
+//
+//	rlegen -kind rows  -width 2048 -height 64 -density 0.3 -o base.pbm
+//	rlegen -kind board -width 800 -height 600 -o ref.pbm
+//	rlegen -kind errors -in ref.pbm -count 12 -o scan.pbm
+//
+// Output format follows -format (pbm, pbm-plain, png, rlet, rleb).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"sysrle/internal/imageio"
+	"sysrle/internal/inspect"
+	"sysrle/internal/rle"
+	"sysrle/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rlegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rlegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind    = fs.String("kind", "rows", "what to generate: rows, board, errors")
+		width   = fs.Int("width", 1024, "image width")
+		height  = fs.Int("height", 64, "image height")
+		density = fs.Float64("density", 0.30, "rows: target foreground density")
+		count   = fs.Int("count", 10, "errors: number of error runs (length 2-6)")
+		in      = fs.String("in", "", "errors: base image to perturb")
+		seed    = fs.Int64("seed", 1, "RNG seed")
+		output  = fs.String("o", "", "output file (default stdout)")
+		format  = fs.String("format", "pbm", fmt.Sprintf("output format: %v", imageio.Formats()))
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	var img *rle.Image
+	switch *kind {
+	case "rows":
+		var err error
+		img, err = workload.GenerateImage(rng, workload.PaperRow(*width, *density), *height)
+		if err != nil {
+			return err
+		}
+	case "board":
+		layout, err := inspect.GenerateBoard(rng, inspect.DefaultBoard(*width, *height))
+		if err != nil {
+			return err
+		}
+		img = layout.Art.ToRLE()
+	case "errors":
+		if *in == "" {
+			return fmt.Errorf("-kind errors requires -in")
+		}
+		base, err := imageio.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		img = base.Clone()
+		for y := range img.Rows {
+			// Spread the error budget over the rows.
+			perRow := *count / img.Height
+			if y < *count%img.Height {
+				perRow++
+			}
+			if perRow == 0 {
+				continue
+			}
+			mask, err := workload.ErrorMask(rng, img.Width, workload.PaperErrors(perRow))
+			if err != nil {
+				return err
+			}
+			img.Rows[y] = rle.XOR(img.Rows[y], mask)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q (rows, board, errors)", *kind)
+	}
+
+	stats := rle.Stats(img)
+	fmt.Fprintf(stderr, "generated %dx%d: %d runs, %.1f%% foreground, RLE %dB vs bitmap %dB (%.1fx)\n",
+		stats.Width, stats.Height, stats.Runs, 100*float64(stats.Foreground)/float64(max(stats.Pixels, 1)),
+		stats.RLEBytes, stats.BitmapBytes, stats.Ratio)
+
+	w := stdout
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return imageio.Write(w, *format, img)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sysrle/internal/imageio"
+)
+
+func TestGenerateRows(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-kind", "rows", "-width", "256", "-height", "8", "-format", "rleb"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := imageio.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Width != 256 || img.Height != 8 {
+		t.Errorf("dims %dx%d", img.Width, img.Height)
+	}
+	if img.Area() == 0 {
+		t.Error("generated empty rows")
+	}
+	if !strings.Contains(errBuf.String(), "runs") {
+		t.Errorf("stats line missing: %q", errBuf.String())
+	}
+}
+
+func TestGenerateBoardAndErrorsPipeline(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.pbm")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-kind", "board", "-width", "300", "-height", "200", "-o", ref}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	refImg, err := imageio.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb it.
+	out.Reset()
+	if err := run([]string{"-kind", "errors", "-in", ref, "-count", "9", "-format", "rleb"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	scan, err := imageio.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Equal(refImg) {
+		t.Error("errors did not change the image")
+	}
+	if refImg.Width != scan.Width || refImg.Height != scan.Height {
+		t.Error("dims changed")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b, errBuf bytes.Buffer
+	args := []string{"-kind", "rows", "-width", "128", "-height", "4", "-seed", "7", "-format", "rleb"}
+	if err := run(args, &a, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed, different output")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-kind", "nope"}, &out, &errBuf); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run([]string{"-kind", "errors"}, &out, &errBuf); err == nil {
+		t.Error("errors without -in accepted")
+	}
+	if err := run([]string{"-kind", "rows", "-format", "gif"}, &out, &errBuf); err == nil {
+		t.Error("bad format accepted")
+	}
+}

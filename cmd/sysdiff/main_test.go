@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sysrle/internal/imageio"
+	"sysrle/internal/rle"
+)
+
+func TestPickEngine(t *testing.T) {
+	for name, want := range map[string]string{
+		"lockstep":   "systolic-lockstep",
+		"channel":    "systolic-channel",
+		"sequential": "sequential",
+		"bus":        "systolic-bus",
+	} {
+		e, err := pickEngine(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if e.Name() != want {
+			t.Errorf("pickEngine(%q).Name() = %q, want %q", name, e.Name(), want)
+		}
+	}
+	if _, err := pickEngine("warp-drive"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func writeTestImage(t *testing.T, dir, name string, img *rle.Image) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := imageio.Write(f, "pbm", img); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testPair(t *testing.T) (string, string, *rle.Image) {
+	t.Helper()
+	a := rle.NewImage(32, 4)
+	b := rle.NewImage(32, 4)
+	a.SetRow(1, rle.Row{{Start: 10, Length: 3}, {Start: 16, Length: 2}})
+	b.SetRow(1, rle.Row{{Start: 10, Length: 3}, {Start: 18, Length: 2}})
+	dir := t.TempDir()
+	want, err := rle.XORImage(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return writeTestImage(t, dir, "a.pbm", a), writeTestImage(t, dir, "b.pbm", b), want
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	pathA, pathB, want := testPair(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-stats", "-format", "rleb", pathA, pathB}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	got, err := imageio.Read(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("diff output wrong")
+	}
+	if !strings.Contains(stderr.String(), "iterations:") {
+		t.Errorf("stats missing: %q", stderr.String())
+	}
+}
+
+func TestRunToOutputFile(t *testing.T) {
+	pathA, pathB, want := testPair(t)
+	out := filepath.Join(t.TempDir(), "diff.png")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-o", out, "-format", "png", pathA, pathB}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Error("stdout written despite -o")
+	}
+	got, err := imageio.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("file output wrong")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	pathA, pathB, _ := testPair(t)
+	var out, errBuf bytes.Buffer
+	cases := [][]string{
+		{pathA},                              // missing operand
+		{"-engine", "quantum", pathA, pathB}, // bad engine
+		{pathA, filepath.Join(t.TempDir(), "missing.pbm")}, // missing file
+		{"-format", "bmp", pathA, pathB},                   // bad output format
+	}
+	for _, args := range cases {
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

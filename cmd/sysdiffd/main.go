@@ -1,0 +1,32 @@
+// Command sysdiffd serves the compressed-domain inspection system
+// over HTTP — the "on-line automatic inspection" deployment shape of
+// the paper's §1 application.
+//
+//	sysdiffd [-addr :8422]
+//
+//	curl -F a=@ref.pbm -F b=@scan.pbm 'localhost:8422/v1/diff?format=png' -o diff.png
+//	curl -F ref=@ref.pbm -F scan=@scan.pbm 'localhost:8422/v1/inspect?min-area=2'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"sysrle/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8422", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("sysdiffd listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: the paper's Figure 1 example through the public API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sysrle"
+)
+
+func main() {
+	// The two example rows from Figure 1 of the paper, as
+	// (start, length) runs of foreground pixels.
+	img1 := sysrle.Row{{Start: 10, Length: 3}, {Start: 16, Length: 2}, {Start: 23, Length: 2}, {Start: 27, Length: 3}}
+	img2 := sysrle.Row{{Start: 3, Length: 4}, {Start: 8, Length: 5}, {Start: 15, Length: 5}, {Start: 23, Length: 2}, {Start: 27, Length: 4}}
+
+	// One-line usage: the systolic difference, canonicalized.
+	diff, err := sysrle.Diff(img1, img2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("img1      :", img1)
+	fmt.Println("img2      :", img2)
+	fmt.Println("difference:", diff)
+
+	// Render the three rows as pixels for a visual check.
+	const width = 32
+	show := func(name string, row sysrle.Row) {
+		line := make([]byte, width)
+		for i, bit := range sysrle.Decode(row, width) {
+			if bit {
+				line[i] = '#'
+			} else {
+				line[i] = '.'
+			}
+		}
+		fmt.Printf("%-10s %s\n", name, line)
+	}
+	fmt.Println()
+	show("img1", img1)
+	show("img2", img2)
+	show("xor", diff)
+
+	// Every engine computes the same function; their cost model is
+	// what differs. Iterations is the paper's figure of merit: the
+	// systolic engines finish in time proportional to how much the
+	// rows differ, the sequential merge pays for every run.
+	fmt.Println()
+	fmt.Println("engine                 iterations")
+	for _, engine := range []sysrle.Engine{
+		sysrle.NewLockstep(),
+		sysrle.NewChannel(),
+		sysrle.NewSequential(),
+		sysrle.NewBus(0),
+	} {
+		res, err := engine.XORRow(img1, img2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %d\n", engine.Name(), res.Iterations)
+	}
+
+	// Similarity measures from the paper's analysis.
+	fmt.Println()
+	fmt.Printf("|k1-k2| = %d, runs in XOR = %d, differing pixels = %d\n",
+		sysrle.RunCountDiff(img1, img2), sysrle.XORRuns(img1, img2), sysrle.Hamming(img1, img2))
+}

@@ -1,0 +1,101 @@
+package sysrle
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The facade functions are thin delegates to thoroughly tested
+// internal packages; these tests pin the wiring — each call reaches
+// the right implementation — not the algorithms themselves.
+
+func glyphT() *Image {
+	img := NewImage(5, 5)
+	img.SetRow(0, Row{{Start: 0, Length: 5}})
+	for y := 1; y < 5; y++ {
+		img.SetRow(y, Row{{Start: 2, Length: 1}})
+	}
+	return img
+}
+
+func TestFacadeGeometry(t *testing.T) {
+	img := glyphT()
+	moved := Translate(img, 1, 0)
+	if !moved.Get(3, 2) || moved.Get(2, 2) {
+		t.Error("Translate wiring wrong")
+	}
+	cropped, err := Crop(img, 0, 0, 5, 1)
+	if err != nil || cropped.Area() != 5 {
+		t.Errorf("Crop wiring wrong: %v %v", cropped, err)
+	}
+	canvas := NewImage(10, 10)
+	Paste(canvas, img, 2, 3)
+	if !canvas.Get(4, 3) {
+		t.Error("Paste wiring wrong")
+	}
+	if FlipH(img).Area() != img.Area() || FlipV(img).Area() != img.Area() {
+		t.Error("flip area changed")
+	}
+	if !FlipV(img).Get(2, 0) {
+		t.Error("FlipV wiring wrong")
+	}
+	tr := Transpose(img)
+	if tr.Width != img.Height || tr.Height != img.Width {
+		t.Error("Transpose dims wrong")
+	}
+	if r := Rotate90(img); r.Width != img.Height {
+		t.Error("Rotate90 dims wrong")
+	}
+	if !Rotate270(Rotate90(img)).Equal(img) {
+		t.Error("rotation wiring wrong")
+	}
+	if !Rotate180(Rotate180(img)).Equal(img) {
+		t.Error("Rotate180 wiring wrong")
+	}
+}
+
+func TestFacadeMorphology(t *testing.T) {
+	img := glyphT()
+	d, err := Dilate(img, Box(1))
+	if err != nil || d.Area() <= img.Area() {
+		t.Errorf("Dilate wiring wrong: %v %v", d, err)
+	}
+	e, err := Erode(img, Box(1))
+	if err != nil || e.Area() >= img.Area() {
+		t.Errorf("Erode wiring wrong: %v %v", e, err)
+	}
+	if _, err := Open(img, Box(1)); err != nil {
+		t.Error(err)
+	}
+	if _, err := Close(img, Box(1)); err != nil {
+		t.Error(err)
+	}
+	g, err := Gradient(img, Box(1))
+	if err != nil || g.Area() == 0 {
+		t.Errorf("Gradient wiring wrong: %v %v", g, err)
+	}
+	if _, err := Dilate(img, SE{Rx: -1}); err == nil {
+		t.Error("negative SE accepted")
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	img := glyphT()
+	for _, format := range ImageFormats() {
+		var buf bytes.Buffer
+		if err := WriteImage(&buf, format, img); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		back, err := ReadImage(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !back.Equal(img) {
+			t.Errorf("%s round trip changed pixels", format)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteImage(&buf, "jpeg", img); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package sysrle
+
+import "sysrle/internal/rle"
+
+// Geometric transforms, computed in the compressed domain (costs
+// scale with run counts, not pixels).
+
+// Translate shifts image content by (dx, dy), clipping at the
+// borders.
+func Translate(img *Image, dx, dy int) *Image { return rle.Translate(img, dx, dy) }
+
+// Crop extracts the rectangle [x0, x0+w) × [y0, y0+h); out-of-range
+// regions read as background.
+func Crop(img *Image, x0, y0, w, h int) (*Image, error) { return rle.Crop(img, x0, y0, w, h) }
+
+// Paste overwrites the region of dst covered by src placed at
+// (x0, y0), clipping at dst's borders.
+func Paste(dst, src *Image, x0, y0 int) { rle.Paste(dst, src, x0, y0) }
+
+// FlipH mirrors the image horizontally.
+func FlipH(img *Image) *Image { return rle.FlipH(img) }
+
+// FlipV mirrors the image vertically.
+func FlipV(img *Image) *Image { return rle.FlipV(img) }
+
+// Transpose swaps rows and columns.
+func Transpose(img *Image) *Image { return rle.Transpose(img) }
+
+// Rotate90 rotates 90° clockwise; Rotate180 and Rotate270 likewise.
+func Rotate90(img *Image) *Image  { return rle.Rotate90(img) }
+func Rotate180(img *Image) *Image { return rle.Rotate180(img) }
+func Rotate270(img *Image) *Image { return rle.Rotate270(img) }
+
+// Downsample shrinks the image by an integer factor with OR-pooling
+// (an output pixel is set when any source pixel of its block is).
+func Downsample(img *Image, factor int) (*Image, error) { return rle.Downsample(img, factor) }

@@ -1,0 +1,3 @@
+module sysrle
+
+go 1.22

@@ -1,0 +1,176 @@
+// Package bitmap implements packed uncompressed binary images: the
+// substrate the paper's images come from and the ground truth that
+// every compressed-domain operation is verified against.
+//
+// Pixels are stored one per bit, LSB-first within 64-bit words, each
+// row padded to a whole number of words. Out-of-range reads are
+// background; out-of-range writes are ignored so drawing primitives
+// can clip naturally.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bitmap is a binary image of Width × Height pixels.
+type Bitmap struct {
+	width  int
+	height int
+	stride int // words per row
+	words  []uint64
+}
+
+// New returns an all-background bitmap.
+func New(width, height int) *Bitmap {
+	if width < 0 || height < 0 {
+		panic(fmt.Sprintf("bitmap: negative dimensions %dx%d", width, height))
+	}
+	stride := (width + 63) / 64
+	return &Bitmap{
+		width:  width,
+		height: height,
+		stride: stride,
+		words:  make([]uint64, stride*height),
+	}
+}
+
+// Width returns the image width in pixels.
+func (b *Bitmap) Width() int { return b.width }
+
+// Height returns the image height in pixels.
+func (b *Bitmap) Height() int { return b.height }
+
+// Get reports pixel (x, y); out-of-range coordinates are background.
+func (b *Bitmap) Get(x, y int) bool {
+	if x < 0 || y < 0 || x >= b.width || y >= b.height {
+		return false
+	}
+	return b.words[y*b.stride+x/64]&(1<<(uint(x)%64)) != 0
+}
+
+// Set writes pixel (x, y); out-of-range coordinates are ignored.
+func (b *Bitmap) Set(x, y int, v bool) {
+	if x < 0 || y < 0 || x >= b.width || y >= b.height {
+		return
+	}
+	idx := y*b.stride + x/64
+	mask := uint64(1) << (uint(x) % 64)
+	if v {
+		b.words[idx] |= mask
+	} else {
+		b.words[idx] &^= mask
+	}
+}
+
+// SetRange sets pixels [x0, x1] inclusive on row y to v, clipping to
+// the image. It works a word at a time.
+func (b *Bitmap) SetRange(y, x0, x1 int, v bool) {
+	if y < 0 || y >= b.height || x1 < 0 || x0 >= b.width {
+		return
+	}
+	if x0 < 0 {
+		x0 = 0
+	}
+	if x1 >= b.width {
+		x1 = b.width - 1
+	}
+	if x1 < x0 {
+		return
+	}
+	row := b.words[y*b.stride : (y+1)*b.stride]
+	w0, w1 := x0/64, x1/64
+	lowMask := ^uint64(0) << (uint(x0) % 64)
+	highMask := ^uint64(0) >> (63 - uint(x1)%64)
+	if w0 == w1 {
+		mask := lowMask & highMask
+		if v {
+			row[w0] |= mask
+		} else {
+			row[w0] &^= mask
+		}
+		return
+	}
+	if v {
+		row[w0] |= lowMask
+		for w := w0 + 1; w < w1; w++ {
+			row[w] = ^uint64(0)
+		}
+		row[w1] |= highMask
+	} else {
+		row[w0] &^= lowMask
+		for w := w0 + 1; w < w1; w++ {
+			row[w] = 0
+		}
+		row[w1] &^= highMask
+	}
+}
+
+// Fill sets every pixel to v.
+func (b *Bitmap) Fill(v bool) {
+	for y := 0; y < b.height; y++ {
+		b.SetRange(y, 0, b.width-1, v)
+	}
+}
+
+// Popcount returns the number of foreground pixels.
+func (b *Bitmap) Popcount() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	out := New(b.width, b.height)
+	copy(out.words, b.words)
+	return out
+}
+
+// Equal reports whether two bitmaps have identical dimensions and
+// pixels.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	if b.width != o.width || b.height != o.height {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowWords returns the packed words of row y.
+func (b *Bitmap) rowWords(y int) []uint64 {
+	return b.words[y*b.stride : (y+1)*b.stride]
+}
+
+// tailMask is the valid-bit mask of the last word in a row (all ones
+// when the width is a multiple of 64).
+func (b *Bitmap) tailMask() uint64 {
+	if r := uint(b.width) % 64; r != 0 {
+		return ^uint64(0) >> (64 - r)
+	}
+	return ^uint64(0)
+}
+
+// String renders the bitmap with '#' foreground and '.' background,
+// one row per line — small enough images only; meant for tests and
+// debugging.
+func (b *Bitmap) String() string {
+	buf := make([]byte, 0, (b.width+1)*b.height)
+	for y := 0; y < b.height; y++ {
+		for x := 0; x < b.width; x++ {
+			if b.Get(x, y) {
+				buf = append(buf, '#')
+			} else {
+				buf = append(buf, '.')
+			}
+		}
+		buf = append(buf, '\n')
+	}
+	return string(buf)
+}

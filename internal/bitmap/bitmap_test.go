@@ -1,0 +1,141 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndDimensions(t *testing.T) {
+	b := New(100, 7)
+	if b.Width() != 100 || b.Height() != 7 {
+		t.Fatalf("dimensions %dx%d", b.Width(), b.Height())
+	}
+	if b.Popcount() != 0 {
+		t.Error("fresh bitmap not empty")
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(4, -1)
+}
+
+func TestGetSet(t *testing.T) {
+	b := New(130, 3) // spans three words per row
+	coords := [][2]int{{0, 0}, {63, 1}, {64, 1}, {127, 2}, {128, 0}, {129, 2}}
+	for _, c := range coords {
+		b.Set(c[0], c[1], true)
+	}
+	for _, c := range coords {
+		if !b.Get(c[0], c[1]) {
+			t.Errorf("pixel (%d,%d) not set", c[0], c[1])
+		}
+	}
+	if got := b.Popcount(); got != len(coords) {
+		t.Errorf("Popcount = %d, want %d", got, len(coords))
+	}
+	b.Set(63, 1, false)
+	if b.Get(63, 1) {
+		t.Error("clear failed")
+	}
+}
+
+func TestGetSetOutOfRange(t *testing.T) {
+	b := New(8, 8)
+	b.Set(-1, 0, true)
+	b.Set(0, -1, true)
+	b.Set(8, 0, true)
+	b.Set(0, 8, true)
+	if b.Popcount() != 0 {
+		t.Error("out-of-range Set modified the bitmap")
+	}
+	if b.Get(-1, 0) || b.Get(8, 0) || b.Get(0, -1) || b.Get(0, 8) {
+		t.Error("out-of-range Get returned foreground")
+	}
+}
+
+func TestSetRangeAgainstLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.Intn(300)
+		fast := New(width, 1)
+		slow := New(width, 1)
+		x0 := rng.Intn(width+20) - 10
+		x1 := x0 + rng.Intn(150)
+		v := rng.Intn(2) == 0
+		if !v {
+			fast.Fill(true)
+			slow.Fill(true)
+		}
+		fast.SetRange(0, x0, x1, v)
+		for x := x0; x <= x1; x++ {
+			slow.Set(x, 0, v)
+		}
+		if !fast.Equal(slow) {
+			t.Fatalf("SetRange(%d,%d,%v) disagrees with loop at width %d", x0, x1, v, width)
+		}
+	}
+}
+
+func TestSetRangeEmptyAndInverted(t *testing.T) {
+	b := New(64, 1)
+	b.SetRange(0, 10, 5, true) // inverted: no-op
+	b.SetRange(5, 0, 10, true) // bad row: no-op
+	if b.Popcount() != 0 {
+		t.Error("degenerate SetRange changed pixels")
+	}
+}
+
+func TestFillAndPopcount(t *testing.T) {
+	b := New(70, 3) // padding bits in play
+	b.Fill(true)
+	if got := b.Popcount(); got != 210 {
+		t.Errorf("Popcount after fill = %d, want 210", got)
+	}
+	b.Fill(false)
+	if b.Popcount() != 0 {
+		t.Error("Fill(false) left pixels")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := Random(rng, 90, 9, 0.3)
+	cp := b.Clone()
+	if !b.Equal(cp) {
+		t.Fatal("clone differs")
+	}
+	cp.Set(3, 3, !cp.Get(3, 3))
+	if b.Equal(cp) {
+		t.Fatal("mutation shared with original")
+	}
+	if b.Equal(New(90, 8)) {
+		t.Error("different sizes reported equal")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	b := New(3, 2)
+	b.Set(0, 0, true)
+	b.Set(2, 1, true)
+	want := "#..\n..#\n"
+	if got := b.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestZeroSize(t *testing.T) {
+	b := New(0, 0)
+	if b.Popcount() != 0 || b.String() != "" {
+		t.Error("zero-size bitmap misbehaves")
+	}
+	b2 := New(0, 5)
+	b2.Fill(true)
+	if b2.Popcount() != 0 {
+		t.Error("zero-width fill set bits")
+	}
+}

@@ -1,0 +1,91 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sysrle/internal/rle"
+)
+
+func TestRowRunsAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		width := 1 + rng.Intn(400)
+		b := Random(rng, width, 1, rng.Float64())
+		got := b.RowRuns(0)
+		bits := make([]bool, width)
+		for x := 0; x < width; x++ {
+			bits[x] = b.Get(x, 0)
+		}
+		want := rle.FromBits(bits)
+		if !got.Equal(want) {
+			t.Fatalf("RowRuns = %v, want %v (width %d)", got, want, width)
+		}
+		if !got.Canonical() {
+			t.Fatalf("RowRuns not canonical: %v", got)
+		}
+	}
+}
+
+func TestRowRunsWordBoundaries(t *testing.T) {
+	b := New(192, 1)
+	b.SetRange(0, 60, 70, true)   // spans word 0→1
+	b.SetRange(0, 127, 128, true) // spans word 1→2
+	b.SetRange(0, 190, 191, true) // ends at width
+	got := b.RowRuns(0)
+	want := rle.Row{{Start: 60, Length: 11}, {Start: 127, Length: 2}, {Start: 190, Length: 2}}
+	if !got.Equal(want) {
+		t.Errorf("RowRuns = %v, want %v", got, want)
+	}
+}
+
+func TestRowRunsFullRow(t *testing.T) {
+	b := New(130, 1)
+	b.Fill(true)
+	got := b.RowRuns(0)
+	if !got.Equal(rle.Row{{Start: 0, Length: 130}}) {
+		t.Errorf("full row = %v", got)
+	}
+}
+
+func TestRowRunsOutOfRange(t *testing.T) {
+	b := New(8, 2)
+	if b.RowRuns(-1) != nil || b.RowRuns(2) != nil {
+		t.Error("out-of-range RowRuns should be nil")
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := Random(rng, 1+rng.Intn(200), 1+rng.Intn(10), rng.Float64())
+		return FromRLE(b.ToRLE()).Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetRowRunsReplacesRow(t *testing.T) {
+	b := New(32, 2)
+	b.Fill(true)
+	b.SetRowRuns(0, rle.Row{{Start: 3, Length: 4}})
+	got := b.RowRuns(0)
+	if !got.Equal(rle.Row{{Start: 3, Length: 4}}) {
+		t.Errorf("row 0 = %v", got)
+	}
+	if b.RowRuns(1).Area() != 32 {
+		t.Error("row 1 disturbed")
+	}
+	b.SetRowRuns(5, rle.Row{{Start: 0, Length: 1}}) // out of range: ignored
+}
+
+func TestFromRLEClipsWideRuns(t *testing.T) {
+	img := rle.NewImage(16, 1)
+	img.Rows[0] = rle.Row{{Start: 10, Length: 100}} // extends past width; FromRLE must clip
+	b := FromRLE(img)
+	if got := b.RowRuns(0); !got.Equal(rle.Row{{Start: 10, Length: 6}}) {
+		t.Errorf("clipped row = %v", got)
+	}
+}

@@ -1,0 +1,48 @@
+package bitmap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func FuzzReadPBM(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	for _, gen := range []func(*Bitmap) ([]byte, error){
+		func(b *Bitmap) ([]byte, error) {
+			var buf bytes.Buffer
+			err := WritePBM(&buf, b)
+			return buf.Bytes(), err
+		},
+		func(b *Bitmap) ([]byte, error) {
+			var buf bytes.Buffer
+			err := WritePBMPlain(&buf, b)
+			return buf.Bytes(), err
+		},
+	} {
+		b := Random(rng, 1+rng.Intn(30), 1+rng.Intn(10), 0.4)
+		data, err := gen(b)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte("P1\n# comment\n2 2\n1 0\n0 1\n"))
+	f.Add([]byte("P4\n9 1\n\x80\x80"))
+	f.Add([]byte("P9\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ReadPBM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WritePBM(&buf, b); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadPBM(&buf)
+		if err != nil || !back.Equal(b) {
+			t.Fatalf("round trip broken: %v", err)
+		}
+	})
+}

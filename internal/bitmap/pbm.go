@@ -1,0 +1,190 @@
+package bitmap
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// PBM (portable bitmap) codec, plain (P1) and raw (P4) variants.
+// PBM's convention is 1 = black = foreground, matching the paper's
+// foreground pixels. This is the interchange format the example
+// programs and cmd/sysdiff use.
+
+// ErrPBM is returned for malformed PBM input.
+var ErrPBM = errors.New("bitmap: malformed PBM")
+
+// WritePBM writes the bitmap in raw (P4) format.
+func WritePBM(w io.Writer, b *Bitmap) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P4\n%d %d\n", b.width, b.height); err != nil {
+		return err
+	}
+	rowBytes := (b.width + 7) / 8
+	buf := make([]byte, rowBytes)
+	for y := 0; y < b.height; y++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for x := 0; x < b.width; x++ {
+			if b.Get(x, y) {
+				buf[x/8] |= 0x80 >> (uint(x) % 8) // PBM packs MSB-first
+			}
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePBMPlain writes the bitmap in plain (P1) ASCII format, with one
+// image row per text line.
+func WritePBMPlain(w io.Writer, b *Bitmap) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P1\n%d %d\n", b.width, b.height); err != nil {
+		return err
+	}
+	for y := 0; y < b.height; y++ {
+		for x := 0; x < b.width; x++ {
+			c := byte('0')
+			if b.Get(x, y) {
+				c = '1'
+			}
+			if err := bw.WriteByte(c); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPBM reads either P1 or P4 PBM input.
+func ReadPBM(r io.Reader) (*Bitmap, error) {
+	br := bufio.NewReader(r)
+	magic, err := pbmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	switch magic {
+	case "P1", "P4":
+	default:
+		return nil, fmt.Errorf("%w: magic %q", ErrPBM, magic)
+	}
+	return readPBMBody(br, magic)
+}
+
+func readPBMBody(br *bufio.Reader, magic string) (*Bitmap, error) {
+	width, err := pbmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	height, err := pbmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxDim = 1 << 20
+	if width < 0 || height < 0 || width > maxDim || height > maxDim {
+		return nil, fmt.Errorf("%w: dimensions %dx%d", ErrPBM, width, height)
+	}
+	b := New(width, height)
+	if magic == "P1" {
+		for y := 0; y < height; y++ {
+			for x := 0; x < width; x++ {
+				v, err := pbmBit(br)
+				if err != nil {
+					return nil, err
+				}
+				b.Set(x, y, v)
+			}
+		}
+		return b, nil
+	}
+	// P4: exactly one whitespace byte after the header, then packed
+	// rows MSB-first.
+	rowBytes := (width + 7) / 8
+	buf := make([]byte, rowBytes)
+	for y := 0; y < height; y++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: short row %d: %v", ErrPBM, y, err)
+		}
+		for x := 0; x < width; x++ {
+			if buf[x/8]&(0x80>>(uint(x)%8)) != 0 {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	return b, nil
+}
+
+// pbmToken reads a whitespace-delimited token, skipping '#' comments.
+func pbmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && err == io.EOF {
+				return string(tok), nil
+			}
+			return "", fmt.Errorf("%w: %v", ErrPBM, err)
+		}
+		switch {
+		case c == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", fmt.Errorf("%w: %v", ErrPBM, err)
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, c)
+		}
+	}
+}
+
+func pbmInt(br *bufio.Reader) (int, error) {
+	tok, err := pbmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("%w: integer %q", ErrPBM, tok)
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return 0, fmt.Errorf("%w: integer overflow", ErrPBM)
+		}
+	}
+	return n, nil
+}
+
+// pbmBit reads the next 0/1 digit in plain format, skipping whitespace
+// and comments.
+func pbmBit(br *bufio.Reader) (bool, error) {
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return false, fmt.Errorf("%w: %v", ErrPBM, err)
+		}
+		switch c {
+		case '0':
+			return false, nil
+		case '1':
+			return true, nil
+		case ' ', '\t', '\n', '\r':
+		case '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return false, fmt.Errorf("%w: %v", ErrPBM, err)
+			}
+		default:
+			return false, fmt.Errorf("%w: unexpected byte %q", ErrPBM, c)
+		}
+	}
+}

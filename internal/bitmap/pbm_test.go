@@ -1,0 +1,99 @@
+package bitmap
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPBMRawRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		b := Random(rng, 1+rng.Intn(100), 1+rng.Intn(20), 0.4)
+		var buf bytes.Buffer
+		if err := WritePBM(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadPBM(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.Equal(back) {
+			t.Fatal("P4 round trip changed pixels")
+		}
+	}
+}
+
+func TestPBMPlainRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := Random(rng, 37, 11, 0.5)
+	var buf bytes.Buffer
+	if err := WritePBMPlain(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPBM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(back) {
+		t.Fatal("P1 round trip changed pixels")
+	}
+}
+
+func TestReadPBMPlainWithCommentsAndSpace(t *testing.T) {
+	in := "P1\n# a comment\n 3 # trailing\n2\n1 0 1\n0 1 0\n"
+	b, err := ReadPBM(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Width() != 3 || b.Height() != 2 {
+		t.Fatalf("dims %dx%d", b.Width(), b.Height())
+	}
+	want := [][2]int{{0, 0}, {2, 0}, {1, 1}}
+	if b.Popcount() != len(want) {
+		t.Errorf("popcount = %d", b.Popcount())
+	}
+	for _, c := range want {
+		if !b.Get(c[0], c[1]) {
+			t.Errorf("pixel (%d,%d) unset", c[0], c[1])
+		}
+	}
+}
+
+func TestReadPBMErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad magic", "P5\n2 2\n"},
+		{"missing dims", "P1\n3\n"},
+		{"bad digit", "P1\n1 1\nx\n"},
+		{"short raw", "P4\n16 2\n\x00"},
+		{"negative-ish dims", "P1\n-1 4\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadPBM(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestPBMWidthNotMultipleOf8(t *testing.T) {
+	// 10 wide: raw rows are 2 bytes, second byte half-padding.
+	b := New(10, 2)
+	b.SetRange(0, 0, 9, true)
+	b.Set(9, 1, true)
+	var buf bytes.Buffer
+	if err := WritePBM(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPBM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(back) {
+		t.Errorf("round trip:\n%svs\n%s", b, back)
+	}
+}

@@ -1,0 +1,81 @@
+package bitmap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// PGM (portable graymap) input, P2/P5 variants: grayscale scans are
+// binarized at a luminance threshold on the way in, which is how real
+// scanner output enters an inspection pipeline. In PGM, higher sample
+// values are lighter, so with the PBM convention (1 = black =
+// foreground) a pixel is foreground when its value is *below* the
+// threshold.
+
+// ReadPGM decodes P2 (ASCII) or P5 (raw, 8- or 16-bit) input,
+// thresholding at the given fraction of maxval (pass 0.5 for the
+// usual midpoint).
+func ReadPGM(r io.Reader, threshold float64) (*Bitmap, error) {
+	br := bufio.NewReader(r)
+	magic, err := pbmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P2" && magic != "P5" {
+		return nil, fmt.Errorf("%w: PGM magic %q", ErrPBM, magic)
+	}
+	width, err := pbmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	height, err := pbmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxval, err := pbmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxDim = 1 << 20
+	if width < 0 || height < 0 || width > maxDim || height > maxDim {
+		return nil, fmt.Errorf("%w: dimensions %dx%d", ErrPBM, width, height)
+	}
+	if maxval < 1 || maxval > 65535 {
+		return nil, fmt.Errorf("%w: maxval %d", ErrPBM, maxval)
+	}
+	cut := threshold * float64(maxval)
+	b := New(width, height)
+	readSample := func() (int, error) {
+		if magic == "P2" {
+			return pbmInt(br)
+		}
+		hi, err := br.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrPBM, err)
+		}
+		if maxval < 256 {
+			return int(hi), nil
+		}
+		lo, err := br.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrPBM, err)
+		}
+		return int(hi)<<8 | int(lo), nil
+	}
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			v, err := readSample()
+			if err != nil {
+				return nil, err
+			}
+			if v > maxval {
+				return nil, fmt.Errorf("%w: sample %d exceeds maxval %d", ErrPBM, v, maxval)
+			}
+			if float64(v) < cut {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,64 @@
+package bitmap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadPGMPlain(t *testing.T) {
+	in := "P2\n# scan\n3 2\n255\n0 128 255\n10 200 127\n"
+	b, err := ReadPGM(strings.NewReader(in), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// threshold = 127.5: samples < 127.5 are foreground.
+	want := map[[2]int]bool{
+		{0, 0}: true, {1, 0}: false, {2, 0}: false,
+		{0, 1}: true, {1, 1}: false, {2, 1}: true,
+	}
+	for xy, v := range want {
+		if b.Get(xy[0], xy[1]) != v {
+			t.Errorf("pixel %v = %v, want %v", xy, b.Get(xy[0], xy[1]), v)
+		}
+	}
+}
+
+func TestReadPGMRaw8(t *testing.T) {
+	in := "P5\n2 2\n255\n" + string([]byte{0, 255, 100, 200})
+	b, err := ReadPGM(strings.NewReader(in), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Get(0, 0) || b.Get(1, 0) || !b.Get(0, 1) || b.Get(1, 1) {
+		t.Errorf("raw8 wrong: %s", b)
+	}
+}
+
+func TestReadPGMRaw16(t *testing.T) {
+	// maxval 65535: sample 0x0100 = 256 < 32767.5 → foreground;
+	// 0xF000 → background.
+	in := "P5\n2 1\n65535\n" + string([]byte{0x01, 0x00, 0xF0, 0x00})
+	b, err := ReadPGM(strings.NewReader(in), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Get(0, 0) || b.Get(1, 0) {
+		t.Errorf("raw16 wrong: %s", b)
+	}
+}
+
+func TestReadPGMErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"P4\n2 2\n",             // wrong magic for PGM
+		"P2\n2 2\n0\n0 0 0 0\n", // bad maxval
+		"P2\n2 1\n255\n300 0\n", // sample exceeds maxval
+		"P5\n2 1\n255\n\x00",    // short raw data
+		"P2\n2 1\n255\n1\n",     // short ASCII data
+	}
+	for _, in := range cases {
+		if _, err := ReadPGM(strings.NewReader(in), 0.5); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}

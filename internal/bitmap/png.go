@@ -1,0 +1,60 @@
+package bitmap
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// PNG interop. The binary convention follows PBM: foreground (1) is
+// black, background (0) is white. FromImage binarizes arbitrary
+// images by luminance threshold, which is how scanned board imagery
+// enters an inspection pipeline.
+
+// ToImage renders the bitmap as an 8-bit grayscale image, foreground
+// black.
+func (b *Bitmap) ToImage() *image.Gray {
+	img := image.NewGray(image.Rect(0, 0, b.width, b.height))
+	for y := 0; y < b.height; y++ {
+		for x := 0; x < b.width; x++ {
+			v := uint8(255)
+			if b.Get(x, y) {
+				v = 0
+			}
+			img.SetGray(x, y, color.Gray{Y: v})
+		}
+	}
+	return img
+}
+
+// FromImage binarizes any image: pixels with luminance strictly below
+// the threshold become foreground. A threshold of 128 suits
+// black-on-white sources.
+func FromImage(img image.Image, threshold uint8) *Bitmap {
+	bounds := img.Bounds()
+	b := New(bounds.Dx(), bounds.Dy())
+	for y := bounds.Min.Y; y < bounds.Max.Y; y++ {
+		for x := bounds.Min.X; x < bounds.Max.X; x++ {
+			g := color.GrayModel.Convert(img.At(x, y)).(color.Gray)
+			if g.Y < threshold {
+				b.Set(x-bounds.Min.X, y-bounds.Min.Y, true)
+			}
+		}
+	}
+	return b
+}
+
+// WritePNG encodes the bitmap as a PNG.
+func WritePNG(w io.Writer, b *Bitmap) error {
+	return png.Encode(w, b.ToImage())
+}
+
+// ReadPNG decodes a PNG and binarizes it at luminance 128.
+func ReadPNG(r io.Reader) (*Bitmap, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromImage(img, 128), nil
+}

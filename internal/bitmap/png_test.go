@@ -1,0 +1,69 @@
+package bitmap
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPNGRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 10; trial++ {
+		b := Random(rng, 1+rng.Intn(80), 1+rng.Intn(40), 0.4)
+		var buf bytes.Buffer
+		if err := WritePNG(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadPNG(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b.Equal(back) {
+			t.Fatal("PNG round trip changed pixels")
+		}
+	}
+}
+
+func TestToImageConvention(t *testing.T) {
+	b := New(2, 1)
+	b.Set(0, 0, true)
+	img := b.ToImage()
+	if img.GrayAt(0, 0).Y != 0 {
+		t.Error("foreground must render black")
+	}
+	if img.GrayAt(1, 0).Y != 255 {
+		t.Error("background must render white")
+	}
+}
+
+func TestFromImageThreshold(t *testing.T) {
+	img := image.NewGray(image.Rect(0, 0, 3, 1))
+	img.SetGray(0, 0, color.Gray{Y: 0})
+	img.SetGray(1, 0, color.Gray{Y: 127})
+	img.SetGray(2, 0, color.Gray{Y: 128})
+	b := FromImage(img, 128)
+	if !b.Get(0, 0) || !b.Get(1, 0) || b.Get(2, 0) {
+		t.Errorf("thresholding wrong: %s", b)
+	}
+}
+
+func TestFromImageNonZeroOrigin(t *testing.T) {
+	img := image.NewGray(image.Rect(5, 7, 8, 9)) // 3x2 with offset origin
+	img.SetGray(5, 7, color.Gray{Y: 0})
+	b := FromImage(img, 128)
+	if b.Width() != 3 || b.Height() != 2 {
+		t.Fatalf("dims %dx%d", b.Width(), b.Height())
+	}
+	if !b.Get(0, 0) {
+		t.Error("origin not normalized")
+	}
+}
+
+func TestReadPNGRejectsGarbage(t *testing.T) {
+	if _, err := ReadPNG(strings.NewReader("not a png")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

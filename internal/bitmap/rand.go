@@ -1,0 +1,19 @@
+package bitmap
+
+import "math/rand"
+
+// Random generates a bitmap whose pixels are independently foreground
+// with probability density. It is the unstructured counterpart to the
+// run-structured generators in internal/workload; both are used in
+// tests.
+func Random(rng *rand.Rand, width, height int, density float64) *Bitmap {
+	b := New(width, height)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if rng.Float64() < density {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	return b
+}

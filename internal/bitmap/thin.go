@@ -1,0 +1,89 @@
+package bitmap
+
+// Zhang-Suen thinning — the skeletonization operation the paper cites
+// systolic hardware for (Ranganathan & Doreswamy's systolic thinning
+// array). It operates on the uncompressed substrate: like the other
+// cited operations it is neighbourhood-based, which is exactly why
+// the paper's compressed-domain difference operator was novel.
+
+// neighbours returns the 8-neighbourhood of (x, y) in the Zhang-Suen
+// order P2..P9: N, NE, E, SE, S, SW, W, NW.
+func (b *Bitmap) neighbours(x, y int) [8]bool {
+	return [8]bool{
+		b.Get(x, y-1),   // P2 N
+		b.Get(x+1, y-1), // P3 NE
+		b.Get(x+1, y),   // P4 E
+		b.Get(x+1, y+1), // P5 SE
+		b.Get(x, y+1),   // P6 S
+		b.Get(x-1, y+1), // P7 SW
+		b.Get(x-1, y),   // P8 W
+		b.Get(x-1, y-1), // P9 NW
+	}
+}
+
+// thinPass marks pixels deletable under one Zhang-Suen sub-iteration
+// (even = first sub-iteration, odd = second) and deletes them;
+// reports whether anything changed.
+func thinPass(b *Bitmap, odd bool) bool {
+	w, h := b.Width(), b.Height()
+	var deletions []int // packed x + y*w
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if !b.Get(x, y) {
+				continue
+			}
+			p := b.neighbours(x, y)
+			// B(P1): number of foreground neighbours.
+			bn := 0
+			for _, v := range p {
+				if v {
+					bn++
+				}
+			}
+			if bn < 2 || bn > 6 {
+				continue
+			}
+			// A(P1): 0→1 transitions around the ring P2..P9,P2.
+			an := 0
+			for i := 0; i < 8; i++ {
+				if !p[i] && p[(i+1)%8] {
+					an++
+				}
+			}
+			if an != 1 {
+				continue
+			}
+			// Sub-iteration conditions on (N,S,E,W) = (P2,P6,P4,P8).
+			n, e, s, west := p[0], p[2], p[4], p[6]
+			if !odd {
+				if (n && e && s) || (e && s && west) {
+					continue
+				}
+			} else {
+				if (n && e && west) || (n && s && west) {
+					continue
+				}
+			}
+			deletions = append(deletions, y*w+x)
+		}
+	}
+	for _, idx := range deletions {
+		b.Set(idx%w, idx/w, false)
+	}
+	return len(deletions) > 0
+}
+
+// Thin skeletonizes the bitmap in place with the Zhang-Suen
+// algorithm, returning the number of full iterations (pairs of
+// sub-passes) executed.
+func (b *Bitmap) Thin() int {
+	iters := 0
+	for {
+		changed := thinPass(b, false)
+		changed = thinPass(b, true) || changed
+		iters++
+		if !changed {
+			return iters
+		}
+	}
+}

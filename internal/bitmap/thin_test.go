@@ -1,0 +1,118 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// countComponents is a small 8-connectivity component counter for
+// thinning invariants.
+func countComponents(b *Bitmap) int {
+	w, h := b.Width(), b.Height()
+	seen := make([]bool, w*h)
+	count := 0
+	var stack [][2]int
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if !b.Get(x, y) || seen[y*w+x] {
+				continue
+			}
+			count++
+			stack = append(stack[:0], [2]int{x, y})
+			seen[y*w+x] = true
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						nx, ny := p[0]+dx, p[1]+dy
+						if nx >= 0 && ny >= 0 && nx < w && ny < h &&
+							b.Get(nx, ny) && !seen[ny*w+nx] {
+							seen[ny*w+nx] = true
+							stack = append(stack, [2]int{nx, ny})
+						}
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestThinThickLineToThinCurve(t *testing.T) {
+	b := New(60, 20)
+	b.HLine(5, 55, 10, 7, true)
+	before := b.Popcount()
+	b.Thin()
+	after := b.Popcount()
+	if after >= before/3 {
+		t.Errorf("thinning barely reduced: %d → %d", before, after)
+	}
+	// The skeleton of a horizontal bar is ~1 pixel thick: each
+	// interior column keeps exactly one pixel.
+	for x := 10; x <= 50; x++ {
+		col := 0
+		for y := 0; y < 20; y++ {
+			if b.Get(x, y) {
+				col++
+			}
+		}
+		if col > 2 {
+			t.Fatalf("column %d still %d pixels thick", x, col)
+		}
+	}
+}
+
+func TestThinPreservesConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	for trial := 0; trial < 20; trial++ {
+		b := New(50, 40)
+		// Blobs thick enough to be interesting.
+		for i := 0; i < 5; i++ {
+			b.Disk(5+rng.Intn(40), 5+rng.Intn(30), 3+rng.Intn(4), true)
+		}
+		b.HLine(3, 46, 20, 3, true) // connect things
+		before := countComponents(b)
+		orig := b.Clone()
+		b.Thin()
+		if got := countComponents(b); got != before {
+			t.Fatalf("components %d → %d\nbefore:\n%safter:\n%s", before, got, orig, b)
+		}
+		// Skeleton ⊆ original.
+		for y := 0; y < 40; y++ {
+			for x := 0; x < 50; x++ {
+				if b.Get(x, y) && !orig.Get(x, y) {
+					t.Fatal("thinning added a pixel")
+				}
+			}
+		}
+	}
+}
+
+func TestThinIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	b := New(40, 40)
+	for i := 0; i < 4; i++ {
+		b.Disk(8+rng.Intn(24), 8+rng.Intn(24), 4, true)
+	}
+	b.Thin()
+	once := b.Clone()
+	if iters := b.Thin(); iters != 1 {
+		t.Errorf("second Thin took %d iterations, want 1 (no-op)", iters)
+	}
+	if !b.Equal(once) {
+		t.Error("second Thin changed the skeleton")
+	}
+}
+
+func TestThinEmptyAndSinglePixel(t *testing.T) {
+	b := New(10, 10)
+	if b.Thin() != 1 {
+		t.Error("empty thin should converge immediately")
+	}
+	b.Set(5, 5, true)
+	b.Thin()
+	if !b.Get(5, 5) {
+		t.Error("isolated pixel must survive thinning")
+	}
+}

@@ -1,0 +1,148 @@
+// Package broadcast implements the paper's §6 future-work sketch: the
+// same RLE-difference cell array augmented with a fast broadcast bus,
+// "which could run at the same frequency as the rest of the systolic
+// system", so that pushing a run past a block of occupied cells no
+// longer takes one iteration per cell.
+//
+// Model. Compute steps 1–2 are unchanged (the cells reuse
+// internal/core's program). The shift step is replaced by bus
+// routing: each still-moving RegBig run is transferred directly to
+// the first cell to its right where it can actually make progress —
+// a cell whose RegSmall is empty (the run can settle) or whose
+// RegSmall reaches the run (the XOR has work to do). Cells whose
+// RegSmall ends strictly before the run starts would be pure
+// pass-throughs in the plain algorithm (a disjoint or adjacent pair
+// is a step-2 no-op), so skipping them preserves the computation;
+// this is exactly the "chain reaction" §5 blames for the plain
+// algorithm's running time.
+//
+// Cycle accounting. The bus serializes: with bandwidth W, an
+// iteration that moves m runs costs max(1, ceil(m/W)) cycles (the
+// compute phase overlaps the first bus slot, as in the plain machine
+// where compute and shift share the cycle). Bandwidth 0 means an
+// idealized all-ports bus: every iteration costs one cycle.
+package broadcast
+
+import (
+	"fmt"
+
+	"sysrle/internal/core"
+	"sysrle/internal/rle"
+	"sysrle/internal/systolic"
+)
+
+// Bus is the broadcast-bus engine. It implements core.Engine.
+type Bus struct {
+	// Bandwidth is the number of bus transactions per cycle;
+	// 0 means unlimited (idealized crossbar).
+	Bandwidth int
+}
+
+// Name implements core.Engine.
+func (b Bus) Name() string {
+	if b.Bandwidth <= 0 {
+		return "systolic-bus"
+	}
+	return fmt.Sprintf("systolic-bus/w%d", b.Bandwidth)
+}
+
+// XORRow implements core.Engine. Result.Iterations reports bus
+// cycles under the model above.
+func (b Bus) XORRow(a, rowB rle.Row) (core.Result, error) {
+	if err := a.Validate(-1); err != nil {
+		return core.Result{}, fmt.Errorf("first operand: %w", err)
+	}
+	if err := rowB.Validate(-1); err != nil {
+		return core.Result{}, fmt.Errorf("second operand: %w", err)
+	}
+	cells := core.BuildCells(a, rowB)
+	cycles, err := b.run(cells)
+	if err != nil {
+		return core.Result{}, err
+	}
+	row, err := core.Gather(cells)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.Result{Row: row, Iterations: cycles, Cells: len(cells)}, nil
+}
+
+func anyBig(cells []core.Cell) bool {
+	for _, c := range cells {
+		if c.Big.Full {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes the machine to quiescence and returns the cycle count.
+func (b Bus) run(cells []core.Cell) (int, error) {
+	if !anyBig(cells) {
+		return 0, nil
+	}
+	maxIter := systolic.DefaultMaxIterations(len(cells))
+	cycles := 0
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range cells {
+			cells[i].Local()
+		}
+		moves, err := b.route(cells)
+		if err != nil {
+			return cycles, err
+		}
+		cycles += b.cycleCost(moves)
+		if !anyBig(cells) {
+			return cycles, nil
+		}
+	}
+	return cycles, fmt.Errorf("broadcast: %w (%d)", systolic.ErrMaxIterations, maxIter)
+}
+
+func (b Bus) cycleCost(moves int) int {
+	if b.Bandwidth <= 0 || moves <= b.Bandwidth {
+		return 1
+	}
+	return (moves + b.Bandwidth - 1) / b.Bandwidth
+}
+
+// route moves every RegBig run to its target cell and returns the
+// number of bus transactions. Runs are processed right to left, so
+// every run further right has already been placed; a run whose
+// natural target is occupied queues just behind it instead, which
+// preserves the Theorem-2 ordering (runs never overtake).
+func (b Bus) route(cells []core.Cell) (int, error) {
+	moves := 0
+	nextOccupied := len(cells) // lowest index of a Big placed this cycle
+	for i := len(cells) - 1; i >= 0; i-- {
+		if !cells[i].Big.Full {
+			continue
+		}
+		run := cells[i].Big
+		cells[i].Big = core.Reg{}
+		j := i + 1
+		for j < nextOccupied {
+			s := cells[j].Small
+			if !s.Full || s.End >= run.Start {
+				break // can settle here or the XOR has work to do
+			}
+			j++
+		}
+		if j >= nextOccupied {
+			// Queue directly behind the already-placed run to the
+			// right. Placed runs sit at index ≥ their origin+1 and
+			// origins are distinct, so j-1 ≥ i+1: progress is always
+			// possible.
+			j = nextOccupied - 1
+		}
+		if j >= len(cells) || j <= i {
+			// Out of cells, or no forward progress possible: the
+			// array-sizing contract (Corollary 1.2) was violated.
+			return moves, fmt.Errorf("broadcast: %w", systolic.ErrOverflow)
+		}
+		cells[j].Big = run
+		nextOccupied = j
+		moves++
+	}
+	return moves, nil
+}

@@ -1,0 +1,215 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/core"
+	"sysrle/internal/rle"
+	"sysrle/internal/workload"
+)
+
+func randomRow(rng *rand.Rand, width int) rle.Row {
+	var row rle.Row
+	pos := rng.Intn(5)
+	for pos < width {
+		length := 1 + rng.Intn(10)
+		if pos+length > width {
+			break
+		}
+		row = append(row, rle.Run{Start: pos, Length: length})
+		pos += length + rng.Intn(12) // may produce adjacent runs
+	}
+	return row
+}
+
+func TestBusName(t *testing.T) {
+	if (Bus{}).Name() != "systolic-bus" {
+		t.Errorf("Name = %q", Bus{}.Name())
+	}
+	if (Bus{Bandwidth: 2}).Name() != "systolic-bus/w2" {
+		t.Errorf("Name = %q", Bus{Bandwidth: 2}.Name())
+	}
+}
+
+func TestBusMatchesSweepXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for _, bw := range []int{0, 1, 4} {
+		e := Bus{Bandwidth: bw}
+		for trial := 0; trial < 300; trial++ {
+			width := 16 + rng.Intn(500)
+			a := randomRow(rng, width)
+			b := randomRow(rng, width)
+			res, err := e.XORRow(a, b)
+			if err != nil {
+				t.Fatalf("%s on %v ^ %v: %v", e.Name(), a, b, err)
+			}
+			if want := rle.XOR(a, b); !res.Row.EqualBits(want) {
+				t.Fatalf("%s: %v ^ %v = %v, want %v", e.Name(), a, b, res.Row, want)
+			}
+			if err := res.Row.Validate(-1); err != nil {
+				t.Fatalf("invalid output: %v", err)
+			}
+		}
+	}
+}
+
+func TestBusFigure1(t *testing.T) {
+	a := rle.Row{{Start: 10, Length: 3}, {Start: 16, Length: 2}, {Start: 23, Length: 2}, {Start: 27, Length: 3}}
+	b := rle.Row{{Start: 3, Length: 4}, {Start: 8, Length: 5}, {Start: 15, Length: 5}, {Start: 23, Length: 2}, {Start: 27, Length: 4}}
+	want := rle.Row{{Start: 3, Length: 4}, {Start: 8, Length: 2}, {Start: 15, Length: 1}, {Start: 18, Length: 2}, {Start: 30, Length: 1}}
+	res, err := Bus{}.XORRow(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Row.EqualBits(want) {
+		t.Errorf("bus XOR = %v, want %v", res.Row, want)
+	}
+}
+
+func TestBusNeverSlowerThanPlainOnSimilarImages(t *testing.T) {
+	// The whole point of the §6 extension: on similar images, where
+	// the plain machine spends its time rippling the tail group
+	// right, the idealized bus should need no more cycles — and on
+	// average clearly fewer.
+	rng := rand.New(rand.NewSource(307))
+	var busTotal, plainTotal int
+	for trial := 0; trial < 100; trial++ {
+		pair, err := workload.GeneratePair(rng,
+			workload.PaperRow(4000, 0.3), workload.PaperErrors(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := core.Lockstep{}.XORRow(pair.A, pair.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus, err := Bus{}.XORRow(pair.A, pair.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		busTotal += bus.Iterations
+		plainTotal += plain.Iterations
+	}
+	if busTotal >= plainTotal {
+		t.Errorf("idealized bus used %d cycles vs plain %d — extension buys nothing", busTotal, plainTotal)
+	}
+}
+
+func TestBusBandwidthMonotone(t *testing.T) {
+	// Narrower buses cannot be faster than wider ones on the same
+	// input.
+	rng := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 50; trial++ {
+		pair, err := workload.GeneratePair(rng,
+			workload.PaperRow(2000, 0.3), workload.PaperErrors(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1
+		for _, bw := range []int{1, 2, 8, 0} { // increasing capacity
+			res, err := Bus{Bandwidth: bw}.XORRow(pair.A, pair.B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev >= 0 && res.Iterations > prev {
+				t.Fatalf("bandwidth %d slower (%d) than narrower bus (%d)", bw, res.Iterations, prev)
+			}
+			prev = res.Iterations
+		}
+	}
+}
+
+func TestBusEdgeCases(t *testing.T) {
+	cases := []struct{ a, b rle.Row }{
+		{nil, nil},
+		{randomRow(rand.New(rand.NewSource(1)), 100), nil},
+		{nil, randomRow(rand.New(rand.NewSource(2)), 100)},
+	}
+	for _, c := range cases {
+		res, err := Bus{}.XORRow(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Row.EqualBits(rle.XOR(c.a, c.b)) {
+			t.Errorf("edge case wrong: %v ^ %v = %v", c.a, c.b, res.Row)
+		}
+	}
+	// Identical inputs: one iteration, everything annihilates.
+	a := randomRow(rand.New(rand.NewSource(3)), 200)
+	res, err := Bus{}.XORRow(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Row) != 0 || res.Iterations != 1 {
+		t.Errorf("identical: row=%v iters=%d", res.Row, res.Iterations)
+	}
+}
+
+func TestBusRejectsInvalidInput(t *testing.T) {
+	bad := rle.Row{{Start: 5, Length: 2}, {Start: 4, Length: 2}}
+	if _, err := (Bus{}).XORRow(bad, nil); err == nil {
+		t.Error("invalid first operand accepted")
+	}
+	if _, err := (Bus{}).XORRow(nil, bad); err == nil {
+		t.Error("invalid second operand accepted")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	// Build a terminated machine state with adjacent runs in
+	// separate cells and holes between occupied cells.
+	cells := make([]core.Cell, 8)
+	cells[0].Small = core.MakeReg(0, 4)
+	cells[2].Small = core.MakeReg(5, 9) // adjacent to previous: must merge
+	cells[5].Small = core.MakeReg(20, 24)
+	row, tx := Compact(cells)
+	want := rle.Row{{Start: 0, Length: 10}, {Start: 20, Length: 5}}
+	if !row.Equal(want) {
+		t.Fatalf("Compact row = %v, want %v", row, want)
+	}
+	if tx == 0 {
+		t.Error("compaction that moved runs reported zero transactions")
+	}
+	// Cells now hold the canonical packed layout.
+	if cells[0].Small != core.MakeReg(0, 9) || cells[1].Small != core.MakeReg(20, 24) {
+		t.Errorf("packed cells wrong: %v %v", cells[0], cells[1])
+	}
+	for i := 2; i < len(cells); i++ {
+		if cells[i].Small.Full {
+			t.Errorf("cell %d not cleared", i)
+		}
+	}
+}
+
+func TestCompactAlreadyCanonicalIsFree(t *testing.T) {
+	cells := make([]core.Cell, 4)
+	cells[0].Small = core.MakeReg(0, 4)
+	cells[1].Small = core.MakeReg(8, 9)
+	row, tx := Compact(cells)
+	if tx != 0 {
+		t.Errorf("canonical packed layout cost %d transactions", tx)
+	}
+	if !row.Equal(rle.Row{{Start: 0, Length: 5}, {Start: 8, Length: 2}}) {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestCompactAfterRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	for trial := 0; trial < 100; trial++ {
+		a := randomRow(rng, 300)
+		b := randomRow(rng, 300)
+		cells := core.BuildCells(a, b)
+		if _, err := (Bus{}).run(cells); err != nil {
+			t.Fatal(err)
+		}
+		row, _ := Compact(cells)
+		if !row.Canonical() {
+			t.Fatalf("Compact output not canonical: %v", row)
+		}
+		if !row.EqualBits(rle.XOR(a, b)) {
+			t.Fatalf("Compact changed the value: %v", row)
+		}
+	}
+}

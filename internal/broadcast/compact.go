@@ -1,0 +1,43 @@
+package broadcast
+
+import (
+	"sysrle/internal/core"
+	"sysrle/internal/rle"
+)
+
+// Compact models the other §6 future-work item: "the task of
+// combining the adjacent runs in different cells at the end of the
+// algorithm ... could be performed quickly with the help of a
+// broadcast bus." It merges adjacent result runs across cells and
+// packs the canonical result into the leftmost cells, in place.
+//
+// The returned transaction count models the bus cost: one broadcast
+// per run that had to move cells or grow by absorbing a neighbour;
+// runs already sitting canonically in their packed position are free.
+// With bus bandwidth W the pass costs ceil(transactions/W) cycles.
+func Compact(cells []core.Cell) (rle.Row, int) {
+	var packed rle.Row
+	origin := make([]int, 0, len(cells)) // source cell of each gathered run
+	for i, c := range cells {
+		if c.Small.Full {
+			packed = append(packed, rle.Span(c.Small.Start, c.Small.End))
+			origin = append(origin, i)
+		}
+	}
+	merged := packed.Canonicalize()
+	transactions := 0
+	for i, r := range merged {
+		moved := i >= len(origin) || origin[i] != i
+		grew := i >= len(packed) || packed[i] != r
+		if moved || grew {
+			transactions++
+		}
+	}
+	for i := range cells {
+		cells[i].Small = core.Reg{}
+	}
+	for i, r := range merged {
+		cells[i].Small = core.MakeReg(r.Start, r.End())
+	}
+	return merged, transactions
+}

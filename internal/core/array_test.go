@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/rle"
+)
+
+func TestChannelArrayMatchesLockstepAcrossReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	arr := NewChannelArray(120)
+	defer arr.Close()
+	for trial := 0; trial < 150; trial++ {
+		width := 16 + rng.Intn(300)
+		var a, b rle.Row
+		for {
+			a = randomValidRow(rng, width)
+			b = randomValidRow(rng, width)
+			if len(a)+len(b)+1 <= arr.Capacity() {
+				break
+			}
+		}
+		want, err := Lockstep{}.XORRow(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := arr.XORRow(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Row.Equal(want.Row) {
+			t.Fatalf("array row %v, want %v (inputs %v ^ %v)", got.Row, want.Row, a, b)
+		}
+		if got.Iterations != want.Iterations {
+			t.Fatalf("array iterations %d, want %d (inputs %v ^ %v)", got.Iterations, want.Iterations, a, b)
+		}
+	}
+}
+
+func TestChannelArrayFigure1(t *testing.T) {
+	arr := NewChannelArray(16)
+	defer arr.Close()
+	res, err := arr.XORRow(fig1Img1(), fig1Img2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Row.EqualBits(fig1XOR()) {
+		t.Errorf("row = %v", res.Row)
+	}
+	if res.Iterations != 3 {
+		t.Errorf("iterations = %d, want 3", res.Iterations)
+	}
+	if res.Cells != 16 {
+		t.Errorf("cells = %d, want fixed capacity 16", res.Cells)
+	}
+}
+
+func TestChannelArrayTooWide(t *testing.T) {
+	arr := NewChannelArray(4)
+	defer arr.Close()
+	long := rle.Row{{Start: 0, Length: 1}, {Start: 2, Length: 1}, {Start: 4, Length: 1}}
+	_, err := arr.XORRow(long, long) // needs 7 cells
+	if !errors.Is(err, ErrTooWide) {
+		t.Errorf("err = %v, want ErrTooWide", err)
+	}
+	// The array remains usable after a rejected input.
+	res, err := arr.XORRow(rle.Row{{Start: 0, Length: 3}}, nil)
+	if err != nil || !res.Row.Equal(rle.Row{{Start: 0, Length: 3}}) {
+		t.Errorf("array unusable after rejection: %v %v", res.Row, err)
+	}
+}
+
+func TestChannelArrayEmptyOperands(t *testing.T) {
+	arr := NewChannelArray(8)
+	defer arr.Close()
+	res, err := arr.XORRow(nil, nil)
+	if err != nil || len(res.Row) != 0 || res.Iterations != 0 {
+		t.Errorf("empty: %+v %v", res, err)
+	}
+	a := rle.Row{{Start: 1, Length: 2}, {Start: 5, Length: 1}}
+	res, err = arr.XORRow(a, nil)
+	if err != nil || !res.Row.Equal(a) || res.Iterations != 0 {
+		t.Errorf("a^∅: %+v %v", res, err)
+	}
+	res, err = arr.XORRow(nil, a)
+	if err != nil || !res.Row.Equal(a) || res.Iterations != 1 {
+		t.Errorf("∅^a: %+v %v", res, err)
+	}
+}
+
+func TestChannelArrayCloseIdempotentAndRejectsUse(t *testing.T) {
+	arr := NewChannelArray(4)
+	arr.Close()
+	arr.Close() // second close is a no-op
+	if _, err := arr.XORRow(nil, nil); err == nil {
+		t.Error("closed array accepted work")
+	}
+}
+
+func TestChannelArrayName(t *testing.T) {
+	arr := NewChannelArray(32)
+	defer arr.Close()
+	if arr.Name() != "systolic-array/32" {
+		t.Errorf("Name = %q", arr.Name())
+	}
+}
+
+func BenchmarkChannelArrayReuse(b *testing.B) {
+	rng := rand.New(rand.NewSource(907))
+	a := randomValidRow(rng, 2000)
+	c := randomValidRow(rng, 2000)
+	arr := NewChannelArray(len(a) + len(c) + 1)
+	defer arr.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arr.XORRow(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package core implements the paper's contribution: the systolic
+// image-difference (XOR) algorithm over run-length encoded rows
+// (Ercal, Allen, Feng, IPPS 1999, §3), together with the sequential
+// merge baseline (§2), executable forms of the correctness invariants
+// (§4), and the Figure-4 cell-state taxonomy.
+package core
+
+import "fmt"
+
+// Reg is one cell register holding at most one run, in the paper's
+// start/end notation (inclusive). Full distinguishes "holds a run"
+// from the zero value, which means empty — the systolic framework
+// injects zero Regs at the left boundary.
+type Reg struct {
+	Start int
+	End   int
+	Full  bool
+}
+
+// MakeReg builds a full register from inclusive endpoints.
+func MakeReg(start, end int) Reg {
+	if end < start {
+		panic(fmt.Sprintf("core: empty register span [%d,%d]", start, end))
+	}
+	return Reg{Start: start, End: end, Full: true}
+}
+
+func (r Reg) String() string {
+	if !r.Full {
+		return "-"
+	}
+	return fmt.Sprintf("(%d,%d)", r.Start, r.End-r.Start+1) // paper prints (start,length)
+}
+
+// Cell is one systolic cell: RegSmall accumulates result runs,
+// RegBig holds the run still moving right (paper Figure 2).
+type Cell struct {
+	Small Reg
+	Big   Reg
+}
+
+// step1 is the paper's first step: put the smaller run into RegSmall
+// and the bigger into RegBig, where "smaller" orders by start and
+// breaks ties by end; a lone RegBig run moves to RegSmall.
+func (c *Cell) step1() {
+	switch {
+	case c.Small.Full && c.Big.Full:
+		if c.Small.Start > c.Big.Start ||
+			(c.Small.Start == c.Big.Start && c.Small.End > c.Big.End) {
+			c.Small, c.Big = c.Big, c.Small
+		}
+	case !c.Small.Full && c.Big.Full:
+		c.Small, c.Big = c.Big, Reg{}
+	}
+}
+
+// step2 is the paper's in-cell XOR, transcribed from §3:
+//
+//	oldSmallEnd  = RegSmall.end
+//	RegSmall.end = min(RegSmall.end, RegBig.start-1)
+//	RegBig.start = min(RegBig.end+1, max(oldSmallEnd+1, RegBig.start))
+//	RegBig.end   = max(oldSmallEnd, RegBig.end)
+//
+// after which a register whose interval became empty is cleared.
+// step1 must have run first so that RegSmall ≤ RegBig in (start, end)
+// order; the formulas rely on that.
+func (c *Cell) step2() {
+	if !c.Small.Full || !c.Big.Full {
+		return
+	}
+	oldSmallEnd := c.Small.End
+	c.Small.End = min(c.Small.End, c.Big.Start-1)
+	c.Big.Start = min(c.Big.End+1, max(oldSmallEnd+1, c.Big.Start))
+	c.Big.End = max(oldSmallEnd, c.Big.End)
+	if c.Small.End < c.Small.Start {
+		c.Small = Reg{}
+	}
+	if c.Big.Start > c.Big.End {
+		c.Big = Reg{}
+	}
+}
+
+// Local runs the cell's compute phase (steps 1 and 2). Exported for
+// the broadcast-bus variant, which reuses the cell program but
+// replaces the shift.
+func (c *Cell) Local() {
+	c.step1()
+	c.step2()
+}
+
+func (c Cell) String() string {
+	return fmt.Sprintf("S=%s B=%s", c.Small, c.Big)
+}

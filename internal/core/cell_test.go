@@ -1,0 +1,201 @@
+package core
+
+import "testing"
+
+func reg(start, end int) Reg { return MakeReg(start, end) }
+
+func TestMakeRegPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MakeReg(5, 4)
+}
+
+func TestRegString(t *testing.T) {
+	if got := reg(10, 12).String(); got != "(10,3)" {
+		t.Errorf("String = %q, want (10,3) — paper prints (start,length)", got)
+	}
+	if got := (Reg{}).String(); got != "-" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestStep1(t *testing.T) {
+	cases := []struct {
+		name     string
+		in, want Cell
+	}{
+		{
+			"ordered pair untouched",
+			Cell{Small: reg(3, 6), Big: reg(10, 12)},
+			Cell{Small: reg(3, 6), Big: reg(10, 12)},
+		},
+		{
+			"later start swaps",
+			Cell{Small: reg(10, 12), Big: reg(3, 6)},
+			Cell{Small: reg(3, 6), Big: reg(10, 12)},
+		},
+		{
+			"equal starts, longer end swaps",
+			Cell{Small: reg(5, 9), Big: reg(5, 7)},
+			Cell{Small: reg(5, 7), Big: reg(5, 9)},
+		},
+		{
+			"equal starts, shorter stays",
+			Cell{Small: reg(5, 7), Big: reg(5, 9)},
+			Cell{Small: reg(5, 7), Big: reg(5, 9)},
+		},
+		{
+			"identical runs stay",
+			Cell{Small: reg(5, 7), Big: reg(5, 7)},
+			Cell{Small: reg(5, 7), Big: reg(5, 7)},
+		},
+		{
+			"lone RegBig moves down",
+			Cell{Big: reg(4, 8)},
+			Cell{Small: reg(4, 8)},
+		},
+		{
+			"lone RegSmall untouched",
+			Cell{Small: reg(4, 8)},
+			Cell{Small: reg(4, 8)},
+		},
+		{
+			"empty cell untouched",
+			Cell{},
+			Cell{},
+		},
+	}
+	for _, c := range cases {
+		got := c.in
+		got.step1()
+		if got != c.want {
+			t.Errorf("%s: step1(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestStep2(t *testing.T) {
+	// All inputs are post-step1 (Small ≤ Big). Expected outputs are
+	// the XOR fragments: left fragment in Small, right fragment in
+	// Big, per the paper's min/max formulas.
+	cases := []struct {
+		name     string
+		in, want Cell
+	}{
+		{
+			"disjoint unchanged",
+			Cell{Small: reg(3, 6), Big: reg(10, 12)},
+			Cell{Small: reg(3, 6), Big: reg(10, 12)},
+		},
+		{
+			"adjacent unchanged",
+			Cell{Small: reg(0, 4), Big: reg(5, 9)},
+			Cell{Small: reg(0, 4), Big: reg(5, 9)},
+		},
+		{
+			"partial overlap splits",
+			Cell{Small: reg(8, 12), Big: reg(10, 14)},
+			Cell{Small: reg(8, 9), Big: reg(13, 14)},
+		},
+		{
+			"overlap by one pixel",
+			Cell{Small: reg(8, 12), Big: reg(12, 14)},
+			Cell{Small: reg(8, 11), Big: reg(13, 14)},
+		},
+		{
+			"identical annihilate",
+			Cell{Small: reg(23, 24), Big: reg(23, 24)},
+			Cell{},
+		},
+		{
+			"same start keeps tail in Big",
+			Cell{Small: reg(27, 29), Big: reg(27, 30)},
+			Cell{Big: reg(30, 30)},
+		},
+		{
+			"same end keeps head in Small",
+			Cell{Small: reg(8, 12), Big: reg(10, 12)},
+			Cell{Small: reg(8, 9)},
+		},
+		{
+			"containment splits around",
+			Cell{Small: reg(0, 10), Big: reg(3, 5)},
+			Cell{Small: reg(0, 2), Big: reg(6, 10)},
+		},
+		{
+			"lone Small no-op",
+			Cell{Small: reg(4, 8)},
+			Cell{Small: reg(4, 8)},
+		},
+		{
+			"lone Big no-op",
+			Cell{Big: reg(4, 8)},
+			Cell{Big: reg(4, 8)},
+		},
+		{
+			"empty no-op",
+			Cell{},
+			Cell{},
+		},
+	}
+	for _, c := range cases {
+		got := c.in
+		got.step2()
+		if got != c.want {
+			t.Errorf("%s: step2(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// TestStep2IsXOR checks exhaustively over small intervals that steps
+// 1+2 leave the cell holding exactly the XOR of its two runs.
+func TestStep2IsXOR(t *testing.T) {
+	const lim = 8
+	for s1 := 0; s1 < lim; s1++ {
+		for e1 := s1; e1 < lim; e1++ {
+			for s2 := 0; s2 < lim; s2++ {
+				for e2 := s2; e2 < lim; e2++ {
+					c := Cell{Small: reg(s1, e1), Big: reg(s2, e2)}
+					c.Local()
+					var want [lim]bool
+					for i := s1; i <= e1; i++ {
+						want[i] = !want[i]
+					}
+					for i := s2; i <= e2; i++ {
+						want[i] = !want[i]
+					}
+					var got [lim]bool
+					for _, r := range []Reg{c.Small, c.Big} {
+						if !r.Full {
+							continue
+						}
+						for i := r.Start; i <= r.End; i++ {
+							if got[i] {
+								t.Fatalf("cell registers overlap after Local: %v", c)
+							}
+							got[i] = true
+						}
+					}
+					if got != want {
+						t.Fatalf("Local on (%d,%d)^(%d,%d) = %v: got %v want %v",
+							s1, e1, s2, e2, c, got, want)
+					}
+					// Fragments must be ordered: Small before Big.
+					if c.Small.Full && c.Big.Full && c.Small.End >= c.Big.Start {
+						t.Fatalf("fragments out of order: %v", c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCellString(t *testing.T) {
+	c := Cell{Small: reg(3, 6), Big: reg(10, 12)}
+	if got := c.String(); got != "S=(3,4) B=(10,3)" {
+		t.Errorf("String = %q", got)
+	}
+}

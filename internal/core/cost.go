@@ -1,0 +1,65 @@
+package core
+
+import "math/bits"
+
+// Hardware resource model. The paper's conclusion contrasts the
+// systolic array against the trivially parallel uncompressed
+// approach: "a parallel solution ... can easily be performed on
+// uncompressed data in constant time if the number of processors
+// available is proportional to the number of pixels in the images;
+// [this method] has the advantage of using a smaller number of
+// processors, and it does not require the time to convert the image
+// between RLE format and bitmap mode." Cost quantifies that claim
+// from the §3 cell architecture (two registers of two coordinates
+// each, plus comparator/min/max logic).
+
+// Cost estimates the silicon budget of one row engine.
+type Cost struct {
+	// Cells is the array length (the paper's 2k).
+	Cells int
+	// CoordBits is the width of one coordinate: ⌈log₂ rowWidth⌉.
+	CoordBits int
+	// RegisterBits is the total register storage: 2 registers × 2
+	// coordinates × CoordBits per cell, plus 2 valid bits.
+	RegisterBits int
+	// UncompressedPEs is the processing-element count of the
+	// constant-time bitmap alternative: one per pixel.
+	UncompressedPEs int
+}
+
+// EstimateCost sizes the array for rows of the given width holding at
+// most maxRuns runs per operand.
+func EstimateCost(width, maxRuns int) Cost {
+	if width < 1 {
+		width = 1
+	}
+	if maxRuns < 0 {
+		maxRuns = 0
+	}
+	coordBits := bits.Len(uint(width - 1))
+	if coordBits == 0 {
+		coordBits = 1
+	}
+	cells := 2 * maxRuns
+	if cells == 0 {
+		cells = 1
+	}
+	return Cost{
+		Cells:           cells,
+		CoordBits:       coordBits,
+		RegisterBits:    cells * (4*coordBits + 2),
+		UncompressedPEs: width,
+	}
+}
+
+// PEAdvantage is the paper's headline resource ratio: pixels per
+// systolic cell.
+func (c Cost) PEAdvantage() float64 {
+	return float64(c.UncompressedPEs) / float64(c.Cells)
+}
+
+// BitAdvantage compares register storage against the bitmap
+// alternative's: one bit per pixel plus one result bit per PE.
+func (c Cost) BitAdvantage() float64 {
+	return float64(2*c.UncompressedPEs) / float64(c.RegisterBits)
+}

@@ -1,0 +1,53 @@
+package core
+
+import "testing"
+
+func TestEstimateCost(t *testing.T) {
+	c := EstimateCost(10000, 250)
+	if c.Cells != 500 {
+		t.Errorf("Cells = %d, want 500", c.Cells)
+	}
+	if c.CoordBits != 14 { // 2^13=8192 < 10000 ≤ 2^14
+		t.Errorf("CoordBits = %d, want 14", c.CoordBits)
+	}
+	if c.UncompressedPEs != 10000 {
+		t.Errorf("PEs = %d", c.UncompressedPEs)
+	}
+	if want := 500 * (4*14 + 2); c.RegisterBits != want {
+		t.Errorf("RegisterBits = %d, want %d", c.RegisterBits, want)
+	}
+	if adv := c.PEAdvantage(); adv != 20 {
+		t.Errorf("PEAdvantage = %v, want 20", adv)
+	}
+	if c.BitAdvantage() <= 0 {
+		t.Error("BitAdvantage must be positive")
+	}
+}
+
+func TestEstimateCostPowersOfTwo(t *testing.T) {
+	if got := EstimateCost(1024, 10).CoordBits; got != 10 {
+		t.Errorf("CoordBits(1024) = %d, want 10", got)
+	}
+	if got := EstimateCost(1025, 10).CoordBits; got != 11 {
+		t.Errorf("CoordBits(1025) = %d, want 11", got)
+	}
+}
+
+func TestEstimateCostDegenerate(t *testing.T) {
+	c := EstimateCost(0, 0)
+	if c.Cells < 1 || c.CoordBits < 1 || c.UncompressedPEs < 1 {
+		t.Errorf("degenerate cost %+v", c)
+	}
+	c = EstimateCost(100, -5)
+	if c.Cells < 1 {
+		t.Errorf("negative runs cost %+v", c)
+	}
+}
+
+func TestCostAdvantageGrowsWithSparsity(t *testing.T) {
+	dense := EstimateCost(10000, 2000)
+	sparse := EstimateCost(10000, 50)
+	if sparse.PEAdvantage() <= dense.PEAdvantage() {
+		t.Error("sparser images should need relatively fewer cells")
+	}
+}

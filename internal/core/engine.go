@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"sysrle/internal/rle"
+	"sysrle/internal/systolic"
+)
+
+// Result is the outcome of one systolic (or baseline) row difference.
+type Result struct {
+	// Row is the computed XOR. Systolic engines return it exactly as
+	// gathered from RegSmall left to right: ordered and
+	// non-overlapping (Theorem 2) but possibly with adjacent runs —
+	// apply Canonicalize for the maximally compressed form, as the
+	// paper notes ("an additional pass can be made at the end").
+	Row rle.Row
+	// Iterations is the number of systolic iterations executed
+	// (steps 1–3 by every cell), or the number of merge steps for the
+	// sequential baseline. This is the quantity Figure 5 and Table 1
+	// report.
+	Iterations int
+	// Cells is the array size used (0 for the sequential baseline).
+	Cells int
+}
+
+// Engine computes RLE row differences. Implementations: Lockstep,
+// Channel (this package) and the broadcast-bus ablation
+// (internal/broadcast).
+type Engine interface {
+	// Name identifies the engine in reports and benchmarks.
+	Name() string
+	// XORRow computes the image difference of two valid RLE rows.
+	XORRow(a, b rle.Row) (Result, error)
+}
+
+// Program returns the paper's cell program in framework form. The
+// shifted value is RegBig; a cell is quiet when its RegBig is empty
+// (the C output).
+func Program() systolic.Program[Cell, Reg] {
+	return systolic.Program[Cell, Reg]{
+		Local: func(_ int, c *Cell) { c.Local() },
+		Extract: func(c *Cell) Reg {
+			b := c.Big
+			c.Big = Reg{}
+			return b
+		},
+		Inject: func(c *Cell, m Reg) {
+			if m.Full {
+				c.Big = m
+			}
+		},
+		Quiet: func(c Cell) bool { return !c.Big.Full },
+		Empty: func(m Reg) bool { return !m.Full },
+	}
+}
+
+// BuildCells loads two rows into a fresh array: cell i holds run i of
+// the first image in RegSmall and run i of the second image in RegBig
+// (paper §3). The array has k1+k2+1 cells: by Corollary 1.2 no run
+// ever reaches beyond cell index k1+k2, so the run can never overflow.
+func BuildCells(a, b rle.Row) []Cell {
+	n := len(a) + len(b) + 1
+	cells := make([]Cell, n)
+	for i, r := range a {
+		cells[i].Small = MakeReg(r.Start, r.End())
+	}
+	for i, r := range b {
+		cells[i].Big = MakeReg(r.Start, r.End())
+	}
+	return cells
+}
+
+// Gather collects the result runs from RegSmall left to right,
+// skipping empty cells, and verifies the Theorem-2 ordering before
+// returning.
+func Gather(cells []Cell) (rle.Row, error) {
+	var row rle.Row
+	for i, c := range cells {
+		if c.Big.Full {
+			return nil, fmt.Errorf("core: cell %d still holds a RegBig run %v", i, c.Big)
+		}
+		if !c.Small.Full {
+			continue
+		}
+		r := rle.Span(c.Small.Start, c.Small.End)
+		if len(row) > 0 && row[len(row)-1].End() >= r.Start {
+			return nil, fmt.Errorf("core: result not ordered at cell %d: %v after %v", i, r, row[len(row)-1])
+		}
+		row = append(row, r)
+	}
+	return row, nil
+}
+
+func validateInputs(a, b rle.Row) error {
+	if err := a.Validate(-1); err != nil {
+		return fmt.Errorf("first operand: %w", err)
+	}
+	if err := b.Validate(-1); err != nil {
+		return fmt.Errorf("second operand: %w", err)
+	}
+	return nil
+}
+
+// Lockstep is the deterministic array-sweep engine — the reference
+// implementation and the one the benchmarks use.
+type Lockstep struct {
+	// CheckInvariants, when set, verifies the §4 invariants
+	// (Corollary 2.1 parts 1–4 after step 2, Theorem 2 and Corollary
+	// 1.2 after step 3) at every iteration and fails the run on any
+	// violation. Meant for tests; costs O(cells) per iteration.
+	CheckInvariants bool
+	// Observer, when non-nil, receives per-phase snapshots (used for
+	// Figure-3 traces).
+	Observer systolic.Observer[Cell]
+}
+
+// Name implements Engine.
+func (e Lockstep) Name() string { return "systolic-lockstep" }
+
+// XORRow implements Engine.
+func (e Lockstep) XORRow(a, b rle.Row) (Result, error) {
+	if err := validateInputs(a, b); err != nil {
+		return Result{}, err
+	}
+	cells := BuildCells(a, b)
+	k1k2 := len(a) + len(b)
+	var invErr error
+	observer := e.Observer
+	if e.CheckInvariants {
+		inner := observer
+		observer = func(iter int, phase systolic.Phase, snap []Cell) {
+			if inner != nil {
+				inner(iter, phase, snap)
+			}
+			if invErr != nil {
+				return
+			}
+			var err error
+			switch phase {
+			case systolic.PhaseLocal:
+				err = CheckOrderingAfterStep2(snap)
+			case systolic.PhaseShift:
+				err = CheckEndOfIteration(snap, k1k2)
+			}
+			if err != nil {
+				invErr = fmt.Errorf("iteration %d (%v): %w", iter, phase, err)
+			}
+		}
+	}
+	iters, err := systolic.RunLockstep(Program(), cells, systolic.Options[Cell]{Observer: observer})
+	if err != nil {
+		return Result{}, err
+	}
+	if invErr != nil {
+		return Result{}, invErr
+	}
+	row, err := Gather(cells)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Row: row, Iterations: iters, Cells: len(cells)}, nil
+}
+
+// Channel is the CSP engine: one goroutine per cell, channels for the
+// shift path. Semantically identical to Lockstep (property-tested);
+// exists to demonstrate the natural concurrent mapping and to
+// exercise the algorithm under real asynchrony.
+type Channel struct {
+	// Observer, when non-nil, receives end-of-iteration snapshots.
+	Observer systolic.Observer[Cell]
+}
+
+// Name implements Engine.
+func (e Channel) Name() string { return "systolic-channel" }
+
+// XORRow implements Engine.
+func (e Channel) XORRow(a, b rle.Row) (Result, error) {
+	if err := validateInputs(a, b); err != nil {
+		return Result{}, err
+	}
+	cells := BuildCells(a, b)
+	iters, err := systolic.RunChannels(Program(), cells, systolic.Options[Cell]{Observer: e.Observer})
+	if err != nil {
+		return Result{}, err
+	}
+	row, err := Gather(cells)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Row: row, Iterations: iters, Cells: len(cells)}, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import "fmt"
+
+// Executable forms of the paper's §4 invariants. The technical report
+// carrying the full proofs is not available; these checkers are run
+// inside property-based tests (and optionally at every iteration via
+// Lockstep.CheckInvariants) to validate the claims empirically.
+
+// CheckOrderingAfterStep2 verifies Corollary 2.1 parts 1–4 on a
+// snapshot taken after step 2 (the framework's PhaseLocal):
+//
+//  1. RegSmall runs are strictly ordered across cells;
+//  2. RegBig runs are strictly ordered across cells;
+//  3. within a cell, RegSmall ends before RegBig starts;
+//  4. any RegSmall run ends before any RegBig run in a cell to its
+//     right starts.
+func CheckOrderingAfterStep2(cells []Cell) error {
+	lastSmallEnd, haveSmall := 0, false
+	lastBigEnd, haveBig := 0, false
+	for i, c := range cells {
+		if c.Small.Full {
+			if haveSmall && lastSmallEnd >= c.Small.Start {
+				return fmt.Errorf("corollary 2.1(1): RegSmall %v at cell %d not after end %d", c.Small, i, lastSmallEnd)
+			}
+			lastSmallEnd, haveSmall = c.Small.End, true
+		}
+		if c.Big.Full {
+			if haveBig && lastBigEnd >= c.Big.Start {
+				return fmt.Errorf("corollary 2.1(2): RegBig %v at cell %d not after end %d", c.Big, i, lastBigEnd)
+			}
+			lastBigEnd, haveBig = c.Big.End, true
+			if c.Small.Full && c.Small.End >= c.Big.Start {
+				return fmt.Errorf("corollary 2.1(3): cell %d RegSmall %v reaches RegBig %v", i, c.Small, c.Big)
+			}
+			if haveSmall && lastSmallEnd >= c.Big.Start {
+				return fmt.Errorf("corollary 2.1(4): RegSmall end %d reaches RegBig %v at cell %d", lastSmallEnd, c.Big, i)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTheorem2 verifies the end-of-iteration ordering (Theorem 2):
+// both register files strictly ordered across cells.
+func CheckTheorem2(cells []Cell) error {
+	lastSmallEnd, haveSmall := 0, false
+	lastBigEnd, haveBig := 0, false
+	for i, c := range cells {
+		if c.Small.Full {
+			if haveSmall && lastSmallEnd >= c.Small.Start {
+				return fmt.Errorf("theorem 2(1): RegSmall %v at cell %d overlaps/out of order (prev end %d)", c.Small, i, lastSmallEnd)
+			}
+			lastSmallEnd, haveSmall = c.Small.End, true
+		}
+		if c.Big.Full {
+			if haveBig && lastBigEnd >= c.Big.Start {
+				return fmt.Errorf("theorem 2(2): RegBig %v at cell %d overlaps/out of order (prev end %d)", c.Big, i, lastBigEnd)
+			}
+			lastBigEnd, haveBig = c.Big.End, true
+		}
+	}
+	return nil
+}
+
+// CheckCorollary12 verifies Corollary 1.2: no non-empty cell beyond
+// location k1+k2 (0-based index k1+k2, using the paper's 1-based
+// statement means indexes 1..k1+k2 may be occupied).
+func CheckCorollary12(cells []Cell, k1k2 int) error {
+	for i := k1k2 + 1; i < len(cells); i++ {
+		c := cells[i]
+		if c.Small.Full || c.Big.Full {
+			return fmt.Errorf("corollary 1.2: cell %d beyond k1+k2=%d is non-empty (%v)", i, k1k2, c)
+		}
+	}
+	return nil
+}
+
+// CheckCorollary11 verifies Corollary 1.1 at the end of iteration i:
+// the first i cells hold no RegBig run.
+func CheckCorollary11(cells []Cell, iteration int) error {
+	for j := 0; j < iteration && j < len(cells); j++ {
+		if cells[j].Big.Full {
+			return fmt.Errorf("corollary 1.1: cell %d holds RegBig %v at end of iteration %d", j, cells[j].Big, iteration)
+		}
+	}
+	return nil
+}
+
+// CheckEndOfIteration bundles the end-of-iteration invariants used by
+// Lockstep.CheckInvariants.
+func CheckEndOfIteration(cells []Cell, k1k2 int) error {
+	if err := CheckTheorem2(cells); err != nil {
+		return err
+	}
+	return CheckCorollary12(cells, k1k2)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"sysrle/internal/rle"
+)
+
+// ArrayPool is the deployed-hardware shape of whole-image
+// differencing: a bank of fixed-capacity systolic arrays
+// (ChannelArray) fed scanline pairs. It contrasts with the
+// single-array alternative (XORImageFlat), which pushes the whole
+// image through one much longer array; the experiments package
+// tabulates the trade-off.
+type ArrayPool struct {
+	arrays []*ChannelArray
+}
+
+// NewArrayPool builds n arrays of the given cell capacity each.
+func NewArrayPool(n, cellsPerArray int) *ArrayPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &ArrayPool{arrays: make([]*ChannelArray, n)}
+	for i := range p.arrays {
+		p.arrays[i] = NewChannelArray(cellsPerArray)
+	}
+	return p
+}
+
+// Size returns the number of arrays.
+func (p *ArrayPool) Size() int { return len(p.arrays) }
+
+// PoolStats aggregates a whole-image run.
+type PoolStats struct {
+	TotalIterations  int
+	MaxRowIterations int
+	RowsDiffering    int
+}
+
+// XORImage diffs two equally sized images, scanlines distributed
+// over the bank. A row pair exceeding any array's capacity fails
+// with ErrTooWide.
+func (p *ArrayPool) XORImage(a, b *rle.Image) (*rle.Image, *PoolStats, error) {
+	if a.Width != b.Width || a.Height != b.Height {
+		return nil, nil, fmt.Errorf("core: size mismatch %dx%d vs %dx%d", a.Width, a.Height, b.Width, b.Height)
+	}
+	out := rle.NewImage(a.Width, a.Height)
+	iters := make([]int, a.Height)
+	errs := make([]error, a.Height)
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	for _, arr := range p.arrays {
+		wg.Add(1)
+		go func(arr *ChannelArray) {
+			defer wg.Done()
+			for y := range rows {
+				res, err := arr.XORRow(a.Rows[y], b.Rows[y])
+				if err != nil {
+					errs[y] = err
+					continue
+				}
+				out.Rows[y] = res.Row.Canonicalize()
+				iters[y] = res.Iterations
+			}
+		}(arr)
+	}
+	for y := 0; y < a.Height; y++ {
+		rows <- y
+	}
+	close(rows)
+	wg.Wait()
+	for y, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: row %d: %w", y, err)
+		}
+	}
+	stats := &PoolStats{}
+	for y, n := range iters {
+		stats.TotalIterations += n
+		if n > stats.MaxRowIterations {
+			stats.MaxRowIterations = n
+		}
+		if len(out.Rows[y]) > 0 {
+			stats.RowsDiffering++
+		}
+	}
+	return out, stats, nil
+}
+
+// Close shuts down every array in the bank.
+func (p *ArrayPool) Close() {
+	for _, arr := range p.arrays {
+		arr.Close()
+	}
+}
+
+// XORImageFlat diffs two equally sized images by flattening them
+// into single bitstrings and pushing the pair through one engine —
+// the one-big-array deployment. The returned Result carries the
+// flat-run output statistics; the image is the reshaped difference.
+func XORImageFlat(a, b *rle.Image, engine Engine) (*rle.Image, Result, error) {
+	if a.Width != b.Width || a.Height != b.Height {
+		return nil, Result{}, fmt.Errorf("core: size mismatch %dx%d vs %dx%d", a.Width, a.Height, b.Width, b.Height)
+	}
+	if engine == nil {
+		engine = Lockstep{}
+	}
+	res, err := engine.XORRow(rle.Flatten(a), rle.Flatten(b))
+	if err != nil {
+		return nil, Result{}, err
+	}
+	img, err := rle.Unflatten(res.Row, a.Width, a.Height)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return img, res, nil
+}

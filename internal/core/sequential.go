@@ -1,0 +1,109 @@
+package core
+
+import "sysrle/internal/rle"
+
+// Sequential is the paper's §2 baseline: "a single pass through the
+// two arrays simultaneously which merges them together ... for each
+// iteration we determine the XOR of the top run of both bitstrings,
+// take the smaller of the resulting runs, and leave the remainder in
+// the array it came from." Its step count is Θ(k1+k2) in best, worst
+// and average case — the property Table 1 contrasts with the systolic
+// engine.
+type Sequential struct{}
+
+// Name implements Engine.
+func (Sequential) Name() string { return "sequential" }
+
+// XORRow implements Engine. Iterations in the Result is the number of
+// merge steps executed.
+func (Sequential) XORRow(a, b rle.Row) (Result, error) {
+	if err := validateInputs(a, b); err != nil {
+		return Result{}, err
+	}
+	row, steps := SequentialXOR(a, b)
+	return Result{Row: row, Iterations: steps}, nil
+}
+
+// SequentialXOR merges two RLE rows into their XOR and returns the
+// number of merge steps taken. The output is ordered and
+// non-overlapping; like the systolic output it may contain adjacent
+// runs (callers canonicalize if they need maximal compression).
+func SequentialXOR(a, b rle.Row) (rle.Row, int) {
+	var out rle.Row
+	steps := 0
+	var ha, hb Reg // current head fragments of each list
+	ia, ib := 0, 0
+	loadA := func() {
+		if !ha.Full && ia < len(a) {
+			ha = MakeReg(a[ia].Start, a[ia].End())
+			ia++
+		}
+	}
+	loadB := func() {
+		if !hb.Full && ib < len(b) {
+			hb = MakeReg(b[ib].Start, b[ib].End())
+			ib++
+		}
+	}
+	emit := func(start, end int) {
+		out = append(out, rle.Span(start, end))
+	}
+	loadA()
+	loadB()
+	for ha.Full && hb.Full {
+		steps++
+		switch {
+		case ha.End < hb.Start:
+			// Heads disjoint (possibly adjacent): the earlier one is
+			// a finished XOR run.
+			emit(ha.Start, ha.End)
+			ha = Reg{}
+			loadA()
+		case hb.End < ha.Start:
+			emit(hb.Start, hb.End)
+			hb = Reg{}
+			loadB()
+		default:
+			// Overlap. XOR of the pair is the left fragment (before
+			// the later start) plus the right fragment (after the
+			// earlier end). Emit the left fragment; the right
+			// fragment is the remainder left at the head of the list
+			// it came from.
+			loStart := min(ha.Start, hb.Start)
+			hiStart := max(ha.Start, hb.Start)
+			if loStart < hiStart {
+				emit(loStart, hiStart-1)
+			}
+			loEnd := min(ha.End, hb.End)
+			hiEnd := max(ha.End, hb.End)
+			switch {
+			case loEnd == hiEnd:
+				// Equal ends: both heads consumed entirely.
+				ha, hb = Reg{}, Reg{}
+				loadA()
+				loadB()
+			case ha.End == hiEnd:
+				ha = MakeReg(loEnd+1, hiEnd)
+				hb = Reg{}
+				loadB()
+			default:
+				hb = MakeReg(loEnd+1, hiEnd)
+				ha = Reg{}
+				loadA()
+			}
+		}
+	}
+	for ha.Full {
+		steps++
+		emit(ha.Start, ha.End)
+		ha = Reg{}
+		loadA()
+	}
+	for hb.Full {
+		steps++
+		emit(hb.Start, hb.End)
+		hb = Reg{}
+		loadB()
+	}
+	return out, steps
+}

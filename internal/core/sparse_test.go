@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/rle"
+	"sysrle/internal/systolic"
+	"sysrle/internal/workload"
+)
+
+func TestSparseMatchesLockstepExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1001))
+	for trial := 0; trial < 400; trial++ {
+		width := 16 + rng.Intn(500)
+		a := randomValidRow(rng, width)
+		b := randomValidRow(rng, width)
+		want, err := Lockstep{}.XORRow(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Sparse{}.XORRow(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Row.Equal(want.Row) {
+			t.Fatalf("row mismatch on %v ^ %v:\nsparse %v\nlock   %v", a, b, got.Row, want.Row)
+		}
+		if got.Iterations != want.Iterations {
+			t.Fatalf("iteration mismatch on %v ^ %v: sparse %d, lockstep %d",
+				a, b, got.Iterations, want.Iterations)
+		}
+	}
+}
+
+func TestSparseFinalCellsMatchLockstep(t *testing.T) {
+	// Beyond the gathered result: the entire final cell state must
+	// agree, including which cell each run landed in.
+	rng := rand.New(rand.NewSource(1003))
+	for trial := 0; trial < 100; trial++ {
+		width := 16 + rng.Intn(300)
+		a := randomValidRow(rng, width)
+		b := randomValidRow(rng, width)
+		lockCells := BuildCells(a, b)
+		if _, err := systolic.RunLockstep(Program(), lockCells, systolic.Options[Cell]{}); err != nil {
+			t.Fatal(err)
+		}
+		sparseCells := BuildCells(a, b)
+		if _, err := runSparse(sparseCells); err != nil {
+			t.Fatal(err)
+		}
+		for i := range lockCells {
+			if lockCells[i] != sparseCells[i] {
+				t.Fatalf("cell %d differs: lockstep %v, sparse %v (inputs %v ^ %v)",
+					i, lockCells[i], sparseCells[i], a, b)
+			}
+		}
+	}
+}
+
+func TestSparseEdgeCases(t *testing.T) {
+	cases := []struct{ a, b rle.Row }{
+		{nil, nil},
+		{fig1Img1(), nil},
+		{nil, fig1Img2()},
+		{fig1Img1(), fig1Img1()},
+		{fig1Img1(), fig1Img2()},
+	}
+	for _, c := range cases {
+		want, err := Lockstep{}.XORRow(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Sparse{}.XORRow(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Row.Equal(want.Row) || got.Iterations != want.Iterations {
+			t.Errorf("%v ^ %v: sparse %+v, lockstep %+v", c.a, c.b, got, want)
+		}
+	}
+}
+
+func TestSparseInvalidInput(t *testing.T) {
+	bad := rle.Row{{Start: 5, Length: 2}, {Start: 4, Length: 2}}
+	if _, err := (Sparse{}).XORRow(bad, nil); err == nil {
+		t.Error("invalid input accepted")
+	}
+}
+
+func TestSparseOverflowGuard(t *testing.T) {
+	// Hand-build a state that would run off the end: a single cell
+	// whose Big must move right with no room.
+	cells := []Cell{{Small: MakeReg(0, 1), Big: MakeReg(5, 6)}}
+	_, err := runSparse(cells)
+	if !errors.Is(err, systolic.ErrOverflow) {
+		t.Errorf("err = %v, want overflow", err)
+	}
+}
+
+func BenchmarkSparseVsLockstepSimilar(b *testing.B) {
+	rng := rand.New(rand.NewSource(1007))
+	pair, err := workload.GeneratePair(rng,
+		workload.PaperRow(8192, 0.3), workload.ErrorParams{Count: 6, MinLen: 4, MaxLen: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range []Engine{Lockstep{}, Sparse{}, Sequential{}} {
+		b.Run(e.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.XORRow(pair.A, pair.B); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

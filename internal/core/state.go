@@ -1,0 +1,132 @@
+package core
+
+// The paper's Figure 4 lists the "qualitatively different cell
+// states": every way two runs (or fewer) can relate inside a cell,
+// with an 'a'/'b' pairing such that step 1 turns each b state into the
+// corresponding a state and leaves a states unchanged. The exact
+// numbering below is our reconstruction of that taxonomy (the figure
+// itself is pictorial); the properties the paper uses it for — the
+// a/b pairing under step 1 and the XOR result of each state — are
+// what TestFigure4States verifies exhaustively.
+
+// State classifies a cell per Figure 4.
+type State int
+
+const (
+	// State9: both registers empty.
+	State9 State = iota
+	// State8a: a run in RegSmall only (no work to do).
+	State8a
+	// State8b: a run in RegBig only (step 1 moves it down).
+	State8b
+	// State1a/State1b: disjoint runs separated by a gap.
+	State1a
+	State1b
+	// State2a/State2b: abutting runs (end+1 == start).
+	State2a
+	State2b
+	// State3a/State3b: partial overlap, distinct starts and ends.
+	State3a
+	State3b
+	// State4a/State4b: equal starts, different ends.
+	State4a
+	State4b
+	// State5a/State5b: equal ends, different starts.
+	State5a
+	State5b
+	// State6a/State6b: proper containment (one run strictly inside
+	// the other).
+	State6a
+	State6b
+	// State7: identical runs.
+	State7
+)
+
+var stateNames = map[State]string{
+	State9: "9", State8a: "8a", State8b: "8b",
+	State1a: "1a", State1b: "1b", State2a: "2a", State2b: "2b",
+	State3a: "3a", State3b: "3b", State4a: "4a", State4b: "4b",
+	State5a: "5a", State5b: "5b", State6a: "6a", State6b: "6b",
+	State7: "7",
+}
+
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return "State" + n
+	}
+	return "State?"
+}
+
+// Swapped reports whether the state is a 'b' variant, i.e. step 1
+// will reorder the registers.
+func (s State) Swapped() bool {
+	switch s {
+	case State8b, State1b, State2b, State3b, State4b, State5b, State6b:
+		return true
+	}
+	return false
+}
+
+// Normalized returns the state after step 1: the 'a' counterpart of a
+// 'b' state, the state itself otherwise.
+func (s State) Normalized() State {
+	switch s {
+	case State8b:
+		return State8a
+	case State1b:
+		return State1a
+	case State2b:
+		return State2a
+	case State3b:
+		return State3a
+	case State4b:
+		return State4a
+	case State5b:
+		return State5a
+	case State6b:
+		return State6a
+	}
+	return s
+}
+
+// Classify returns the Figure-4 state of a cell.
+func Classify(c Cell) State {
+	s, b := c.Small, c.Big
+	switch {
+	case !s.Full && !b.Full:
+		return State9
+	case s.Full && !b.Full:
+		return State8a
+	case !s.Full && b.Full:
+		return State8b
+	}
+	// Both full. 'a' variants are the ones step 1 leaves alone:
+	// Small ≤ Big in (start, end) order.
+	swapped := s.Start > b.Start || (s.Start == b.Start && s.End > b.End)
+	lo, hi := s, b
+	if swapped {
+		lo, hi = b, s
+	}
+	ab := func(a, bb State) State {
+		if swapped {
+			return bb
+		}
+		return a
+	}
+	switch {
+	case lo.Start == hi.Start && lo.End == hi.End:
+		return State7
+	case lo.End+1 < hi.Start:
+		return ab(State1a, State1b)
+	case lo.End+1 == hi.Start:
+		return ab(State2a, State2b)
+	case lo.Start == hi.Start:
+		return ab(State4a, State4b)
+	case lo.End == hi.End:
+		return ab(State5a, State5b)
+	case lo.End > hi.End:
+		return ab(State6a, State6b) // lo strictly contains hi
+	default:
+		return ab(State3a, State3b) // partial overlap
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import "testing"
+
+// representative builds a concrete cell for every Figure-4 state.
+func representatives() map[State]Cell {
+	return map[State]Cell{
+		State9:  {},
+		State8a: {Small: reg(4, 8)},
+		State8b: {Big: reg(4, 8)},
+		State1a: {Small: reg(0, 3), Big: reg(6, 9)},
+		State1b: {Small: reg(6, 9), Big: reg(0, 3)},
+		State2a: {Small: reg(0, 3), Big: reg(4, 9)},
+		State2b: {Small: reg(4, 9), Big: reg(0, 3)},
+		State3a: {Small: reg(0, 5), Big: reg(3, 9)},
+		State3b: {Small: reg(3, 9), Big: reg(0, 5)},
+		State4a: {Small: reg(2, 5), Big: reg(2, 9)},
+		State4b: {Small: reg(2, 9), Big: reg(2, 5)},
+		State5a: {Small: reg(2, 9), Big: reg(5, 9)},
+		State5b: {Small: reg(5, 9), Big: reg(2, 9)},
+		State6a: {Small: reg(0, 9), Big: reg(3, 5)},
+		State6b: {Small: reg(3, 5), Big: reg(0, 9)},
+		State7:  {Small: reg(4, 7), Big: reg(4, 7)},
+	}
+}
+
+func TestClassifyRepresentatives(t *testing.T) {
+	for want, cell := range representatives() {
+		if got := Classify(cell); got != want {
+			t.Errorf("Classify(%v) = %v, want %v", cell, got, want)
+		}
+	}
+}
+
+// TestFigure4States verifies the figure's two structural properties:
+// every b state becomes its a counterpart under step 1 (and a states
+// are fixed points), and the post-XOR "Result" column — here, the
+// exact registers after steps 1+2 — is what the taxonomy predicts.
+func TestFigure4States(t *testing.T) {
+	reps := representatives()
+	for state, cell := range reps {
+		c := cell
+		c.step1()
+		if got := Classify(c); got != state.Normalized() {
+			t.Errorf("%v: after step1 classified %v, want %v", state, got, state.Normalized())
+		}
+		if state.Swapped() == (c == cell) && state != State7 {
+			// A b-state must change under step1; an a-state must not.
+			// (State7 is symmetric: swap would be invisible.)
+			t.Errorf("%v: swapped=%v but step1 changed=%v", state, state.Swapped(), c != cell)
+		}
+	}
+
+	// Expected XOR results per normalized state.
+	type expectation struct {
+		state State
+		want  Cell
+	}
+	for _, e := range []expectation{
+		{State9, Cell{}},
+		{State8a, Cell{Small: reg(4, 8)}},
+		{State8b, Cell{Small: reg(4, 8)}},                 // moved down, kept
+		{State1a, Cell{Small: reg(0, 3), Big: reg(6, 9)}}, // disjoint: unchanged
+		{State1b, Cell{Small: reg(0, 3), Big: reg(6, 9)}}, // normalized then unchanged
+		{State2a, Cell{Small: reg(0, 3), Big: reg(4, 9)}}, // adjacent: unchanged
+		{State2b, Cell{Small: reg(0, 3), Big: reg(4, 9)}},
+		{State3a, Cell{Small: reg(0, 2), Big: reg(6, 9)}}, // partial overlap splits
+		{State3b, Cell{Small: reg(0, 2), Big: reg(6, 9)}},
+		{State4a, Cell{Big: reg(6, 9)}}, // same start: tail survives
+		{State4b, Cell{Big: reg(6, 9)}},
+		{State5a, Cell{Small: reg(2, 4)}}, // same end: head survives
+		{State5b, Cell{Small: reg(2, 4)}},
+		{State6a, Cell{Small: reg(0, 2), Big: reg(6, 9)}}, // containment splits around
+		{State6b, Cell{Small: reg(0, 2), Big: reg(6, 9)}},
+		{State7, Cell{}}, // identical annihilate
+	} {
+		c := reps[e.state]
+		c.Local()
+		if c != e.want {
+			t.Errorf("%v: Local(%v) = %v, want %v", e.state, reps[e.state], c, e.want)
+		}
+	}
+}
+
+// TestClassifyExhaustive classifies every pair of small intervals and
+// cross-checks the state against first principles.
+func TestClassifyExhaustive(t *testing.T) {
+	const lim = 6
+	seen := map[State]int{}
+	for s1 := 0; s1 < lim; s1++ {
+		for e1 := s1; e1 < lim; e1++ {
+			for s2 := 0; s2 < lim; s2++ {
+				for e2 := s2; e2 < lim; e2++ {
+					c := Cell{Small: reg(s1, e1), Big: reg(s2, e2)}
+					got := Classify(c)
+					seen[got]++
+					// Cross-check the a/b flag.
+					wantSwapped := s1 > s2 || (s1 == s2 && e1 > e2)
+					if got != State7 && got.Swapped() != wantSwapped {
+						t.Fatalf("Classify(%v) = %v, swapped flag wrong", c, got)
+					}
+					// Cross-check the relation on the ordered pair.
+					lo := [2]int{s1, e1}
+					hi := [2]int{s2, e2}
+					if wantSwapped {
+						lo, hi = hi, lo
+					}
+					var want State
+					switch {
+					case lo == hi:
+						want = State7
+					case lo[1]+1 < hi[0]:
+						want = State1a
+					case lo[1]+1 == hi[0]:
+						want = State2a
+					case lo[0] == hi[0]:
+						want = State4a
+					case lo[1] == hi[1]:
+						want = State5a
+					case lo[1] > hi[1]:
+						want = State6a
+					default:
+						want = State3a
+					}
+					if got.Normalized() != want {
+						t.Fatalf("Classify(%v) = %v, want family %v", c, got, want)
+					}
+				}
+			}
+		}
+	}
+	// All nine families must occur.
+	for _, s := range []State{State1a, State2a, State3a, State4a, State5a, State6a, State7} {
+		if seen[s] == 0 && seen[State(int(s)+1)] == 0 {
+			t.Errorf("state family %v never produced", s)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if State3b.String() != "State3b" || State7.String() != "State7" {
+		t.Error("state names wrong")
+	}
+	if State(99).String() != "State?" {
+		t.Error("unknown state name wrong")
+	}
+}

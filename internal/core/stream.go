@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sysrle/internal/rle"
+	"sysrle/internal/systolic"
+)
+
+// Stream is a lockstep engine that reuses its cell array and scratch
+// buffers across calls — the shape a production inspection pipeline
+// wants when pushing every scanline of a large board through one
+// engine ("acquisition and processing of gigabytes of binary image
+// data in a matter of seconds", §1). Not safe for concurrent use;
+// give each worker goroutine its own Stream.
+//
+// Results reference freshly allocated rows, so they remain valid
+// after subsequent calls.
+type Stream struct {
+	cells []Cell
+	buf   systolic.LockstepBuffers[Reg]
+}
+
+// NewStream returns a reusable lockstep engine.
+func NewStream() *Stream { return &Stream{} }
+
+// Name implements Engine.
+func (s *Stream) Name() string { return "systolic-lockstep-stream" }
+
+// XORRow implements Engine with buffer reuse.
+func (s *Stream) XORRow(a, b rle.Row) (Result, error) {
+	if err := validateInputs(a, b); err != nil {
+		return Result{}, err
+	}
+	n := len(a) + len(b) + 1
+	if cap(s.cells) < n {
+		s.cells = make([]Cell, n)
+	}
+	cells := s.cells[:n]
+	for i := range cells {
+		cells[i] = Cell{}
+	}
+	for i, r := range a {
+		cells[i].Small = MakeReg(r.Start, r.End())
+	}
+	for i, r := range b {
+		cells[i].Big = MakeReg(r.Start, r.End())
+	}
+	iters, err := systolic.RunLockstepBuffered(Program(), cells, systolic.Options[Cell]{}, &s.buf)
+	if err != nil {
+		return Result{}, err
+	}
+	row, err := Gather(cells)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Row: row, Iterations: iters, Cells: n}, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/rle"
+)
+
+func TestStreamMatchesLockstep(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	s := NewStream()
+	for trial := 0; trial < 300; trial++ {
+		width := 16 + rng.Intn(400)
+		a := randomValidRow(rng, width)
+		b := randomValidRow(rng, width)
+		want, err := Lockstep{}.XORRow(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.XORRow(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Row.Equal(want.Row) || got.Iterations != want.Iterations {
+			t.Fatalf("stream diverges on %v ^ %v: %+v vs %+v", a, b, got, want)
+		}
+	}
+}
+
+func TestStreamResultsSurviveReuse(t *testing.T) {
+	s := NewStream()
+	first, err := s.XORRow(fig1Img1(), fig1Img2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := first.Row.Clone()
+	// A second, different call must not corrupt the first result.
+	if _, err := s.XORRow(fig1Img2(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !first.Row.Equal(snapshot) {
+		t.Error("reusing the stream mutated an earlier result")
+	}
+}
+
+func TestStreamGrowsAndShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(813))
+	s := NewStream()
+	// Big input first, then small: stale cells must be cleared.
+	big := randomValidRow(rng, 2000)
+	if _, err := s.XORRow(big, big); err != nil {
+		t.Fatal(err)
+	}
+	small := rle.Row{{Start: 2, Length: 3}}
+	res, err := s.XORRow(small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Row.Equal(small) {
+		t.Fatalf("after shrink: %v", res.Row)
+	}
+	if res.Cells != 2 {
+		t.Errorf("cells = %d, want 2", res.Cells)
+	}
+}
+
+func TestStreamRejectsInvalid(t *testing.T) {
+	s := NewStream()
+	bad := rle.Row{{Start: 5, Length: 2}, {Start: 4, Length: 2}}
+	if _, err := s.XORRow(bad, nil); err == nil {
+		t.Error("invalid input accepted")
+	}
+}
+
+func BenchmarkStreamVsLockstepAllocs(b *testing.B) {
+	rng := rand.New(rand.NewSource(817))
+	a := randomValidRow(rng, 4096)
+	c := randomValidRow(rng, 4096)
+	b.Run("lockstep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := (Lockstep{}).XORRow(a, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		s := NewStream()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.XORRow(a, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sysrle/internal/systolic"
+)
+
+// FormatTrace renders recorded snapshots as a Figure-3-style table:
+// one column per cell, two lines per snapshot (RegSmall over RegBig),
+// labelled iteration.phase. Intended for small inputs — examples,
+// golden tests and cmd/benchtab -fig3.
+func FormatTrace(initial []Cell, snapshots []systolic.Snapshot[Cell]) string {
+	n := len(initial)
+	for _, s := range snapshots {
+		if len(s.Cells) > n {
+			n = len(s.Cells)
+		}
+	}
+	colWidth := 9
+	var sb strings.Builder
+	writeHeader(&sb, n, colWidth)
+	writeState(&sb, "initial", initial, n, colWidth)
+	for _, s := range snapshots {
+		label := fmt.Sprintf("%d.%v", s.Iteration, s.Phase)
+		writeState(&sb, label, s.Cells, n, colWidth)
+	}
+	return sb.String()
+}
+
+func writeHeader(sb *strings.Builder, n, colWidth int) {
+	fmt.Fprintf(sb, "%-10s", "step")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(sb, "%-*s", colWidth, fmt.Sprintf("cell%d", i))
+	}
+	sb.WriteByte('\n')
+}
+
+func writeState(sb *strings.Builder, label string, cells []Cell, n, colWidth int) {
+	fmt.Fprintf(sb, "%-10s", label)
+	for i := 0; i < n; i++ {
+		sb.WriteString(pad(regLabel(cells, i, false), colWidth))
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(sb, "%-10s", "")
+	for i := 0; i < n; i++ {
+		sb.WriteString(pad(regLabel(cells, i, true), colWidth))
+	}
+	sb.WriteByte('\n')
+}
+
+func regLabel(cells []Cell, i int, big bool) string {
+	if i >= len(cells) {
+		return ""
+	}
+	r := cells[i].Small
+	if big {
+		r = cells[i].Big
+	}
+	if !r.Full {
+		return ""
+	}
+	return r.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s + " "
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"sysrle/internal/rle"
+)
+
+// interleaved builds the adversarial inputs for the systolic machine:
+// a holds every even single pixel, b every odd one. Nothing cancels,
+// the output has 2k runs, and every run must find its own cell.
+func interleaved(k int) (rle.Row, rle.Row) {
+	a := make(rle.Row, k)
+	b := make(rle.Row, k)
+	for i := 0; i < k; i++ {
+		a[i] = rle.Run{Start: 4 * i, Length: 1}
+		b[i] = rle.Run{Start: 4*i + 2, Length: 1}
+	}
+	return a, b
+}
+
+func TestWorstCaseInterleavedCorrect(t *testing.T) {
+	for _, k := range []int{1, 4, 32, 200} {
+		a, b := interleaved(k)
+		want := rle.XOR(a, b)
+		for _, e := range []Engine{Lockstep{CheckInvariants: true}, Sequential{}} {
+			res, err := e.XORRow(a, b)
+			if err != nil {
+				t.Fatalf("k=%d %s: %v", k, e.Name(), err)
+			}
+			if !res.Row.EqualBits(want) {
+				t.Fatalf("k=%d %s: wrong result", k, e.Name())
+			}
+			if res.Iterations > 2*k {
+				t.Errorf("k=%d %s: iterations %d exceed Theorem-1 bound %d", k, e.Name(), res.Iterations, 2*k)
+			}
+		}
+	}
+}
+
+func TestWorstCaseScalesLinearly(t *testing.T) {
+	// With nothing cancelling, systolic cost must grow ~linearly in
+	// k — this is the regime where the paper's machine has no
+	// advantage, and the implementation must not accidentally be
+	// better (which would indicate mis-accounted iterations).
+	iters := func(k int) int {
+		a, b := interleaved(k)
+		res, err := Lockstep{}.XORRow(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Iterations
+	}
+	small, large := iters(50), iters(400)
+	ratio := float64(large) / float64(small)
+	if ratio < 4 || ratio > 12 {
+		t.Errorf("8x more runs changed iterations by %.1fx (%d → %d), want ≈8x", ratio, small, large)
+	}
+}
+
+func TestWorstCaseFullyOverlappingAnnihilation(t *testing.T) {
+	// The opposite extreme: identical dense rows annihilate in one
+	// iteration regardless of k — maximum similarity, minimum cost.
+	for _, k := range []int{10, 500} {
+		a, _ := interleaved(k)
+		res, err := Lockstep{}.XORRow(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations != 1 || len(res.Row) != 0 {
+			t.Errorf("k=%d: iterations=%d row=%v", k, res.Iterations, res.Row)
+		}
+	}
+}
+
+func TestAdjacentRunFlood(t *testing.T) {
+	// Valid-but-non-canonical input: one operand is a solid block
+	// encoded as many adjacent runs. Exercises the adjacency paths
+	// of step 2 at scale.
+	var a rle.Row
+	for i := 0; i < 100; i++ {
+		a = append(a, rle.Run{Start: 3 * i, Length: 3}) // adjacent: solid 0..299
+	}
+	b := rle.Row{{Start: 0, Length: 300}}
+	for _, e := range []Engine{Lockstep{CheckInvariants: true}, Channel{}, Sequential{}} {
+		res, err := e.XORRow(a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if len(res.Row) != 0 {
+			t.Errorf("%s: solid-block self-cancel left %v", e.Name(), res.Row)
+		}
+	}
+}
+
+func TestSingleRunAgainstManyFragments(t *testing.T) {
+	// One long run XOR many holes: the long run is progressively
+	// carved by every fragment — a torture test for the in-cell
+	// split logic.
+	long := rle.Row{{Start: 0, Length: 1000}}
+	var holes rle.Row
+	for i := 0; i < 100; i++ {
+		holes = append(holes, rle.Run{Start: 10 * i, Length: 3})
+	}
+	want := rle.XOR(long, holes)
+	for _, e := range []Engine{Lockstep{CheckInvariants: true}, Sequential{}} {
+		res, err := e.XORRow(long, holes)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if !res.Row.EqualBits(want) {
+			t.Fatalf("%s: wrong result", e.Name())
+		}
+	}
+}

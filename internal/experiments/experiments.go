@@ -1,0 +1,380 @@
+// Package experiments regenerates the paper's evaluation artifacts
+// (§5): Figure 5, Table 1, the Figure 3 trace, and the §6
+// broadcast-bus ablation. cmd/benchtab renders them; the root
+// bench_test.go wraps them in testing.B benchmarks; EXPERIMENTS.md
+// records the measured outputs against the paper's claims.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sysrle/internal/broadcast"
+	"sysrle/internal/core"
+	"sysrle/internal/metrics"
+	"sysrle/internal/rle"
+	"sysrle/internal/systolic"
+	"sysrle/internal/workload"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Trials is the number of random inputs averaged per data point.
+	Trials int
+	// Seed makes the sweep reproducible.
+	Seed int64
+}
+
+// DefaultConfig matches the CLI defaults: enough trials for stable
+// means at interactive runtimes.
+func DefaultConfig() Config { return Config{Trials: 25, Seed: 1999} }
+
+func (c Config) trials() int {
+	if c.Trials <= 0 {
+		return 1
+	}
+	return c.Trials
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Figure5Point is one x position of the Figure 5 sweep.
+type Figure5Point struct {
+	// ErrorPercent is the percentage of pixels differing between the
+	// two images (the x axis).
+	ErrorPercent float64
+	// Iterations is the mean systolic iteration count.
+	Iterations metrics.Welford
+	// RunCountDiff is the mean |k1−k2|.
+	RunCountDiff metrics.Welford
+	// XORRuns is the mean run count of the systolic output (the
+	// conjectured bound).
+	XORRuns metrics.Welford
+}
+
+// Figure5Params pins the paper's Figure 5 workload: 10,000-pixel
+// rows, ≈250 runs (density 30%), error runs of length 2–6.
+type Figure5Params struct {
+	Width        int
+	Density      float64
+	ErrorPercent []float64
+}
+
+// PaperFigure5 returns the paper's sweep: error percentages 0–70.
+func PaperFigure5() Figure5Params {
+	ps := make([]float64, 0, 15)
+	for p := 0.0; p <= 70; p += 5 {
+		ps = append(ps, p)
+	}
+	return Figure5Params{Width: 10000, Density: 0.30, ErrorPercent: ps}
+}
+
+// Figure5 runs the sweep and returns one point per error percentage.
+func Figure5(cfg Config, params Figure5Params) ([]Figure5Point, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	engine := core.Lockstep{}
+	points := make([]Figure5Point, len(params.ErrorPercent))
+	for i, pct := range params.ErrorPercent {
+		points[i].ErrorPercent = pct
+		ep := workload.CountForPixelFraction(params.Width, pct/100, 2, 6)
+		for trial := 0; trial < cfg.trials(); trial++ {
+			pair, err := workload.GeneratePair(rng, workload.PaperRow(params.Width, params.Density), ep)
+			if err != nil {
+				return nil, err
+			}
+			res, err := engine.XORRow(pair.A, pair.B)
+			if err != nil {
+				return nil, err
+			}
+			points[i].Iterations.Add(float64(res.Iterations))
+			points[i].RunCountDiff.Add(float64(rle.RunCountDiff(pair.A, pair.B)))
+			points[i].XORRuns.Add(float64(len(res.Row)))
+		}
+	}
+	return points, nil
+}
+
+// Figure5Table renders the sweep in the paper's three series.
+func Figure5Table(points []Figure5Point) *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 5: systolic iterations vs. percent of differing pixels (10,000-pixel rows, density 30%)",
+		"err%", "iterations", "|k1-k2|", "runs-in-XOR")
+	for _, p := range points {
+		t.Addf(fmt.Sprintf("%.1f", p.ErrorPercent),
+			p.Iterations.Mean(), p.RunCountDiff.Mean(), p.XORRuns.Mean())
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Sizes are the paper's image sizes.
+var Table1Sizes = []int{128, 256, 512, 1024, 2048}
+
+// Table1Row is one (algorithm, error-model) row of Table 1: mean
+// iterations per image size.
+type Table1Row struct {
+	Algorithm string
+	Errors    string
+	Mean      []metrics.Welford // parallel to the sizes slice
+}
+
+// Table1Params configures the Table 1 reproduction.
+type Table1Params struct {
+	Sizes []int
+	// PercentErrors is case A: errors as a fraction of the image
+	// (paper: ≈3.5%).
+	PercentErrors float64
+	// FixedErrorRuns and FixedErrorLen are case B: a constant number
+	// of fixed-size error runs (paper: 6 runs of 4 pixels).
+	FixedErrorRuns int
+	FixedErrorLen  int
+	Density        float64
+}
+
+// PaperTable1 returns the paper's setting.
+func PaperTable1() Table1Params {
+	return Table1Params{
+		Sizes:          Table1Sizes,
+		PercentErrors:  0.035,
+		FixedErrorRuns: 6,
+		FixedErrorLen:  4,
+		Density:        0.30,
+	}
+}
+
+// Table1 runs both error models over both algorithms across the
+// sizes.
+func Table1(cfg Config, params Table1Params) ([]Table1Row, error) {
+	engines := []core.Engine{core.Lockstep{}, core.Sequential{}}
+	models := []struct {
+		name string
+		ep   func(width int) workload.ErrorParams
+	}{
+		{fmt.Sprintf("%.1f%%", params.PercentErrors*100), func(width int) workload.ErrorParams {
+			return workload.CountForPixelFraction(width, params.PercentErrors, 2, 6)
+		}},
+		{fmt.Sprintf("%d runs", params.FixedErrorRuns), func(width int) workload.ErrorParams {
+			return workload.ErrorParams{
+				Count:  params.FixedErrorRuns,
+				MinLen: params.FixedErrorLen,
+				MaxLen: params.FixedErrorLen,
+			}
+		}},
+	}
+	var rows []Table1Row
+	for _, model := range models {
+		for _, engine := range engines {
+			row := Table1Row{
+				Algorithm: engine.Name(),
+				Errors:    model.name,
+				Mean:      make([]metrics.Welford, len(params.Sizes)),
+			}
+			for si, size := range params.Sizes {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(size)))
+				for trial := 0; trial < cfg.trials(); trial++ {
+					pair, err := workload.GeneratePair(rng,
+						workload.PaperRow(size, params.Density), model.ep(size))
+					if err != nil {
+						return nil, err
+					}
+					res, err := engine.XORRow(pair.A, pair.B)
+					if err != nil {
+						return nil, err
+					}
+					row.Mean[si].Add(float64(res.Iterations))
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Table1Table renders the reproduction in the paper's layout.
+func Table1Table(params Table1Params, rows []Table1Row) *metrics.Table {
+	headers := []string{"algorithm", "errors"}
+	for _, s := range params.Sizes {
+		headers = append(headers, fmt.Sprintf("%d", s))
+	}
+	t := metrics.NewTable(
+		"Table 1: mean iterations vs. image size (systolic vs. sequential)",
+		headers...)
+	for _, r := range rows {
+		cells := []any{r.Algorithm, r.Errors}
+		for i := range r.Mean {
+			cells = append(cells, r.Mean[i].Mean())
+		}
+		t.Addf(cells...)
+	}
+	return t
+}
+
+// ------------------------------------------------------------ density sweep
+
+// DensityPoint is one density position of the §5 robustness check:
+// the paper notes the iteration/|k1−k2| correlation "was true
+// irrespective of the sizes of the images and varied only slightly
+// over different densities".
+type DensityPoint struct {
+	Density      float64
+	Iterations   metrics.Welford
+	RunCountDiff metrics.Welford
+	Ratio        metrics.Welford // iterations / max(|k1−k2|, 1), per trial
+}
+
+// DensitySweep fixes the error rate (default Figure-5 midrange, 10%)
+// and sweeps the base-image density.
+func DensitySweep(cfg Config, width int, errFrac float64, densities []float64) ([]DensityPoint, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	engine := core.Lockstep{}
+	points := make([]DensityPoint, len(densities))
+	for i, d := range densities {
+		points[i].Density = d
+		ep := workload.CountForPixelFraction(width, errFrac, 2, 6)
+		for trial := 0; trial < cfg.trials(); trial++ {
+			pair, err := workload.GeneratePair(rng, workload.PaperRow(width, d), ep)
+			if err != nil {
+				return nil, err
+			}
+			res, err := engine.XORRow(pair.A, pair.B)
+			if err != nil {
+				return nil, err
+			}
+			diff := rle.RunCountDiff(pair.A, pair.B)
+			points[i].Iterations.Add(float64(res.Iterations))
+			points[i].RunCountDiff.Add(float64(diff))
+			denom := diff
+			if denom < 1 {
+				denom = 1
+			}
+			points[i].Ratio.Add(float64(res.Iterations) / float64(denom))
+		}
+	}
+	return points, nil
+}
+
+// DensityTable renders the density sweep.
+func DensityTable(points []DensityPoint) *metrics.Table {
+	t := metrics.NewTable(
+		"Density sweep (§5 robustness): iterations vs. base-image density at fixed 10% errors",
+		"density", "iterations", "|k1-k2|", "iter/|k1-k2|")
+	for _, p := range points {
+		t.Addf(fmt.Sprintf("%.2f", p.Density),
+			p.Iterations.Mean(), p.RunCountDiff.Mean(), p.Ratio.Mean())
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// Figure3Trace reruns the paper's worked example (the Figure 1 inputs)
+// with full per-step snapshots and renders the Figure-3-style table,
+// followed by the gathered result.
+func Figure3Trace() (string, error) {
+	a := rle.Row{{Start: 10, Length: 3}, {Start: 16, Length: 2}, {Start: 23, Length: 2}, {Start: 27, Length: 3}}
+	b := rle.Row{{Start: 3, Length: 4}, {Start: 8, Length: 5}, {Start: 15, Length: 5}, {Start: 23, Length: 2}, {Start: 27, Length: 4}}
+	var rec systolic.Recorder[core.Cell]
+	res, err := core.Lockstep{CheckInvariants: true, Observer: rec.Observe}.XORRow(a, b)
+	if err != nil {
+		return "", err
+	}
+	text := core.FormatTrace(core.BuildCells(a, b), rec.Snapshots)
+	text += fmt.Sprintf("\nterminated after %d iterations; result %v\n", res.Iterations, res.Row)
+	text += fmt.Sprintf("canonical result %v (= Figure 1's difference)\n", res.Row.Canonicalize())
+	return text, nil
+}
+
+// ---------------------------------------------------------------- Resources
+
+// ResourceTable quantifies the conclusion's processor-count argument:
+// for rows of each width at the paper's 30% density / 4–20 run
+// lengths (k ≈ width/40 runs), the systolic array needs 2k cells
+// against one PE per pixel for the constant-time uncompressed
+// approach.
+func ResourceTable(widths []int, density float64, meanRunLen float64) *metrics.Table {
+	t := metrics.NewTable(
+		"Resources (conclusion §6): systolic cells vs. one-PE-per-pixel uncompressed array",
+		"width", "runs/k", "cells(2k)", "pixel-PEs", "PE-advantage", "reg-bits")
+	for _, w := range widths {
+		k := int(float64(w)*density/meanRunLen + 0.5)
+		c := core.EstimateCost(w, k)
+		t.Addf(w, k, c.Cells, c.UncompressedPEs,
+			fmt.Sprintf("%.0fx", c.PEAdvantage()), c.RegisterBits)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Ablation
+
+// AblationPoint compares cycle counts of the plain systolic machine
+// against §6 bus variants at one error percentage.
+type AblationPoint struct {
+	ErrorPercent float64
+	Plain        metrics.Welford
+	BusUnlimited metrics.Welford
+	BusSingle    metrics.Welford
+	CompactTx    metrics.Welford // bus transactions for final compaction
+}
+
+// Ablation sweeps error percentages on 10,000-pixel rows, running the
+// plain lockstep engine, the idealized bus, and a 1-transaction/cycle
+// bus on identical inputs.
+func Ablation(cfg Config, params Figure5Params) ([]AblationPoint, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	plain := core.Lockstep{}
+	busInf := broadcast.Bus{}
+	bus1 := broadcast.Bus{Bandwidth: 1}
+	points := make([]AblationPoint, len(params.ErrorPercent))
+	for i, pct := range params.ErrorPercent {
+		points[i].ErrorPercent = pct
+		ep := workload.CountForPixelFraction(params.Width, pct/100, 2, 6)
+		for trial := 0; trial < cfg.trials(); trial++ {
+			pair, err := workload.GeneratePair(rng, workload.PaperRow(params.Width, params.Density), ep)
+			if err != nil {
+				return nil, err
+			}
+			rp, err := plain.XORRow(pair.A, pair.B)
+			if err != nil {
+				return nil, err
+			}
+			ri, err := busInf.XORRow(pair.A, pair.B)
+			if err != nil {
+				return nil, err
+			}
+			r1, err := bus1.XORRow(pair.A, pair.B)
+			if err != nil {
+				return nil, err
+			}
+			points[i].Plain.Add(float64(rp.Iterations))
+			points[i].BusUnlimited.Add(float64(ri.Iterations))
+			points[i].BusSingle.Add(float64(r1.Iterations))
+			cells := core.BuildCells(pair.A, pair.B)
+			_, tx := runAndCompact(cells)
+			points[i].CompactTx.Add(float64(tx))
+		}
+	}
+	return points, nil
+}
+
+// runAndCompact executes the plain machine on a prepared cell array
+// and then the §6 bus compaction, returning the compacted row and the
+// compaction transaction count.
+func runAndCompact(cells []core.Cell) (rle.Row, int) {
+	if _, err := systolic.RunLockstep(core.Program(), cells, systolic.Options[core.Cell]{}); err != nil {
+		panic(err) // inputs come from BuildCells on validated rows
+	}
+	return broadcast.Compact(cells)
+}
+
+// AblationTable renders the ablation sweep.
+func AblationTable(points []AblationPoint) *metrics.Table {
+	t := metrics.NewTable(
+		"Ablation (paper §6 future work): cycles with a broadcast bus vs. plain systolic shifts",
+		"err%", "plain", "bus(inf)", "bus(1/cycle)", "compact-tx")
+	for _, p := range points {
+		t.Addf(fmt.Sprintf("%.1f", p.ErrorPercent),
+			p.Plain.Mean(), p.BusUnlimited.Mean(), p.BusSingle.Mean(), p.CompactTx.Mean())
+	}
+	return t
+}

@@ -1,0 +1,369 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Trials: 4, Seed: 42} }
+
+func smallFig5() Figure5Params {
+	return Figure5Params{Width: 2000, Density: 0.30, ErrorPercent: []float64{0, 2, 5, 15, 40, 65}}
+}
+
+func TestFigure5ShapeMatchesPaper(t *testing.T) {
+	points, err := Figure5(Config{Trials: 8, Seed: 7}, smallFig5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Zero errors: identical rows, about one iteration, zero XOR
+	// runs.
+	if points[0].Iterations.Mean() > 1.5 || points[0].XORRuns.Mean() != 0 {
+		t.Errorf("zero-error point: %+v", points[0])
+	}
+	// Iterations grow with error percentage overall.
+	first, last := points[1].Iterations.Mean(), points[len(points)-1].Iterations.Mean()
+	if last <= first {
+		t.Errorf("iterations do not grow with error%%: %v .. %v", first, last)
+	}
+	for _, p := range points {
+		// The unproven Observation: iterations ≤ runs-in-XOR + 1 on
+		// average (point means preserve the per-trial bound).
+		if p.Iterations.Mean() > p.XORRuns.Mean()+1.0001 {
+			t.Errorf("at %v%%: mean iterations %.2f exceed mean k3+1 %.2f",
+				p.ErrorPercent, p.Iterations.Mean(), p.XORRuns.Mean()+1)
+		}
+	}
+	// The paper's correlation claim: for medium error (≤ ~30%) the
+	// iteration count tracks |k1−k2| closely. Allow slack, but they
+	// must be the same order of magnitude.
+	for _, p := range points[1:4] {
+		ratio := p.Iterations.Mean() / (p.RunCountDiff.Mean() + 1)
+		if ratio > 4 {
+			t.Errorf("at %v%%: iterations %.1f not tracking |k1-k2| %.1f",
+				p.ErrorPercent, p.Iterations.Mean(), p.RunCountDiff.Mean())
+		}
+	}
+	table := Figure5Table(points)
+	if !strings.Contains(table.Format(), "runs-in-XOR") {
+		t.Error("table missing series header")
+	}
+}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	params := PaperTable1()
+	params.Sizes = []int{128, 512, 2048}
+	rows, err := Table1(Config{Trials: 12, Seed: 11}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	find := func(alg, errs string) Table1Row {
+		for _, r := range rows {
+			if strings.Contains(r.Algorithm, alg) && r.Errors == errs {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", alg, errs)
+		return Table1Row{}
+	}
+	sysPct := find("lockstep", "3.5%")
+	seqPct := find("sequential", "3.5%")
+	sysFix := find("lockstep", "6 runs")
+	seqFix := find("sequential", "6 runs")
+
+	last := len(params.Sizes) - 1
+	// Case A: both grow with size; systolic well below sequential.
+	if sysPct.Mean[last].Mean() <= sysPct.Mean[0].Mean() {
+		t.Error("systolic 3.5% does not grow with size")
+	}
+	if seqPct.Mean[last].Mean() <= seqPct.Mean[0].Mean() {
+		t.Error("sequential 3.5% does not grow with size")
+	}
+	if sysPct.Mean[last].Mean() >= seqPct.Mean[last].Mean() {
+		t.Error("systolic not faster than sequential at 3.5% errors")
+	}
+	// Case B (the headline): systolic stays roughly constant ("just
+	// over 5 iterations regardless of how large the image gets"),
+	// sequential keeps growing linearly.
+	if growth := sysFix.Mean[last].Mean() / (sysFix.Mean[0].Mean() + 0.01); growth > 2 {
+		t.Errorf("fixed-error systolic grew %.1fx across sizes", growth)
+	}
+	if sysFix.Mean[last].Mean() > 12 {
+		t.Errorf("fixed-error systolic mean %.1f, paper reports ≈5", sysFix.Mean[last].Mean())
+	}
+	if seqFix.Mean[last].Mean() < 4*seqFix.Mean[0].Mean() {
+		t.Errorf("fixed-error sequential not ≈linear: %.1f vs %.1f at 16x size",
+			seqFix.Mean[last].Mean(), seqFix.Mean[0].Mean())
+	}
+	table := Table1Table(params, rows)
+	out := table.Format()
+	if !strings.Contains(out, "sequential") || !strings.Contains(out, "2048") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}
+
+func TestFigure3Trace(t *testing.T) {
+	text, err := Figure3Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"initial", "cell0", "terminated after 3 iterations", "(3,4)", "(30,1)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAblationBusWins(t *testing.T) {
+	points, err := Ablation(quickCfg(), smallFig5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain, busInf float64
+	for _, p := range points {
+		plain += p.Plain.Mean()
+		busInf += p.BusUnlimited.Mean()
+		if p.BusUnlimited.Mean() > p.BusSingle.Mean()+0.0001 {
+			t.Errorf("at %v%%: unlimited bus slower than single-slot bus", p.ErrorPercent)
+		}
+	}
+	if busInf >= plain {
+		t.Errorf("idealized bus (%.0f total cycles) not faster than plain (%.0f)", busInf, plain)
+	}
+	out := AblationTable(points).Format()
+	if !strings.Contains(out, "bus(inf)") {
+		t.Error("ablation table malformed")
+	}
+}
+
+func TestDensitySweepStable(t *testing.T) {
+	// The paper: the iterations/|k1−k2| correlation "varied only
+	// slightly over different densities". The normalized ratio must
+	// stay near 1 across the density range.
+	points, err := DensitySweep(Config{Trials: 6, Seed: 3}, 3000, 0.10,
+		[]float64{0.15, 0.3, 0.5, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		r := p.Ratio.Mean()
+		if r < 0.7 || r > 2.5 {
+			t.Errorf("density %v: iterations/|k1-k2| = %.2f, want ≈1", p.Density, r)
+		}
+	}
+	if !strings.Contains(DensityTable(points).Format(), "density") {
+		t.Error("density table malformed")
+	}
+}
+
+func TestSmallerImagesHigherVariation(t *testing.T) {
+	// §5: "The pattern is similar for smaller images, but the
+	// variation is higher." Coefficient of variation of the systolic
+	// iteration count must shrink as the image grows (fixed 6-run
+	// errors).
+	params := PaperTable1()
+	params.Sizes = []int{128, 2048}
+	rows, err := Table1(Config{Trials: 120, Seed: 29}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Errors != "6 runs" || !strings.Contains(r.Algorithm, "lockstep") {
+			continue
+		}
+		cvSmall := r.Mean[0].Std() / r.Mean[0].Mean()
+		cvLarge := r.Mean[1].Std() / r.Mean[1].Mean()
+		if cvSmall <= cvLarge {
+			t.Errorf("variation did not shrink with size: cv(128)=%.3f cv(2048)=%.3f", cvSmall, cvLarge)
+		}
+		return
+	}
+	t.Fatal("systolic fixed-error row missing")
+}
+
+func TestUtilizationRegimes(t *testing.T) {
+	// §5: lots of empty cells at low error (little movement), dense
+	// movement at high error. MovingFrac must grow monotonically-ish
+	// with error percentage.
+	points, err := Utilization(quickCfg(), smallFig5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "As the number of differences increases ... the number of
+	// empty cells decreases": final occupancy must grow with the
+	// error percentage.
+	low := points[1].OccupiedFrac.Mean()              // 2%
+	high := points[len(points)-1].OccupiedFrac.Mean() // 65%
+	if high <= low {
+		t.Errorf("occupancy did not grow with error%%: %.3f → %.3f", low, high)
+	}
+	// Identical rows annihilate: nothing occupied, nothing moving.
+	if points[0].OccupiedFrac.Mean() != 0 || points[0].MovingFrac.Mean() > 0.01 {
+		t.Errorf("zero-error point not empty: %+v", points[0])
+	}
+	// Movement happens whenever there are errors.
+	if points[1].MovingFrac.Mean() <= 0 {
+		t.Error("no data movement despite differences")
+	}
+	if !strings.Contains(UtilizationTable(points).Format(), "moving-frac") {
+		t.Error("utilization table malformed")
+	}
+}
+
+func TestPCBSweep(t *testing.T) {
+	points, err := PCBSweep(Config{Trials: 2, Seed: 77},
+		[][2]int{{300, 200}}, []int{0, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	clean, dirty := points[0], points[1]
+	// A clean board still costs one annihilation iteration per
+	// non-empty row, but no row needs more and nothing differs.
+	if clean.RowsDiffering.Mean() != 0 || clean.SystolicMax.Mean() > 1 {
+		t.Errorf("clean board has diff work: %+v", clean)
+	}
+	if dirty.SystolicTotal.Mean() == 0 {
+		t.Error("defective board has zero systolic work")
+	}
+	if dirty.SeqTotal.Mean() <= dirty.SystolicTotal.Mean() {
+		t.Errorf("sequential (%v) not slower than systolic (%v) on similar boards",
+			dirty.SeqTotal.Mean(), dirty.SystolicTotal.Mean())
+	}
+	if dirty.DetectedAll != dirty.Trials {
+		t.Errorf("detection %d/%d", dirty.DetectedAll, dirty.Trials)
+	}
+	if !strings.Contains(PCBTable(points).Format(), "speedup") {
+		t.Error("pcb table malformed")
+	}
+}
+
+func TestFigure2Diagram(t *testing.T) {
+	d := Figure2()
+	for _, want := range []string{"RegSmall", "RegBig", "wired-AND", "cell 1"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("figure 2 missing %q", want)
+		}
+	}
+}
+
+func TestFigure4TableCoversAllStates(t *testing.T) {
+	out := Figure4Table().Format()
+	for _, want := range []string{
+		"State1a", "State1b", "State2a", "State2b", "State3a", "State3b",
+		"State4a", "State4b", "State5a", "State5b", "State6a", "State6b",
+		"State7", "State8a", "State8b", "State9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 4 table missing %s", want)
+		}
+	}
+	// Identical runs annihilate: the State7 row's result is empty.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "State7") && !strings.Contains(line, "S=- B=-") {
+			t.Errorf("State7 result wrong: %s", line)
+		}
+	}
+}
+
+func TestDeploymentComparison(t *testing.T) {
+	points, err := Deployment(Config{Trials: 2, Seed: 5}, [][2]int{{300, 200}}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	// The per-row arrangement needs many small arrays; the flat
+	// arrangement one much larger array but — on similar images —
+	// few iterations relative to its size.
+	if p.FlatCells.Mean() <= p.PerRowMaxCells.Mean() {
+		t.Errorf("flat array (%v cells) not larger than row array (%v)",
+			p.FlatCells.Mean(), p.PerRowMaxCells.Mean())
+	}
+	if p.FlatIters.Mean() >= p.FlatCells.Mean()/4 {
+		t.Errorf("flat iterations %v not small relative to array %v on similar boards",
+			p.FlatIters.Mean(), p.FlatCells.Mean())
+	}
+	if !strings.Contains(DeploymentTable(points).Format(), "flat iterations") {
+		t.Error("deployment table malformed")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if DefaultConfig().Trials <= 0 {
+		t.Error("default trials must be positive")
+	}
+	if (Config{Trials: -3}).trials() != 1 {
+		t.Error("trials floor wrong")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	p := smallFig5()
+	p.ErrorPercent = []float64{5}
+	a, err := Figure5(quickCfg(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure5(quickCfg(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Iterations.Mean() != b[0].Iterations.Mean() {
+		t.Error("same seed produced different sweep results")
+	}
+}
+
+func TestFigure3TraceGoldenFile(t *testing.T) {
+	want, err := os.ReadFile("testdata/figure3_trace.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Figure3Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize trailing newlines (the golden file was captured from
+	// CLI output, which appends one).
+	if strings.TrimRight(got, "\n") != strings.TrimRight(string(want), "\n") {
+		t.Errorf("trace drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestExperimentsPropagateWorkloadErrors(t *testing.T) {
+	bad := Figure5Params{Width: 1000, Density: 0, ErrorPercent: []float64{5}}
+	if _, err := Figure5(quickCfg(), bad); err == nil {
+		t.Error("Figure5 accepted invalid density")
+	}
+	if _, err := Ablation(quickCfg(), bad); err == nil {
+		t.Error("Ablation accepted invalid density")
+	}
+	if _, err := Utilization(quickCfg(), bad); err == nil {
+		t.Error("Utilization accepted invalid density")
+	}
+	if _, err := DensitySweep(quickCfg(), 1000, 0.1, []float64{0}); err == nil {
+		t.Error("DensitySweep accepted invalid density")
+	}
+	badT1 := PaperTable1()
+	badT1.Density = -1
+	if _, err := Table1(quickCfg(), badT1); err == nil {
+		t.Error("Table1 accepted invalid density")
+	}
+}
+
+func TestResourceTable(t *testing.T) {
+	out := ResourceTable([]int{1024, 10000}, 0.30, 12).Format()
+	for _, want := range []string{"1024", "10000", "20x", "pixel-PEs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("resource table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sysrle/internal/core"
+	"sysrle/internal/inspect"
+	"sysrle/internal/metrics"
+)
+
+// Figure2 renders the paper's architecture figure as text: the cell
+// (two run registers, F/C control, left/right data ports) and the
+// linear array.
+func Figure2() string {
+	return strings.Join([]string{
+		"Figure 2: architecture of a cell, and the array of cells",
+		"",
+		"             F (terminate broadcast)",
+		"             │",
+		"        ┌────▼─────────┐",
+		"  I_in ─▶  RegSmall    │",
+		"        │  [start,len] │",
+		"        │  RegBig      ├─▶ I_out   (RegBig shifts right",
+		"        │  [start,len] │            every iteration)",
+		"        └────┬─────────┘",
+		"             │",
+		"             C (quiet: RegBig empty)",
+		"",
+		"  ┌──────┐  ┌──────┐        ┌──────┐  ┌──────┐",
+		"  │cell 1├─▶│cell 2├─▶ ... ─▶│cell k├─▶│cell2k├─▶ out",
+		"  └──┬───┘  └──┬───┘        └──┬───┘  └──┬───┘",
+		"     └─────────┴───── C wired-AND ───────┴──▶ F",
+		"",
+		"Per iteration each cell runs step 1 (order the two runs),",
+		"step 2 (in-place XOR via min/max), step 3 (shift RegBig",
+		"right); the machine halts when every C is asserted.",
+	}, "\n")
+}
+
+// Figure4Table reproduces the paper's cell-state taxonomy as a table:
+// every qualitatively different state, a representative cell, and its
+// registers after steps 1+2.
+func Figure4Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Figure 4: qualitatively different cell states and their XOR results",
+		"state", "meaning", "example (S | B)", "after steps 1+2 (S | B)")
+	type entry struct {
+		state   core.State
+		meaning string
+		cell    core.Cell
+	}
+	entries := []entry{
+		{core.State1a, "disjoint, Small first", core.Cell{Small: core.MakeReg(0, 3), Big: core.MakeReg(6, 9)}},
+		{core.State1b, "disjoint, Big first", core.Cell{Small: core.MakeReg(6, 9), Big: core.MakeReg(0, 3)}},
+		{core.State2a, "adjacent, Small first", core.Cell{Small: core.MakeReg(0, 3), Big: core.MakeReg(4, 9)}},
+		{core.State2b, "adjacent, Big first", core.Cell{Small: core.MakeReg(4, 9), Big: core.MakeReg(0, 3)}},
+		{core.State3a, "partial overlap", core.Cell{Small: core.MakeReg(0, 5), Big: core.MakeReg(3, 9)}},
+		{core.State3b, "partial overlap, swapped", core.Cell{Small: core.MakeReg(3, 9), Big: core.MakeReg(0, 5)}},
+		{core.State4a, "same start", core.Cell{Small: core.MakeReg(2, 5), Big: core.MakeReg(2, 9)}},
+		{core.State4b, "same start, swapped", core.Cell{Small: core.MakeReg(2, 9), Big: core.MakeReg(2, 5)}},
+		{core.State5a, "same end", core.Cell{Small: core.MakeReg(2, 9), Big: core.MakeReg(5, 9)}},
+		{core.State5b, "same end, swapped", core.Cell{Small: core.MakeReg(5, 9), Big: core.MakeReg(2, 9)}},
+		{core.State6a, "containment", core.Cell{Small: core.MakeReg(0, 9), Big: core.MakeReg(3, 5)}},
+		{core.State6b, "containment, swapped", core.Cell{Small: core.MakeReg(3, 5), Big: core.MakeReg(0, 9)}},
+		{core.State7, "identical", core.Cell{Small: core.MakeReg(4, 7), Big: core.MakeReg(4, 7)}},
+		{core.State8a, "run in Small only", core.Cell{Small: core.MakeReg(4, 8)}},
+		{core.State8b, "run in Big only", core.Cell{Big: core.MakeReg(4, 8)}},
+		{core.State9, "empty cell", core.Cell{}},
+	}
+	for _, e := range entries {
+		if got := core.Classify(e.cell); got != e.state {
+			panic(fmt.Sprintf("experiments: representative for %v classifies as %v", e.state, got))
+		}
+		after := e.cell
+		after.Local()
+		t.Add(e.state.String(), e.meaning, e.cell.String(), after.String())
+	}
+	return t
+}
+
+// ----------------------------------------------------------- deployment
+
+// DeploymentPoint compares the two whole-image deployments on a PCB
+// workload: one small array per scanline (the paper's framing) vs.
+// one long array fed the flattened image.
+type DeploymentPoint struct {
+	Width, Height, Defects int
+	PerRowMaxCells         metrics.Welford // largest per-row array needed
+	PerRowMaxIters         metrics.Welford // critical path with an array per row
+	FlatCells              metrics.Welford // single-array size
+	FlatIters              metrics.Welford // single-array iterations
+}
+
+// Deployment measures both arrangements on generated boards.
+func Deployment(cfg Config, sizes [][2]int, defects int) ([]DeploymentPoint, error) {
+	var points []DeploymentPoint
+	engine := core.Lockstep{}
+	for _, wh := range sizes {
+		p := DeploymentPoint{Width: wh[0], Height: wh[1], Defects: defects}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(wh[0])))
+		for trial := 0; trial < cfg.trials(); trial++ {
+			layout, err := inspect.GenerateBoard(rng, inspect.DefaultBoard(wh[0], wh[1]))
+			if err != nil {
+				return nil, err
+			}
+			scanBits, _ := inspect.InjectDefects(rng, layout, defects)
+			ref, scan := layout.Art.ToRLE(), scanBits.ToRLE()
+
+			maxCells, maxIters := 0, 0
+			for y := 0; y < ref.Height; y++ {
+				res, err := engine.XORRow(ref.Rows[y], scan.Rows[y])
+				if err != nil {
+					return nil, err
+				}
+				if res.Cells > maxCells {
+					maxCells = res.Cells
+				}
+				if res.Iterations > maxIters {
+					maxIters = res.Iterations
+				}
+			}
+			p.PerRowMaxCells.Add(float64(maxCells))
+			p.PerRowMaxIters.Add(float64(maxIters))
+
+			_, res, err := core.XORImageFlat(ref, scan, engine)
+			if err != nil {
+				return nil, err
+			}
+			p.FlatCells.Add(float64(res.Cells))
+			p.FlatIters.Add(float64(res.Iterations))
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// DeploymentTable renders the comparison.
+func DeploymentTable(points []DeploymentPoint) *metrics.Table {
+	t := metrics.NewTable(
+		"Deployment trade-off: one array per scanline vs. one array for the flattened image",
+		"board", "defects", "row-array cells", "row critical path", "flat cells", "flat iterations")
+	for _, p := range points {
+		t.Add(
+			fmt.Sprintf("%dx%d", p.Width, p.Height),
+			fmt.Sprintf("%d", p.Defects),
+			fmt.Sprintf("%.0f", p.PerRowMaxCells.Mean()),
+			fmt.Sprintf("%.1f", p.PerRowMaxIters.Mean()),
+			fmt.Sprintf("%.0f", p.FlatCells.Mean()),
+			fmt.Sprintf("%.1f", p.FlatIters.Mean()))
+	}
+	return t
+}

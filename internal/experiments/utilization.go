@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sysrle/internal/core"
+	"sysrle/internal/metrics"
+	"sysrle/internal/systolic"
+	"sysrle/internal/workload"
+)
+
+// Array-utilization analysis. §5 explains the machine's two regimes
+// through cell occupancy: "for the smaller amounts of difference
+// there will be lots of empty cells left behind throughout the
+// array, thus the only significant data movement will be at the end
+// ... as the number of differences increases and thus the number of
+// empty cells decreases, more and more data movement will be
+// required". This experiment measures that directly: the fraction of
+// cells still carrying a moving (RegBig) run, averaged over the run.
+
+// UtilizationPoint is one error-percentage position.
+type UtilizationPoint struct {
+	ErrorPercent float64
+	// MovingFrac is the mean fraction of cells holding a RegBig run
+	// per iteration (data-movement intensity).
+	MovingFrac metrics.Welford
+	// OccupiedFrac is the mean fraction of cells holding any run at
+	// termination (final packing density).
+	OccupiedFrac metrics.Welford
+	// Iterations echoes the Figure-5 cost for cross-reference.
+	Iterations metrics.Welford
+}
+
+// Utilization sweeps error percentages and measures occupancy.
+func Utilization(cfg Config, params Figure5Params) ([]UtilizationPoint, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	points := make([]UtilizationPoint, len(params.ErrorPercent))
+	for i, pct := range params.ErrorPercent {
+		points[i].ErrorPercent = pct
+		ep := workload.CountForPixelFraction(params.Width, pct/100, 2, 6)
+		for trial := 0; trial < cfg.trials(); trial++ {
+			pair, err := workload.GeneratePair(rng, workload.PaperRow(params.Width, params.Density), ep)
+			if err != nil {
+				return nil, err
+			}
+			movingSum, iterations := 0, 0
+			var finalCells []core.Cell
+			obs := func(iter int, phase systolic.Phase, cells []core.Cell) {
+				if phase != systolic.PhaseShift {
+					return
+				}
+				iterations = iter
+				moving := 0
+				for _, c := range cells {
+					if c.Big.Full {
+						moving++
+					}
+				}
+				movingSum += moving
+				finalCells = cells // reused slice: occupancy read below is post-run
+			}
+			res, err := core.Lockstep{Observer: obs}.XORRow(pair.A, pair.B)
+			if err != nil {
+				return nil, err
+			}
+			cells := res.Cells
+			if cells == 0 {
+				cells = 1
+			}
+			if iterations > 0 {
+				points[i].MovingFrac.Add(float64(movingSum) / float64(iterations*cells))
+			} else {
+				points[i].MovingFrac.Add(0)
+			}
+			occupied := 0
+			for _, c := range finalCells {
+				if c.Small.Full {
+					occupied++
+				}
+			}
+			points[i].OccupiedFrac.Add(float64(occupied) / float64(cells))
+			points[i].Iterations.Add(float64(res.Iterations))
+		}
+	}
+	return points, nil
+}
+
+// UtilizationTable renders the sweep.
+func UtilizationTable(points []UtilizationPoint) *metrics.Table {
+	t := metrics.NewTable(
+		"Array utilization (§5 explanation): moving-run density vs. error percent",
+		"err%", "moving-frac", "final-occupancy", "iterations")
+	for _, p := range points {
+		t.Add(
+			fmt.Sprintf("%.1f", p.ErrorPercent),
+			fmt.Sprintf("%.3f", p.MovingFrac.Mean()),
+			fmt.Sprintf("%.3f", p.OccupiedFrac.Mean()),
+			fmt.Sprintf("%.1f", p.Iterations.Mean()))
+	}
+	return t
+}

@@ -1,0 +1,114 @@
+package imageio
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sysrle/internal/bitmap"
+	"sysrle/internal/rle"
+)
+
+func randomRLE(seed int64) *rle.Image {
+	rng := rand.New(rand.NewSource(seed))
+	return bitmap.Random(rng, 40+rng.Intn(60), 20+rng.Intn(30), 0.35).ToRLE()
+}
+
+func TestRoundTripAllFormats(t *testing.T) {
+	img := randomRLE(1)
+	for _, format := range Formats() {
+		var buf bytes.Buffer
+		if err := Write(&buf, format, img); err != nil {
+			t.Fatalf("%s: write: %v", format, err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", format, err)
+		}
+		if !back.Equal(img) {
+			t.Errorf("%s: round trip changed pixels", format)
+		}
+	}
+}
+
+func TestSniffingDistinguishesFormats(t *testing.T) {
+	img := randomRLE(2)
+	for _, format := range Formats() {
+		var buf bytes.Buffer
+		if err := Write(&buf, format, img); err != nil {
+			t.Fatal(err)
+		}
+		// No format hint on Read: sniffed from magic alone.
+		if _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Errorf("%s: sniffing failed: %v", format, err)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, in := range []string{"", "XYZW unknown", "P9\n1 1\n"} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestWriteUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "bmp", randomRLE(3)); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "img.pbm")
+	img := randomRLE(4)
+	var buf bytes.Buffer
+	if err := Write(&buf, "pbm", img); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(img) {
+		t.Error("ReadFile changed pixels")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.pbm")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestContentType(t *testing.T) {
+	if ContentType("png") != "image/png" {
+		t.Error("png content type wrong")
+	}
+	if ContentType("pbm") != "image/x-portable-bitmap" {
+		t.Error("pbm content type wrong")
+	}
+	if ContentType("rleb") != "application/octet-stream" {
+		t.Error("rleb content type wrong")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func TestReadPGMViaSniffing(t *testing.T) {
+	in := "P2\n2 2\n255\n0 255\n255 0\n"
+	img, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Get(0, 0) || img.Get(1, 0) || img.Get(0, 1) || !img.Get(1, 1) {
+		t.Errorf("PGM sniff decode wrong: %v", img.Rows)
+	}
+}

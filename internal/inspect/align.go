@@ -1,0 +1,109 @@
+package inspect
+
+import "sysrle/internal/rle"
+
+// Scan registration. A real scanner never delivers the board at
+// exactly the reference position; comparing unregistered images would
+// flag every trace edge as a defect. Align searches integer offsets
+// for the translation that minimizes the difference area — in the
+// compressed domain, using the same row-difference primitive as the
+// rest of the system.
+
+// Align returns the (dx, dy) in [-maxShift, +maxShift]² that
+// minimizes the area of ref ⊕ Translate(scan, dx, dy), along with
+// that minimal area. Ties break toward the smallest |dx|+|dy| (then
+// scan order), so a perfectly registered pair yields (0, 0).
+func Align(ref, scan *rle.Image, maxShift int) (dx, dy, area int) {
+	type cand struct{ dx, dy int }
+	// Visit offsets in increasing Manhattan distance so the tie
+	// break falls out of visit order.
+	var order []cand
+	for d := 0; d <= 2*maxShift; d++ {
+		for x := -maxShift; x <= maxShift; x++ {
+			for y := -maxShift; y <= maxShift; y++ {
+				if abs(x)+abs(y) == d {
+					order = append(order, cand{x, y})
+				}
+			}
+		}
+	}
+	best := cand{}
+	bestArea := -1
+	for _, c := range order {
+		a := diffAreaShifted(ref, scan, c.dx, c.dy, bestArea)
+		if bestArea < 0 || a < bestArea {
+			best, bestArea = c, a
+		}
+	}
+	return best.dx, best.dy, bestArea
+}
+
+// diffAreaShifted computes the area of ref ⊕ shift(scan) without
+// materializing the shifted image (allocation-free inner loop),
+// aborting early once the running total exceeds limit (limit < 0 =
+// exact).
+func diffAreaShifted(ref, scan *rle.Image, dx, dy, limit int) int {
+	total := 0
+	for y := 0; y < ref.Height; y++ {
+		total += rle.XORAreaShifted(ref.Rows[y], scan.Row(y-dy), dx, ref.Width)
+		if limit >= 0 && total > limit {
+			return total
+		}
+	}
+	return total
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// AlignPyramid registers scans with large displacements in
+// logarithmic time: both images are OR-downsampled by powers of two
+// until the shift budget is small, aligned exhaustively at the
+// coarsest level, and the offset refined by a ±1-cell search at each
+// finer level. Equivalent in result quality to Align for shifts the
+// exhaustive search can afford, but usable for maxShift in the tens
+// or hundreds of pixels.
+func AlignPyramid(ref, scan *rle.Image, maxShift int) (dx, dy, area int, err error) {
+	const exhaustiveBudget = 4
+	// Build the pyramid: level 0 is full resolution.
+	type level struct{ ref, scan *rle.Image }
+	levels := []level{{ref, scan}}
+	shift := maxShift
+	for shift > exhaustiveBudget {
+		top := levels[len(levels)-1]
+		dRef, err := rle.Downsample(top.ref, 2)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		dScan, err := rle.Downsample(top.scan, 2)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		levels = append(levels, level{dRef, dScan})
+		shift = (shift + 1) / 2
+	}
+	// Coarsest level: exhaustive.
+	dx, dy, _ = Align(levels[len(levels)-1].ref, levels[len(levels)-1].scan, shift)
+	// Refine downward.
+	for li := len(levels) - 2; li >= 0; li-- {
+		dx, dy = 2*dx, 2*dy
+		lv := levels[li]
+		bestA := -1
+		bestDX, bestDY := dx, dy
+		for ox := -1; ox <= 1; ox++ {
+			for oy := -1; oy <= 1; oy++ {
+				a := diffAreaShifted(lv.ref, lv.scan, dx+ox, dy+oy, bestA)
+				if bestA < 0 || a < bestA ||
+					(a == bestA && abs(dx+ox)+abs(dy+oy) < abs(bestDX)+abs(bestDY)) {
+					bestA, bestDX, bestDY = a, dx+ox, dy+oy
+				}
+			}
+		}
+		dx, dy, area = bestDX, bestDY, bestA
+	}
+	return dx, dy, area, nil
+}

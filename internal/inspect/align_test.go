@@ -1,0 +1,145 @@
+package inspect
+
+import (
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/rle"
+)
+
+func TestAlignRecoversKnownShift(t *testing.T) {
+	layout := testLayout(t, 51)
+	ref := layout.Art.ToRLE()
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 10; trial++ {
+		wantDX, wantDY := rng.Intn(7)-3, rng.Intn(7)-3
+		scan := rle.Translate(ref, wantDX, wantDY)
+		dx, dy, area := Align(ref, scan, 4)
+		// Align reports the shift to apply to the scan, so it must
+		// invert the displacement.
+		if dx != -wantDX || dy != -wantDY {
+			t.Fatalf("Align = (%d,%d), want (%d,%d)", dx, dy, -wantDX, -wantDY)
+		}
+		if area != 0 {
+			// Content clipped at the borders cannot be recovered; on
+			// this margin-padded board the residue must be zero.
+			t.Fatalf("residual area %d at correct alignment", area)
+		}
+	}
+}
+
+func TestAlignPrefersSmallestOffsetOnTies(t *testing.T) {
+	// An empty pair is invariant under every shift: the tie must
+	// resolve to (0,0).
+	img := rle.NewImage(50, 50)
+	dx, dy, area := Align(img, img, 3)
+	if dx != 0 || dy != 0 || area != 0 {
+		t.Errorf("Align(∅,∅) = (%d,%d,%d)", dx, dy, area)
+	}
+}
+
+func TestCompareWithAutoAlign(t *testing.T) {
+	layout := testLayout(t, 53)
+	ref := layout.Art.ToRLE()
+	rng := rand.New(rand.NewSource(54))
+	scanBits, injected := InjectDefects(rng, layout, 4)
+	if len(injected) == 0 {
+		t.Fatal("no defects")
+	}
+	shifted := rle.Translate(scanBits.ToRLE(), 2, -3)
+
+	// Without alignment the offset drowns everything in false
+	// positives.
+	noAlign, err := (&Inspector{MinDefectArea: 2}).Compare(ref, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With alignment the report matches the registered comparison.
+	aligned, err := (&Inspector{MinDefectArea: 2, MaxAlignShift: 4}).Compare(ref, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aligned.AlignDX != -2 || aligned.AlignDY != 3 {
+		t.Fatalf("alignment offset (%d,%d), want (-2,3)", aligned.AlignDX, aligned.AlignDY)
+	}
+	if noAlign.DiffArea <= 5*aligned.DiffArea {
+		t.Errorf("alignment did not help: %d vs %d diff pixels", noAlign.DiffArea, aligned.DiffArea)
+	}
+	// All injected defects still detected after registration. The
+	// recovered offset undoes the translation, so the report is back
+	// in the original (pre-shift) scan coordinates and the
+	// ground-truth boxes compare directly.
+	for _, inj := range injected {
+		found := false
+		for _, d := range aligned.Defects {
+			if inj.overlaps(d.X0, d.Y0, d.X1, d.Y1) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("defect %v lost after alignment", inj.Type)
+		}
+	}
+}
+
+func TestCompareAlignZeroWhenRegistered(t *testing.T) {
+	layout := testLayout(t, 55)
+	ref := layout.Art.ToRLE()
+	rep, err := (&Inspector{MaxAlignShift: 3}).Compare(ref, ref.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AlignDX != 0 || rep.AlignDY != 0 || !rep.Clean() {
+		t.Errorf("registered pair: %+v", rep)
+	}
+}
+
+func TestAlignPyramidLargeShift(t *testing.T) {
+	layout := testLayout(t, 61)
+	ref := layout.Art.ToRLE()
+	for _, shift := range [][2]int{{17, -11}, {-23, 8}, {0, 0}, {30, 30}} {
+		scan := rle.Translate(ref, shift[0], shift[1])
+		dx, dy, area, err := AlignPyramid(ref, scan, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dx != -shift[0] || dy != -shift[1] {
+			t.Errorf("shift %v: recovered (%d,%d), want (%d,%d), residual %d",
+				shift, dx, dy, -shift[0], -shift[1], area)
+		}
+	}
+}
+
+func TestAlignPyramidMatchesExhaustiveSmallShift(t *testing.T) {
+	layout := testLayout(t, 62)
+	ref := layout.Art.ToRLE()
+	scan := rle.Translate(ref, 3, -2)
+	edx, edy, earea := Align(ref, scan, 4)
+	pdx, pdy, parea, err := AlignPyramid(ref, scan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edx != pdx || edy != pdy || earea != parea {
+		t.Errorf("pyramid (%d,%d,%d) vs exhaustive (%d,%d,%d)", pdx, pdy, parea, edx, edy, earea)
+	}
+}
+
+func TestCompareWithLargeShiftUsesPyramid(t *testing.T) {
+	layout := testLayout(t, 63)
+	ref := layout.Art.ToRLE()
+	// Shift small enough that no copper clips off the frame (the
+	// leftmost pads reach x=8); the budget of 20 still exercises the
+	// pyramid path.
+	shifted := rle.Translate(ref, -6, 7)
+	rep, err := (&Inspector{MaxAlignShift: 20}).Compare(ref, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AlignDX != 6 || rep.AlignDY != -7 {
+		t.Fatalf("recovered (%d,%d), want (6,-7)", rep.AlignDX, rep.AlignDY)
+	}
+	if !rep.Clean() {
+		t.Errorf("registered identical boards not clean: %+v", rep.Defects)
+	}
+}

@@ -1,0 +1,144 @@
+package inspect
+
+import (
+	"sort"
+
+	"sysrle/internal/rle"
+)
+
+// Run-based connected-component labeling: the classic two-pass
+// algorithm operating directly on RLE rows (runs are the primitives,
+// so cost scales with run count, not pixels). 8-connectivity, which
+// is what defect blobs in a difference image call for.
+
+// Component is one connected foreground component of an RLE image.
+type Component struct {
+	// Label is a dense id, 0..n-1, in scan order of the component's
+	// first run.
+	Label int
+	// Area is the pixel count.
+	Area int
+	// X0, Y0, X1, Y1 is the inclusive bounding box.
+	X0, Y0, X1, Y1 int
+	// Runs holds the member runs as (row, run) pairs.
+	Runs []LabeledRun
+}
+
+// LabeledRun ties a run to its row.
+type LabeledRun struct {
+	Y   int
+	Run rle.Run
+}
+
+// unionFind is a standard weighted union-find with path compression.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind() *unionFind { return &unionFind{} }
+
+func (u *unionFind) makeSet() int {
+	id := len(u.parent)
+	u.parent = append(u.parent, id)
+	u.rank = append(u.rank, 0)
+	return id
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// Components labels the image's connected components
+// (8-connectivity) and returns them sorted by first appearance (top
+// to bottom, left to right).
+func Components(img *rle.Image) []Component {
+	uf := newUnionFind()
+	// ids[y][i] is the set id of run i in row y.
+	ids := make([][]int, img.Height)
+	for y, row := range img.Rows {
+		ids[y] = make([]int, len(row))
+		for i := range row {
+			ids[y][i] = uf.makeSet()
+		}
+		if y == 0 {
+			continue
+		}
+		prev := img.Rows[y-1]
+		// Merge runs that touch a run in the previous row. With
+		// 8-connectivity, run [s,e] touches previous-row run
+		// [s',e'] iff s' ≤ e+1 and e' ≥ s-1. Both rows are sorted,
+		// so sweep with two indices.
+		j := 0
+		for i, r := range row {
+			for j < len(prev) && prev[j].End() < r.Start-1 {
+				j++
+			}
+			k := j
+			for k < len(prev) && prev[k].Start <= r.End()+1 {
+				uf.union(ids[y][i], ids[y-1][k])
+				k++
+			}
+		}
+	}
+	// Second pass: group runs by set root.
+	byRoot := map[int]*Component{}
+	var order []int
+	for y, row := range img.Rows {
+		for i, r := range row {
+			root := uf.find(ids[y][i])
+			c, ok := byRoot[root]
+			if !ok {
+				c = &Component{X0: r.Start, Y0: y, X1: r.End(), Y1: y}
+				byRoot[root] = c
+				order = append(order, root)
+			}
+			c.Area += r.Length
+			if r.Start < c.X0 {
+				c.X0 = r.Start
+			}
+			if r.End() > c.X1 {
+				c.X1 = r.End()
+			}
+			if y < c.Y0 {
+				c.Y0 = y
+			}
+			if y > c.Y1 {
+				c.Y1 = y
+			}
+			c.Runs = append(c.Runs, LabeledRun{Y: y, Run: r})
+		}
+	}
+	out := make([]Component, 0, len(order))
+	for _, root := range order {
+		out = append(out, *byRoot[root])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Y0 != out[j].Y0 {
+			return out[i].Y0 < out[j].Y0
+		}
+		return out[i].X0 < out[j].X0
+	})
+	for i := range out {
+		out[i].Label = i
+	}
+	return out
+}

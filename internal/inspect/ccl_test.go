@@ -1,0 +1,145 @@
+package inspect
+
+import (
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/bitmap"
+	"sysrle/internal/rle"
+)
+
+// floodComponents is a pixel-level reference CCL (8-connectivity).
+func floodComponents(b *bitmap.Bitmap) []Component {
+	w, h := b.Width(), b.Height()
+	seen := make([]bool, w*h)
+	var comps []Component
+	var stack []Point
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if !b.Get(x, y) || seen[y*w+x] {
+				continue
+			}
+			comp := Component{X0: x, Y0: y, X1: x, Y1: y}
+			stack = append(stack[:0], Point{x, y})
+			seen[y*w+x] = true
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				comp.Area++
+				if p.X < comp.X0 {
+					comp.X0 = p.X
+				}
+				if p.X > comp.X1 {
+					comp.X1 = p.X
+				}
+				if p.Y < comp.Y0 {
+					comp.Y0 = p.Y
+				}
+				if p.Y > comp.Y1 {
+					comp.Y1 = p.Y
+				}
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						nx, ny := p.X+dx, p.Y+dy
+						if nx >= 0 && ny >= 0 && nx < w && ny < h &&
+							b.Get(nx, ny) && !seen[ny*w+nx] {
+							seen[ny*w+nx] = true
+							stack = append(stack, Point{nx, ny})
+						}
+					}
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	return comps
+}
+
+func componentKey(c Component) [5]int {
+	return [5]int{c.X0, c.Y0, c.X1, c.Y1, c.Area}
+}
+
+func TestComponentsAgainstFloodFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 60; trial++ {
+		w, h := 5+rng.Intn(80), 5+rng.Intn(30)
+		b := bitmap.Random(rng, w, h, 0.25+rng.Float64()*0.3)
+		got := Components(b.ToRLE())
+		want := floodComponents(b)
+		if len(got) != len(want) {
+			t.Fatalf("component count %d, want %d (%dx%d)\n%s", len(got), len(want), w, h, b)
+		}
+		// Both are sorted by (Y0, X0) scan order of first pixel;
+		// compare as multisets of (bbox, area) to be safe.
+		gotKeys := map[[5]int]int{}
+		for _, c := range got {
+			gotKeys[componentKey(c)]++
+		}
+		for _, c := range want {
+			if gotKeys[componentKey(c)] == 0 {
+				t.Fatalf("missing component %+v", c)
+			}
+			gotKeys[componentKey(c)]--
+		}
+	}
+}
+
+func TestComponentsDiagonalConnectivity(t *testing.T) {
+	img := rle.NewImage(4, 2)
+	img.Rows[0] = rle.Row{{Start: 0, Length: 1}}
+	img.Rows[1] = rle.Row{{Start: 1, Length: 1}} // touches only diagonally
+	comps := Components(img)
+	if len(comps) != 1 {
+		t.Fatalf("diagonal runs split into %d components", len(comps))
+	}
+	if comps[0].Area != 2 {
+		t.Errorf("area = %d", comps[0].Area)
+	}
+}
+
+func TestComponentsUShape(t *testing.T) {
+	// Two arms joined at the bottom: a single component that forces
+	// label merging in the second arm.
+	img := rle.NewImage(10, 4)
+	img.Rows[0] = rle.Row{{Start: 0, Length: 2}, {Start: 8, Length: 2}}
+	img.Rows[1] = rle.Row{{Start: 0, Length: 2}, {Start: 8, Length: 2}}
+	img.Rows[2] = rle.Row{{Start: 0, Length: 2}, {Start: 8, Length: 2}}
+	img.Rows[3] = rle.Row{{Start: 0, Length: 10}}
+	comps := Components(img)
+	if len(comps) != 1 {
+		t.Fatalf("U shape split into %d components", len(comps))
+	}
+	c := comps[0]
+	if c.Area != 22 || c.X0 != 0 || c.X1 != 9 || c.Y0 != 0 || c.Y1 != 3 {
+		t.Errorf("component = %+v", c)
+	}
+	if len(c.Runs) != 7 {
+		t.Errorf("runs = %d, want 7", len(c.Runs))
+	}
+}
+
+func TestComponentsEmptyImage(t *testing.T) {
+	if got := Components(rle.NewImage(10, 10)); len(got) != 0 {
+		t.Errorf("empty image has %d components", len(got))
+	}
+}
+
+func TestComponentsLabelsAreDenseAndSorted(t *testing.T) {
+	img := rle.NewImage(20, 3)
+	img.Rows[0] = rle.Row{{Start: 15, Length: 2}}
+	img.Rows[1] = rle.Row{{Start: 0, Length: 2}}
+	img.Rows[2] = rle.Row{{Start: 8, Length: 2}}
+	comps := Components(img)
+	if len(comps) != 3 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	for i, c := range comps {
+		if c.Label != i {
+			t.Errorf("label %d at position %d", c.Label, i)
+		}
+	}
+	// Scan order: (15,0) then (0,1) then (8,2).
+	if comps[0].Y0 != 0 || comps[1].Y0 != 1 || comps[2].Y0 != 2 {
+		t.Errorf("order wrong: %+v", comps)
+	}
+}

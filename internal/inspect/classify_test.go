@@ -1,0 +1,182 @@
+package inspect
+
+import (
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/bitmap"
+)
+
+// classifyOn runs the full pipeline on a hand-built ref/scan pair and
+// returns the single reported defect.
+func classifyOn(t *testing.T, ref, scan *bitmap.Bitmap) Defect {
+	t.Helper()
+	rep, err := (&Inspector{}).Compare(ref.ToRLE(), scan.ToRLE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Defects) != 1 {
+		t.Fatalf("expected exactly one defect, got %+v", rep.Defects)
+	}
+	return rep.Defects[0]
+}
+
+func TestClassifyShort(t *testing.T) {
+	// Two parallel traces; the scan bridges them.
+	ref := bitmap.New(60, 30)
+	ref.HLine(5, 55, 10, 3, true)
+	ref.HLine(5, 55, 20, 3, true)
+	scan := ref.Clone()
+	scan.VLine(30, 11, 19, 2, true)
+	d := classifyOn(t, ref, scan)
+	if d.Type != "short" || d.Kind != "extra-copper" {
+		t.Errorf("defect = %+v, want short/extra-copper", d)
+	}
+}
+
+func TestClassifySpur(t *testing.T) {
+	ref := bitmap.New(60, 30)
+	ref.HLine(5, 55, 15, 3, true)
+	scan := ref.Clone()
+	scan.FillRect(30, 17, 33, 21, true) // protrusion off the trace
+	d := classifyOn(t, ref, scan)
+	if d.Type != "spur" {
+		t.Errorf("defect = %+v, want spur", d)
+	}
+}
+
+func TestClassifyExtraCopper(t *testing.T) {
+	ref := bitmap.New(60, 30)
+	ref.HLine(5, 55, 5, 3, true)
+	scan := ref.Clone()
+	scan.Disk(30, 22, 3, true) // isolated blob far from the trace
+	d := classifyOn(t, ref, scan)
+	if d.Type != "extra-copper" {
+		t.Errorf("defect = %+v, want extra-copper", d)
+	}
+}
+
+func TestClassifyOpen(t *testing.T) {
+	ref := bitmap.New(60, 30)
+	ref.HLine(5, 55, 15, 3, true)
+	scan := ref.Clone()
+	scan.FillRect(28, 13, 32, 17, false) // full cut
+	d := classifyOn(t, ref, scan)
+	if d.Type != "open" || d.Kind != "missing-copper" {
+		t.Errorf("defect = %+v, want open/missing-copper", d)
+	}
+}
+
+func TestClassifyPinhole(t *testing.T) {
+	ref := bitmap.New(40, 40)
+	ref.FillRect(5, 5, 34, 34, true) // copper pour
+	scan := ref.Clone()
+	scan.Disk(20, 20, 2, false) // hole deep inside
+	d := classifyOn(t, ref, scan)
+	if d.Type != "pinhole" {
+		t.Errorf("defect = %+v, want pinhole", d)
+	}
+}
+
+func TestClassifyMouseBite(t *testing.T) {
+	ref := bitmap.New(60, 30)
+	ref.HLine(5, 55, 15, 5, true)
+	scan := ref.Clone()
+	// Notch on the top edge: removes part of the width, trace stays
+	// connected.
+	scan.FillRect(29, 13, 32, 15, false)
+	d := classifyOn(t, ref, scan)
+	if d.Type != "mousebite" {
+		t.Errorf("defect = %+v, want mousebite", d)
+	}
+}
+
+func TestClassifyMissingFeature(t *testing.T) {
+	ref := bitmap.New(40, 40)
+	ref.Disk(20, 20, 4, true)  // lone pad
+	scan := bitmap.New(40, 40) // pad gone
+	d := classifyOn(t, ref, scan)
+	if d.Type != "missing-feature" {
+		t.Errorf("defect = %+v, want missing-feature", d)
+	}
+}
+
+// TestClassifyMatchesInjector runs the random injector and checks
+// that the detailed labels line up with the injected ground truth
+// most of the time (the injector's geometry is ambiguous near pads
+// and crossings, so this is statistical).
+func TestClassifyMatchesInjector(t *testing.T) {
+	expected := map[DefectType][]string{
+		OpenCircuit:  {"open", "mousebite"}, // a cut beside a junction may not split locally
+		ShortCircuit: {"short", "spur"},
+		MouseBite:    {"mousebite", "open", "pinhole"},
+		Spur:         {"spur", "short"},
+		Pinhole:      {"pinhole", "mousebite"},
+		ExtraCopper:  {"extra-copper", "spur"},
+		MissingPad:   {"missing-feature", "open", "mousebite"},
+	}
+	layout := testLayout(t, 31)
+	rng := rand.New(rand.NewSource(32))
+	exactHits, total := 0, 0
+	for typ, acceptable := range expected {
+		for trial := 0; trial < 6; trial++ {
+			scan := layout.Art.Clone()
+			inj, ok := InjectOne(rng, layout, scan, typ)
+			if !ok {
+				continue
+			}
+			rep, err := (&Inspector{}).Compare(layout.Art.ToRLE(), scan.ToRLE())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var label string
+			for _, d := range rep.Defects {
+				if inj.overlaps(d.X0, d.Y0, d.X1, d.Y1) {
+					label = d.Type
+					break
+				}
+			}
+			if label == "" {
+				t.Errorf("%v not detected", typ)
+				continue
+			}
+			total++
+			okLabel := false
+			for _, a := range acceptable {
+				if label == a {
+					okLabel = true
+					break
+				}
+			}
+			if !okLabel {
+				t.Errorf("%v labelled %q (acceptable %v)", typ, label, acceptable)
+				continue
+			}
+			if label == acceptable[0] {
+				exactHits++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no defects placed")
+	}
+	if exactHits*10 < total*5 {
+		t.Errorf("primary-label accuracy %d/%d below 50%%", exactHits, total)
+	}
+}
+
+func TestClassifyDetailedNearBorder(t *testing.T) {
+	// A blob flush against the image border must not panic and must
+	// classify sanely.
+	ref := bitmap.New(30, 20)
+	ref.HLine(0, 29, 1, 3, true) // trace along the top edge
+	scan := ref.Clone()
+	scan.FillRect(0, 0, 2, 2, false) // bite the corner
+	rep, err := (&Inspector{}).Compare(ref.ToRLE(), scan.ToRLE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Defects) != 1 || rep.Defects[0].Kind != "missing-copper" {
+		t.Errorf("border defect = %+v", rep.Defects)
+	}
+}

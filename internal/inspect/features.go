@@ -1,0 +1,97 @@
+package inspect
+
+import "math"
+
+// Shape features of connected components, computed directly from the
+// run representation (first- and second-order moments come from
+// closed-form sums over runs, so cost is per-run, not per-pixel).
+// These are the descriptors the paper's cited feature-extraction
+// literature computes for object orientation and classification.
+
+// Features summarizes a component's geometry.
+type Features struct {
+	// Area is the pixel count.
+	Area int
+	// CX, CY is the centroid.
+	CX, CY float64
+	// Width and Height are the bounding-box dimensions.
+	Width, Height int
+	// Aspect is Width/Height (≥ 0; 0 for empty).
+	Aspect float64
+	// Fill is Area over bounding-box area, in (0, 1].
+	Fill float64
+	// Orientation is the angle (radians, in (-π/2, π/2]) of the
+	// principal axis from the central second moments.
+	Orientation float64
+	// Elongation is the ratio of principal to secondary axis
+	// lengths (≥ 1; 1 for a perfectly round blob).
+	Elongation float64
+}
+
+// sumRange returns the sum of integers in [a, b].
+func sumRange(a, b int) float64 {
+	n := float64(b - a + 1)
+	return n * float64(a+b) / 2
+}
+
+// sumSqRange returns the sum of squares of integers in [a, b], via
+// the closed form Σi² = n(n+1)(2n+1)/6.
+func sumSqRange(a, b int) float64 {
+	sq := func(n int) float64 {
+		if n < 0 {
+			return 0
+		}
+		fn := float64(n)
+		return fn * (fn + 1) * (2*fn + 1) / 6
+	}
+	return sq(b) - sq(a-1)
+}
+
+// ComputeFeatures derives the shape descriptors of a component.
+func ComputeFeatures(c Component) Features {
+	if c.Area == 0 {
+		return Features{}
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for _, lr := range c.Runs {
+		a, b := lr.Run.Start, lr.Run.End()
+		n := float64(lr.Run.Length)
+		y := float64(lr.Y)
+		rowSumX := sumRange(a, b)
+		sx += rowSumX
+		sy += n * y
+		sxx += sumSqRange(a, b)
+		syy += n * y * y
+		sxy += y * rowSumX
+	}
+	area := float64(c.Area)
+	cx, cy := sx/area, sy/area
+	// Central second moments.
+	mxx := sxx/area - cx*cx
+	myy := syy/area - cy*cy
+	mxy := sxy/area - cx*cy
+
+	f := Features{
+		Area:   c.Area,
+		CX:     cx,
+		CY:     cy,
+		Width:  c.X1 - c.X0 + 1,
+		Height: c.Y1 - c.Y0 + 1,
+	}
+	f.Aspect = float64(f.Width) / float64(f.Height)
+	f.Fill = area / float64(f.Width*f.Height)
+	// Principal axis from the covariance eigen-decomposition.
+	f.Orientation = 0.5 * math.Atan2(2*mxy, mxx-myy)
+	tr, det := mxx+myy, mxx*myy-mxy*mxy
+	disc := tr*tr/4 - det
+	if disc < 0 {
+		disc = 0
+	}
+	l1 := tr/2 + math.Sqrt(disc)
+	l2 := tr/2 - math.Sqrt(disc)
+	if l2 <= 1e-12 {
+		l2 = 1e-12 // degenerate (1-pixel-thin) blobs
+	}
+	f.Elongation = math.Sqrt(l1 / l2)
+	return f
+}

@@ -1,0 +1,137 @@
+package inspect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/bitmap"
+	"sysrle/internal/rle"
+)
+
+// featuresRef computes the same descriptors pixel by pixel.
+func featuresRef(c Component) (cx, cy, mxx, myy, mxy float64) {
+	var sx, sy, sxx, syy, sxy float64
+	n := 0.0
+	for _, lr := range c.Runs {
+		for x := lr.Run.Start; x <= lr.Run.End(); x++ {
+			fx, fy := float64(x), float64(lr.Y)
+			sx += fx
+			sy += fy
+			sxx += fx * fx
+			syy += fy * fy
+			sxy += fx * fy
+			n++
+		}
+	}
+	cx, cy = sx/n, sy/n
+	return cx, cy, sxx/n - cx*cx, syy/n - cy*cy, sxy/n - cx*cy
+}
+
+func singleComponent(t *testing.T, img *rle.Image) Component {
+	t.Helper()
+	comps := Components(img)
+	if len(comps) != 1 {
+		t.Fatalf("expected one component, got %d", len(comps))
+	}
+	return comps[0]
+}
+
+func TestFeaturesRectangle(t *testing.T) {
+	img := rle.NewImage(30, 20)
+	for y := 4; y <= 9; y++ { // 12 wide × 6 tall
+		img.Rows[y] = rle.Row{{Start: 5, Length: 12}}
+	}
+	f := ComputeFeatures(singleComponent(t, img))
+	if f.Area != 72 || f.Width != 12 || f.Height != 6 {
+		t.Fatalf("features = %+v", f)
+	}
+	if math.Abs(f.CX-10.5) > 1e-9 || math.Abs(f.CY-6.5) > 1e-9 {
+		t.Errorf("centroid (%v,%v), want (10.5,6.5)", f.CX, f.CY)
+	}
+	if f.Fill != 1 {
+		t.Errorf("Fill = %v, want 1", f.Fill)
+	}
+	if math.Abs(f.Aspect-2) > 1e-9 {
+		t.Errorf("Aspect = %v, want 2", f.Aspect)
+	}
+	// Wide rectangle: principal axis horizontal.
+	if math.Abs(f.Orientation) > 1e-9 {
+		t.Errorf("Orientation = %v, want 0", f.Orientation)
+	}
+	if f.Elongation < 1.5 || f.Elongation > 2.5 {
+		t.Errorf("Elongation = %v, want ≈2", f.Elongation)
+	}
+}
+
+func TestFeaturesMomentsAgainstPixelReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		b := bitmap.New(40, 30)
+		b.Disk(8+rng.Intn(24), 8+rng.Intn(14), 3+rng.Intn(5), true)
+		b.FillRect(10+rng.Intn(10), 10+rng.Intn(10), 20+rng.Intn(15), 15+rng.Intn(10), true)
+		comps := Components(b.ToRLE())
+		for _, c := range comps {
+			f := ComputeFeatures(c)
+			cx, cy, _, _, _ := featuresRef(c)
+			if math.Abs(f.CX-cx) > 1e-6 || math.Abs(f.CY-cy) > 1e-6 {
+				t.Fatalf("centroid (%v,%v) vs ref (%v,%v)", f.CX, f.CY, cx, cy)
+			}
+		}
+	}
+}
+
+func TestFeaturesOrientationDiagonal(t *testing.T) {
+	// A 45° diagonal bar: orientation ≈ −π/4 in image coordinates
+	// (y grows downward, so a top-left→bottom-right bar has
+	// negative slope in math convention... verify magnitude).
+	img := rle.NewImage(40, 40)
+	for i := 0; i < 30; i++ {
+		img.Rows[5+i] = rle.Row{{Start: 5 + i, Length: 3}}
+	}
+	f := ComputeFeatures(singleComponent(t, img))
+	if math.Abs(math.Abs(f.Orientation)-math.Pi/4) > 0.1 {
+		t.Errorf("Orientation = %v, want ±π/4", f.Orientation)
+	}
+	if f.Elongation < 5 {
+		t.Errorf("Elongation = %v, want ≫1 for a thin bar", f.Elongation)
+	}
+}
+
+func TestFeaturesSinglePixel(t *testing.T) {
+	img := rle.NewImage(5, 5)
+	img.Rows[2] = rle.Row{{Start: 3, Length: 1}}
+	f := ComputeFeatures(singleComponent(t, img))
+	if f.Area != 1 || f.CX != 3 || f.CY != 2 || f.Width != 1 || f.Height != 1 {
+		t.Errorf("features = %+v", f)
+	}
+	if math.IsNaN(f.Elongation) || math.IsInf(f.Elongation, 0) {
+		t.Errorf("degenerate Elongation = %v", f.Elongation)
+	}
+}
+
+func TestFeaturesEmpty(t *testing.T) {
+	if f := ComputeFeatures(Component{}); f != (Features{}) {
+		t.Errorf("empty features = %+v", f)
+	}
+}
+
+func TestFeaturesDistinguishDefectShapes(t *testing.T) {
+	// A short (thin bridge) is elongated; a pinhole blob is round.
+	bridge := rle.NewImage(30, 30)
+	for y := 5; y <= 24; y++ {
+		bridge.Rows[y] = rle.Row{{Start: 14, Length: 2}}
+	}
+	fBridge := ComputeFeatures(singleComponent(t, bridge))
+
+	round := bitmap.New(30, 30)
+	round.Disk(15, 15, 4, true)
+	fRound := ComputeFeatures(singleComponent(t, round.ToRLE()))
+
+	if fBridge.Elongation < 3*fRound.Elongation {
+		t.Errorf("bridge elongation %v not ≫ round %v", fBridge.Elongation, fRound.Elongation)
+	}
+	if fRound.Elongation > 1.3 {
+		t.Errorf("disk elongation %v, want ≈1", fRound.Elongation)
+	}
+}

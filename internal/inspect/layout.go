@@ -1,0 +1,123 @@
+// Package inspect implements the paper's motivating application
+// (§1): reference-based PCB inspection. A synthetic board generator
+// stands in for scanned board imagery; a defect injector perturbs a
+// copy the way fabrication flaws would; and the inspection pipeline
+// compares scan against reference with the systolic RLE difference
+// engine, labels the difference blobs, and classifies them.
+package inspect
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sysrle/internal/bitmap"
+)
+
+// BoardParams controls the synthetic PCB artwork generator.
+type BoardParams struct {
+	Width  int
+	Height int
+	// PadPitch is the pad grid spacing; PadRadius the pad size.
+	PadPitch  int
+	PadRadius int
+	// TraceWidth is the copper trace thickness.
+	TraceWidth int
+	// TraceProb is the probability that two adjacent pads are
+	// connected by a trace.
+	TraceProb float64
+	// ViaCount scatters this many small vias over the board.
+	ViaCount int
+}
+
+// DefaultBoard returns plausible parameters for a board of the given
+// size: a pad grid with ~50% routed adjacencies, the kind of dense,
+// highly structured art whose scans compress extremely well under
+// RLE.
+func DefaultBoard(width, height int) BoardParams {
+	return BoardParams{
+		Width:      width,
+		Height:     height,
+		PadPitch:   24,
+		PadRadius:  4,
+		TraceWidth: 3,
+		TraceProb:  0.5,
+		ViaCount:   width * height / 12000,
+	}
+}
+
+// Validate reports parameter errors.
+func (p BoardParams) Validate() error {
+	switch {
+	case p.Width < 2*p.PadPitch || p.Height < 2*p.PadPitch:
+		return fmt.Errorf("inspect: board %dx%d too small for pitch %d", p.Width, p.Height, p.PadPitch)
+	case p.PadPitch < 4 || p.PadRadius < 1 || p.TraceWidth < 1:
+		return fmt.Errorf("inspect: degenerate geometry %+v", p)
+	case p.TraceProb < 0 || p.TraceProb > 1:
+		return fmt.Errorf("inspect: trace probability %v outside [0,1]", p.TraceProb)
+	case p.ViaCount < 0:
+		return fmt.Errorf("inspect: negative via count")
+	}
+	return nil
+}
+
+// Point is a pixel coordinate.
+type Point struct{ X, Y int }
+
+// Layout is generated board artwork: the rasterized copper plus the
+// pad positions (needed by the missing-pad defect).
+type Layout struct {
+	Art  *bitmap.Bitmap
+	Pads []Point
+	// TraceWidth is carried along for defect sizing.
+	TraceWidth int
+	// PadRadius is carried along for the missing-pad defect.
+	PadRadius int
+}
+
+// GenerateBoard rasterizes a random rectilinear PCB: a grid of pads,
+// traces routed between randomly chosen adjacent pads, and scattered
+// vias.
+func GenerateBoard(rng *rand.Rand, p BoardParams) (*Layout, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	art := bitmap.New(p.Width, p.Height)
+	margin := p.PadPitch / 2
+	cols := (p.Width - 2*margin) / p.PadPitch
+	rows := (p.Height - 2*margin) / p.PadPitch
+	if cols < 1 || rows < 1 {
+		return nil, fmt.Errorf("inspect: board too small for any pads")
+	}
+	pads := make([]Point, 0, cols*rows)
+	at := func(cx, cy int) Point {
+		return Point{X: margin + cx*p.PadPitch, Y: margin + cy*p.PadPitch}
+	}
+	for cy := 0; cy < rows; cy++ {
+		for cx := 0; cx < cols; cx++ {
+			pt := at(cx, cy)
+			art.Disk(pt.X, pt.Y, p.PadRadius, true)
+			pads = append(pads, pt)
+		}
+	}
+	// Route traces between horizontally and vertically adjacent pads.
+	for cy := 0; cy < rows; cy++ {
+		for cx := 0; cx < cols; cx++ {
+			a := at(cx, cy)
+			if cx+1 < cols && rng.Float64() < p.TraceProb {
+				b := at(cx+1, cy)
+				art.HLine(a.X, b.X, a.Y, p.TraceWidth, true)
+			}
+			if cy+1 < rows && rng.Float64() < p.TraceProb {
+				b := at(cx, cy+1)
+				art.VLine(a.X, a.Y, b.Y, p.TraceWidth, true)
+			}
+		}
+	}
+	// Vias: small free-standing disks between grid lines.
+	for i := 0; i < p.ViaCount; i++ {
+		x := margin + rng.Intn(p.Width-2*margin)
+		y := margin + rng.Intn(p.Height-2*margin)
+		art.Disk(x, y, 2, true)
+	}
+	return &Layout{Art: art, Pads: pads, TraceWidth: p.TraceWidth, PadRadius: p.PadRadius}, nil
+}

@@ -1,0 +1,35 @@
+package match_test
+
+import (
+	"fmt"
+
+	"sysrle/internal/match"
+	"sysrle/internal/rle"
+)
+
+// Search finds every placement of a glyph in a scene; the mismatch
+// score is the RLE image difference's area.
+func ExampleSearch() {
+	font := match.Font()
+	scene := rle.NewImage(20, 11)
+	rle.Paste(scene, font["7"], 3, 2)
+	matches, err := match.Search(scene, font["7"], 0)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range matches {
+		fmt.Printf("exact match at (%d,%d)\n", m.X, m.Y)
+	}
+	// Output: exact match at (3,2)
+}
+
+// Classify names a glyph by minimum Hamming distance over the font.
+func ExampleClassify() {
+	font := match.Font()
+	glyph := font["8"].Clone()
+	// One flipped pixel.
+	glyph.SetRow(0, rle.XOR(glyph.Rows[0], rle.Row{{Start: 0, Length: 1}}))
+	name, score, _ := match.Classify(glyph, font)
+	fmt.Printf("%s with %d differing pixel(s)\n", name, score)
+	// Output: 8 with 1 differing pixel(s)
+}

@@ -1,0 +1,69 @@
+package match
+
+import (
+	"fmt"
+
+	"sysrle/internal/rle"
+)
+
+// A small 5×7 bitmap font (digits and a few capitals), used by the
+// character-recognition example and tests. Glyphs are defined as
+// string art and compiled to RLE images at first use.
+
+var glyphArt = map[string][]string{
+	"0": {".###.", "#...#", "#..##", "#.#.#", "##..#", "#...#", ".###."},
+	"1": {"..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###."},
+	"2": {".###.", "#...#", "....#", "...#.", "..#..", ".#...", "#####"},
+	"3": {".###.", "#...#", "....#", "..##.", "....#", "#...#", ".###."},
+	"4": {"...#.", "..##.", ".#.#.", "#..#.", "#####", "...#.", "...#."},
+	"5": {"#####", "#....", "####.", "....#", "....#", "#...#", ".###."},
+	"6": {".###.", "#....", "#....", "####.", "#...#", "#...#", ".###."},
+	"7": {"#####", "....#", "...#.", "..#..", ".#...", ".#...", ".#..."},
+	"8": {".###.", "#...#", "#...#", ".###.", "#...#", "#...#", ".###."},
+	"9": {".###.", "#...#", "#...#", ".####", "....#", "....#", ".###."},
+	"A": {".###.", "#...#", "#...#", "#####", "#...#", "#...#", "#...#"},
+	"E": {"#####", "#....", "#....", "####.", "#....", "#....", "#####"},
+	"H": {"#...#", "#...#", "#...#", "#####", "#...#", "#...#", "#...#"},
+	"T": {"#####", "..#..", "..#..", "..#..", "..#..", "..#..", "..#.."},
+	"X": {"#...#", "#...#", ".#.#.", "..#..", ".#.#.", "#...#", "#...#"},
+}
+
+// GlyphSize is the font's cell size.
+const (
+	GlyphWidth  = 5
+	GlyphHeight = 7
+)
+
+// ParseArt compiles string art ('#' = foreground, anything else
+// background) into an RLE image. All lines must share one width.
+func ParseArt(lines []string) (*rle.Image, error) {
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("match: empty art")
+	}
+	width := len(lines[0])
+	img := rle.NewImage(width, len(lines))
+	for y, line := range lines {
+		if len(line) != width {
+			return nil, fmt.Errorf("match: ragged art line %d (%d vs %d chars)", y, len(line), width)
+		}
+		bits := make([]bool, width)
+		for x := 0; x < width; x++ {
+			bits[x] = line[x] == '#'
+		}
+		img.Rows[y] = rle.FromBits(bits)
+	}
+	return img, nil
+}
+
+// Font returns the glyph templates as RLE images.
+func Font() map[string]*rle.Image {
+	out := make(map[string]*rle.Image, len(glyphArt))
+	for name, art := range glyphArt {
+		img, err := ParseArt(art)
+		if err != nil {
+			panic(fmt.Sprintf("match: bad built-in glyph %q: %v", name, err))
+		}
+		out[name] = img
+	}
+	return out
+}

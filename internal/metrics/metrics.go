@@ -1,0 +1,66 @@
+// Package metrics provides the small statistics and table-rendering
+// toolkit used by the benchmark harness (cmd/benchtab) to report the
+// paper's figures and tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford accumulates a running mean and variance using Welford's
+// online algorithm — numerically stable over the long experiment
+// sweeps.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with <2 observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 with none).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 with none).
+func (w *Welford) Max() float64 { return w.max }
+
+// Summary renders "mean ± std" with sensible precision.
+func (w *Welford) Summary() string {
+	return fmt.Sprintf("%.1f ± %.1f", w.Mean(), w.Std())
+}

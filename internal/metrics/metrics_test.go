@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Std() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of that classic dataset is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-12 {
+		t.Errorf("Var = %v, want %v", w.Var(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+	if !strings.Contains(w.Summary(), "5.0") {
+		t.Errorf("Summary = %q", w.Summary())
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var w Welford
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*10 + 3
+		xs = append(xs, x)
+		w.Add(x)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Errorf("mean drift: %v vs %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Var()-ss/float64(len(xs)-1)) > 1e-9 {
+		t.Errorf("var drift: %v vs %v", w.Var(), ss/float64(len(xs)-1))
+	}
+}
+
+func TestWelfordSingleObservation(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Mean() != 42 || w.Var() != 0 || w.Min() != 42 || w.Max() != 42 {
+		t.Error("single observation stats wrong")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := NewTable("Table 1", "size", "systolic", "sequential")
+	tb.Add("128", "5.2", "33.0")
+	tb.Add("2048", "5.1", "511.9")
+	out := tb.Format()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Table 1" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "size") || !strings.Contains(lines[1], "sequential") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// Columns align: "systolic" column starts at the same offset in
+	// every row.
+	off := strings.Index(lines[1], "systolic")
+	if !strings.HasPrefix(lines[3][off:], "5.2") || !strings.HasPrefix(lines[4][off:], "5.1") {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableAddPadsShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.Add("1")
+	if len(tb.Rows[0]) != 3 {
+		t.Errorf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("", "n", "mean", "name")
+	tb.Addf(128, 5.25, "x")
+	if tb.Rows[0][0] != "128" || tb.Rows[0][1] != "5.2" || tb.Rows[0][2] != "x" {
+		t.Errorf("Addf row = %v", tb.Rows[0])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "name", "value")
+	tb.Add("plain", "1")
+	tb.Add("with,comma", "2")
+	tb.Add("with\"quote", "3")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,value\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a fixed-width text table with an optional CSV rendering —
+// the output format of cmd/benchtab, deliberately close to the
+// paper's Table 1 layout.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends one row; short rows are padded with empty cells.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Addf appends one row built from format/value pairs: each argument
+// is rendered with %v unless it is a float64, which gets %.1f.
+func (t *Table) Addf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.1f", v))
+		case string:
+			row = append(row, v)
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.Add(row...)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// WriteCSV emits the table as RFC-4180-ish CSV (quoting cells that
+// need it).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeLine(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

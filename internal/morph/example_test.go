@@ -1,0 +1,39 @@
+package morph_test
+
+import (
+	"fmt"
+
+	"sysrle/internal/morph"
+	"sysrle/internal/rle"
+)
+
+// Opening removes foreground detail smaller than the structuring
+// element — here a lone speck next to a solid bar.
+func ExampleOpen() {
+	img := rle.NewImage(12, 3)
+	img.SetRow(0, rle.Row{{Start: 9, Length: 1}}) // speck
+	img.SetRow(1, rle.Row{{Start: 1, Length: 6}}) // bar (too thin vertically for a 3x3 box)
+	// A 3-row-tall bar survives a 3×3 opening; build one.
+	for y := 0; y < 3; y++ {
+		img.SetRow(y, rle.OR(img.Rows[y], rle.Row{{Start: 1, Length: 6}}))
+	}
+	opened, err := morph.Open(img, morph.Box(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(opened.Rows[0])
+	fmt.Println(opened.Rows[1])
+	// Output:
+	// [(1,6)]
+	// [(1,6)]
+}
+
+// Row-wise morphology operates directly on runs.
+func ExampleDilateRow() {
+	row := rle.Row{{Start: 3, Length: 2}, {Start: 8, Length: 1}}
+	fmt.Println(morph.DilateRow(row, 2, 16))
+	fmt.Println(morph.ErodeRow(morph.DilateRow(row, 2, 16), 2))
+	// Output:
+	// [(1,10)]
+	// [(3,6)]
+}

@@ -1,0 +1,183 @@
+// Package morph implements binary morphology directly on run-length
+// encoded images — the class of operations the paper's introduction
+// motivates ("morphological operations, min/max filtering") done in
+// the compressed domain, without decompressing, in the same spirit as
+// the systolic difference engine.
+//
+// Structuring elements are rectangles of (2·Rx+1)×(2·Ry+1) pixels
+// centred on the origin, which makes every operation separable: a
+// horizontal pass over each row's runs followed by a vertical
+// OR/AND sweep across a window of rows (rle.ORMany / rle.ANDMany).
+// Cost is proportional to run counts, not pixels. Pixels outside the
+// image are background, the usual padding convention.
+package morph
+
+import (
+	"fmt"
+
+	"sysrle/internal/rle"
+)
+
+// SE is a rectangular structuring element with horizontal radius Rx
+// and vertical radius Ry (so a 3×3 box is SE{1, 1}).
+type SE struct {
+	Rx int
+	Ry int
+}
+
+// Box returns the square SE of the given radius.
+func Box(r int) SE { return SE{Rx: r, Ry: r} }
+
+// Validate reports negative radii.
+func (se SE) Validate() error {
+	if se.Rx < 0 || se.Ry < 0 {
+		return fmt.Errorf("morph: negative SE radii %+v", se)
+	}
+	return nil
+}
+
+// DilateRow dilates one row by a horizontal radius: every run grows
+// by r on both sides; touching runs merge; the result is clipped to
+// [0, width).
+func DilateRow(row rle.Row, r, width int) rle.Row {
+	if r < 0 {
+		panic("morph: negative radius")
+	}
+	if len(row) == 0 {
+		return nil
+	}
+	grown := make(rle.Row, len(row))
+	for i, run := range row {
+		grown[i] = rle.Run{Start: run.Start - r, Length: run.Length + 2*r}
+	}
+	return grown.Canonicalize().Clip(width)
+}
+
+// ErodeRow erodes one row by a horizontal radius: every run shrinks
+// by r on both sides; runs shorter than 2r+1 vanish.
+func ErodeRow(row rle.Row, r int) rle.Row {
+	if r < 0 {
+		panic("morph: negative radius")
+	}
+	var out rle.Row
+	for _, run := range row {
+		if run.Length > 2*r {
+			out = append(out, rle.Run{Start: run.Start + r, Length: run.Length - 2*r})
+		}
+	}
+	return out
+}
+
+// Dilate returns the dilation of the image by the SE.
+func Dilate(img *rle.Image, se SE) (*rle.Image, error) {
+	if err := se.Validate(); err != nil {
+		return nil, err
+	}
+	// Horizontal pass.
+	horiz := make([]rle.Row, img.Height)
+	for y, row := range img.Rows {
+		horiz[y] = DilateRow(row, se.Rx, img.Width)
+	}
+	// Vertical pass: output row y is the OR of the window rows.
+	out := rle.NewImage(img.Width, img.Height)
+	if se.Ry == 0 {
+		out.Rows = horiz
+		return out, nil
+	}
+	window := make([]rle.Row, 0, 2*se.Ry+1)
+	for y := 0; y < img.Height; y++ {
+		window = window[:0]
+		for dy := -se.Ry; dy <= se.Ry; dy++ {
+			if y+dy >= 0 && y+dy < img.Height {
+				window = append(window, horiz[y+dy])
+			}
+		}
+		out.Rows[y] = rle.ORMany(window)
+	}
+	return out, nil
+}
+
+// Erode returns the erosion of the image by the SE. Pixels whose SE
+// window extends past the border erode away (background padding).
+func Erode(img *rle.Image, se SE) (*rle.Image, error) {
+	if err := se.Validate(); err != nil {
+		return nil, err
+	}
+	horiz := make([]rle.Row, img.Height)
+	for y, row := range img.Rows {
+		horiz[y] = ErodeRow(row, se.Rx)
+	}
+	out := rle.NewImage(img.Width, img.Height)
+	if se.Ry == 0 {
+		out.Rows = horiz
+		return out, nil
+	}
+	window := make([]rle.Row, 0, 2*se.Ry+1)
+	for y := 0; y < img.Height; y++ {
+		if y-se.Ry < 0 || y+se.Ry >= img.Height {
+			continue // window leaves the image: row erodes to empty
+		}
+		window = window[:0]
+		for dy := -se.Ry; dy <= se.Ry; dy++ {
+			window = append(window, horiz[y+dy])
+		}
+		out.Rows[y] = rle.ANDMany(window)
+	}
+	return out, nil
+}
+
+// Open returns the morphological opening (erode then dilate):
+// removes foreground details smaller than the SE.
+func Open(img *rle.Image, se SE) (*rle.Image, error) {
+	eroded, err := Erode(img, se)
+	if err != nil {
+		return nil, err
+	}
+	return Dilate(eroded, se)
+}
+
+// Close returns the morphological closing (dilate then erode): fills
+// background details smaller than the SE. The dilation is computed on
+// a canvas padded by the SE radii so nothing clips at the frame; the
+// plane-correct result is then cropped back, which keeps closing
+// extensive (img ⊆ Close(img)) right up to the borders.
+func Close(img *rle.Image, se SE) (*rle.Image, error) {
+	if err := se.Validate(); err != nil {
+		return nil, err
+	}
+	padded := rle.NewImage(img.Width+2*se.Rx, img.Height+2*se.Ry)
+	for y, row := range img.Rows {
+		padded.Rows[y+se.Ry] = row.Shift(se.Rx)
+	}
+	dilated, err := Dilate(padded, se)
+	if err != nil {
+		return nil, err
+	}
+	eroded, err := Erode(dilated, se)
+	if err != nil {
+		return nil, err
+	}
+	out := rle.NewImage(img.Width, img.Height)
+	for y := 0; y < img.Height; y++ {
+		out.Rows[y] = eroded.Rows[y+se.Ry].Shift(-se.Rx).Clip(img.Width)
+	}
+	return out, nil
+}
+
+// Gradient returns the morphological gradient Dilate − Erode: the
+// object boundaries, a building block of inspection pipelines.
+func Gradient(img *rle.Image, se SE) (*rle.Image, error) {
+	dilated, err := Dilate(img, se)
+	if err != nil {
+		return nil, err
+	}
+	eroded, err := Erode(img, se)
+	if err != nil {
+		return nil, err
+	}
+	out := rle.NewImage(img.Width, img.Height)
+	for y := range out.Rows {
+		out.Rows[y] = rle.AndNot(dilated.Rows[y], eroded.Rows[y])
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package morph
+
+import (
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/bitmap"
+	"sysrle/internal/rle"
+)
+
+// dilateRef and erodeRef are pixel-level references on bitmaps.
+func dilateRef(b *bitmap.Bitmap, se SE) *bitmap.Bitmap {
+	out := bitmap.New(b.Width(), b.Height())
+	for y := 0; y < b.Height(); y++ {
+		for x := 0; x < b.Width(); x++ {
+			if !b.Get(x, y) {
+				continue
+			}
+			for dy := -se.Ry; dy <= se.Ry; dy++ {
+				for dx := -se.Rx; dx <= se.Rx; dx++ {
+					out.Set(x+dx, y+dy, true)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func erodeRef(b *bitmap.Bitmap, se SE) *bitmap.Bitmap {
+	out := bitmap.New(b.Width(), b.Height())
+	for y := 0; y < b.Height(); y++ {
+	pixels:
+		for x := 0; x < b.Width(); x++ {
+			for dy := -se.Ry; dy <= se.Ry; dy++ {
+				for dx := -se.Rx; dx <= se.Rx; dx++ {
+					if !b.Get(x+dx, y+dy) {
+						continue pixels
+					}
+				}
+			}
+			out.Set(x, y, true)
+		}
+	}
+	return out
+}
+
+func TestDilateRow(t *testing.T) {
+	row := rle.Row{{Start: 5, Length: 2}, {Start: 10, Length: 2}}
+	got := DilateRow(row, 2, 20)
+	// (3..8) and (8..13) merge into (3..13).
+	want := rle.Row{{Start: 3, Length: 11}}
+	if !got.Equal(want) {
+		t.Errorf("DilateRow = %v, want %v", got, want)
+	}
+	if DilateRow(nil, 3, 20) != nil {
+		t.Error("empty row dilated to something")
+	}
+	// Clips at both borders.
+	got = DilateRow(rle.Row{{Start: 0, Length: 1}, {Start: 19, Length: 1}}, 2, 20)
+	want = rle.Row{{Start: 0, Length: 3}, {Start: 17, Length: 3}}
+	if !got.Equal(want) {
+		t.Errorf("border dilate = %v, want %v", got, want)
+	}
+}
+
+func TestErodeRow(t *testing.T) {
+	row := rle.Row{{Start: 5, Length: 7}, {Start: 20, Length: 4}, {Start: 30, Length: 5}}
+	got := ErodeRow(row, 2)
+	// len 7 → (7,3); len 4 vanishes; len 5 → (32,1).
+	want := rle.Row{{Start: 7, Length: 3}, {Start: 32, Length: 1}}
+	if !got.Equal(want) {
+		t.Errorf("ErodeRow = %v, want %v", got, want)
+	}
+	if ErodeRow(row, 0).Equal(row) != true {
+		t.Error("radius-0 erode changed the row")
+	}
+}
+
+func TestAgainstBitmapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 40; trial++ {
+		w, h := 10+rng.Intn(60), 5+rng.Intn(20)
+		b := bitmap.Random(rng, w, h, 0.35)
+		img := b.ToRLE()
+		se := SE{Rx: rng.Intn(3), Ry: rng.Intn(3)}
+
+		d, err := Dilate(img, se)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitmap.FromRLE(d).Equal(dilateRef(b, se)) {
+			t.Fatalf("Dilate(%+v) mismatch on %dx%d", se, w, h)
+		}
+		e, err := Erode(img, se)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitmap.FromRLE(e).Equal(erodeRef(b, se)) {
+			t.Fatalf("Erode(%+v) mismatch on %dx%d\nin:\n%sgot:\n%swant:\n%s",
+				se, w, h, b, bitmap.FromRLE(e), erodeRef(b, se))
+		}
+	}
+}
+
+func TestOpenCloseProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	for trial := 0; trial < 20; trial++ {
+		w, h := 20+rng.Intn(50), 10+rng.Intn(20)
+		img := bitmap.Random(rng, w, h, 0.4).ToRLE()
+		se := Box(1)
+
+		opened, err := Open(img, se)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed, err := Close(img, se)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Anti-extensivity / extensivity: open ⊆ img ⊆ close.
+		for y := 0; y < h; y++ {
+			if rle.AndNot(opened.Rows[y], img.Rows[y]) != nil {
+				t.Fatalf("opening added pixels at row %d", y)
+			}
+			if rle.AndNot(img.Rows[y], closed.Rows[y]) != nil {
+				t.Fatalf("closing removed pixels at row %d", y)
+			}
+		}
+		// Idempotence.
+		opened2, err := Open(opened, se)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !opened2.Equal(opened) {
+			t.Fatal("opening not idempotent")
+		}
+		closed2, err := Close(closed, se)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !closed2.Equal(closed) {
+			t.Fatal("closing not idempotent")
+		}
+	}
+}
+
+func TestGradientIsBoundary(t *testing.T) {
+	// A solid rectangle's gradient with a 3×3 box is a 3-pixel-wide
+	// band straddling the boundary; its interior must be hollow.
+	img := rle.NewImage(30, 30)
+	for y := 5; y <= 24; y++ {
+		img.Rows[y] = rle.Row{{Start: 5, Length: 20}}
+	}
+	g, err := Gradient(img, Box(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Get(15, 15) {
+		t.Error("gradient kept deep interior pixel")
+	}
+	if !g.Get(5, 5) || !g.Get(24, 24) {
+		t.Error("gradient missing corner boundary")
+	}
+	if !g.Get(15, 4) { // one above the top edge: dilation reaches it
+		t.Error("gradient missing outer boundary")
+	}
+}
+
+func TestZeroSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(419))
+	img := bitmap.Random(rng, 40, 10, 0.3).ToRLE()
+	d, err := Dilate(img, SE{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Erode(img, SE{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(img) || !e.Equal(img) {
+		t.Error("zero SE is not identity")
+	}
+}
+
+func TestNegativeSERejected(t *testing.T) {
+	img := rle.NewImage(4, 4)
+	for _, se := range []SE{{Rx: -1}, {Ry: -2}} {
+		if _, err := Dilate(img, se); err == nil {
+			t.Errorf("Dilate accepted %+v", se)
+		}
+		if _, err := Erode(img, se); err == nil {
+			t.Errorf("Erode accepted %+v", se)
+		}
+		if _, err := Open(img, se); err == nil {
+			t.Errorf("Open accepted %+v", se)
+		}
+		if _, err := Close(img, se); err == nil {
+			t.Errorf("Close accepted %+v", se)
+		}
+		if _, err := Gradient(img, se); err == nil {
+			t.Errorf("Gradient accepted %+v", se)
+		}
+	}
+}
+
+func TestDilateRowPanicsOnNegativeRadius(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	DilateRow(nil, -1, 10)
+}

@@ -1,0 +1,189 @@
+package rle
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Serialization of RLE images.
+//
+// Two formats are provided:
+//
+//   - A line-oriented text format ("RLET"), human-inspectable and handy
+//     in tests and examples:
+//
+//     RLET <width> <height>
+//     <start>,<length> <start>,<length> ...   (one line per row; blank
+//                                              line = empty row)
+//
+//   - A compact binary format ("RLEB"): magic, uvarint width and
+//     height, then per row a uvarint run count followed by
+//     delta-encoded uvarint gaps and lengths. Delta encoding keeps
+//     typical PCB-style imagery at a few bits per run.
+
+const (
+	textMagic   = "RLET"
+	binaryMagic = "RLEB"
+)
+
+// ErrFormat is returned when decoding input that is not a recognized
+// RLE stream.
+var ErrFormat = errors.New("rle: unrecognized format")
+
+// WriteText serializes the image in the text format.
+func WriteText(w io.Writer, img *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %d %d\n", textMagic, img.Width, img.Height); err != nil {
+		return err
+	}
+	for _, row := range img.Rows {
+		for i, r := range row {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d,%d", r.Start, r.Length); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format and validates the result.
+func ReadText(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header", ErrFormat)
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 3 || fields[0] != textMagic {
+		return nil, fmt.Errorf("%w: bad header %q", ErrFormat, strings.TrimSpace(header))
+	}
+	width, err1 := strconv.Atoi(fields[1])
+	height, err2 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil || width < 0 || height < 0 {
+		return nil, fmt.Errorf("%w: bad dimensions %q %q", ErrFormat, fields[1], fields[2])
+	}
+	img := NewImage(width, height)
+	for y := 0; y < height; y++ {
+		line, err := br.ReadString('\n')
+		if err != nil && !(err == io.EOF && y == height-1) {
+			return nil, fmt.Errorf("rle: short input at row %d: %w", y, err)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var row Row
+		for _, tok := range strings.Fields(line) {
+			var start, length int
+			if _, err := fmt.Sscanf(tok, "%d,%d", &start, &length); err != nil {
+				return nil, fmt.Errorf("rle: row %d: bad run %q", y, tok)
+			}
+			row = append(row, Run{Start: start, Length: length})
+		}
+		img.Rows[y] = row
+	}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// WriteBinary serializes the image in the binary format.
+func WriteBinary(w io.Writer, img *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(img.Width)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(img.Height)); err != nil {
+		return err
+	}
+	for _, row := range img.Rows {
+		if err := putUvarint(uint64(len(row))); err != nil {
+			return err
+		}
+		pos := 0
+		for _, r := range row {
+			if err := putUvarint(uint64(r.Start - pos)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(r.Length)); err != nil {
+				return err
+			}
+			pos = r.End() + 1
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format and validates the result.
+func ReadBinary(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	width, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("rle: reading width: %w", err)
+	}
+	height, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("rle: reading height: %w", err)
+	}
+	const maxDim = 1 << 30
+	if width > maxDim || height > maxDim {
+		return nil, fmt.Errorf("%w: implausible dimensions %dx%d", ErrFormat, width, height)
+	}
+	img := NewImage(int(width), int(height))
+	for y := 0; y < int(height); y++ {
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("rle: row %d count: %w", y, err)
+		}
+		if count > width {
+			return nil, fmt.Errorf("rle: row %d: %d runs exceed width %d", y, count, width)
+		}
+		row := make(Row, 0, count)
+		pos := 0
+		for i := uint64(0); i < count; i++ {
+			gap, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("rle: row %d run %d gap: %w", y, i, err)
+			}
+			length, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("rle: row %d run %d length: %w", y, i, err)
+			}
+			run := Run{Start: pos + int(gap), Length: int(length)}
+			row = append(row, run)
+			pos = run.End() + 1
+		}
+		img.Rows[y] = row
+	}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}

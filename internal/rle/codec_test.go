@@ -1,0 +1,128 @@
+package rle
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		img := randomImage(rng, 1+rng.Intn(100), 1+rng.Intn(20))
+		var buf bytes.Buffer
+		if err := WriteText(&buf, img); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("ReadText: %v\n%s", err, buf.String())
+		}
+		if !img.Equal(back) {
+			t.Fatal("text round trip changed image")
+		}
+	}
+}
+
+func TestTextFormatShape(t *testing.T) {
+	img := NewImage(32, 2)
+	img.SetRow(0, Row{{10, 3}, {16, 2}})
+	var buf bytes.Buffer
+	if err := WriteText(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	want := "RLET 32 2\n10,3 16,2\n\n"
+	if buf.String() != want {
+		t.Errorf("text = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad magic", "NOPE 4 4\n"},
+		{"bad dims", "RLET x 4\n"},
+		{"negative dims", "RLET -3 4\n"},
+		{"bad run", "RLET 8 1\n3;4\n"},
+		{"invalid row", "RLET 8 1\n5,2 5,2\n"},
+		{"out of bounds", "RLET 8 1\n6,4\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: ReadText accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestReadTextLastRowWithoutNewline(t *testing.T) {
+	img, err := ReadText(strings.NewReader("RLET 8 2\n0,2\n4,2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Rows[1].Equal(Row{{4, 2}}) {
+		t.Errorf("row 1 = %v", img.Rows[1])
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 50; trial++ {
+		img := randomImage(rng, 1+rng.Intn(500), 1+rng.Intn(30))
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, img); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !img.Equal(back) {
+			t.Fatal("binary round trip changed image")
+		}
+	}
+}
+
+func TestBinaryIsCompact(t *testing.T) {
+	// A dense, regular image should compress far below 1 bit/pixel.
+	img := NewImage(1024, 64)
+	for y := range img.Rows {
+		img.Rows[y] = Row{{100, 200}, {400, 200}, {700, 200}}
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	pixels := img.Width * img.Height / 8 // bytes if bit-packed
+	if buf.Len() >= pixels {
+		t.Errorf("binary size %d ≥ bit-packed size %d", buf.Len(), pixels)
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("XXXX")},
+		{"truncated header", []byte("RLEB")},
+		{"truncated rows", append([]byte("RLEB"), 8, 4)}, // width 8, height 4, no rows
+	}
+	for _, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c.in)); err == nil {
+			t.Errorf("%s: ReadBinary accepted %v", c.name, c.in)
+		}
+	}
+}
+
+func TestReadBinaryRejectsHugeRunCount(t *testing.T) {
+	// width 8, height 1, row claims 200 runs.
+	in := append([]byte("RLEB"), 8, 1, 200, 1)
+	if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+		t.Error("accepted run count exceeding width")
+	}
+}

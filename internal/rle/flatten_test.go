@@ -1,0 +1,135 @@
+package rle
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestFlattenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 100; trial++ {
+		img := randomImage(rng, 1+rng.Intn(60), 1+rng.Intn(20))
+		flat := Flatten(img)
+		if err := flat.Validate(img.Width * img.Height); err != nil {
+			t.Fatalf("flat row invalid: %v", err)
+		}
+		back, err := Unflatten(flat, img.Width, img.Height)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(img) {
+			t.Fatal("flatten round trip changed image")
+		}
+	}
+}
+
+func TestFlattenCoordinates(t *testing.T) {
+	img := NewImage(10, 3)
+	img.Rows[0] = Row{{Start: 8, Length: 2}}
+	img.Rows[1] = Row{{Start: 0, Length: 3}}
+	img.Rows[2] = Row{{Start: 9, Length: 1}}
+	flat := Flatten(img)
+	want := Row{{Start: 8, Length: 2}, {Start: 10, Length: 3}, {Start: 29, Length: 1}}
+	if !flat.Equal(want) {
+		t.Errorf("Flatten = %v, want %v", flat, want)
+	}
+}
+
+func TestUnflattenSplitsBoundaryRuns(t *testing.T) {
+	// One run spanning three rows.
+	flat := Row{{Start: 7, Length: 16}} // rows of width 10: 7..9, 10..19, 20..22
+	img, err := Unflatten(flat, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Rows[0].Equal(Row{{Start: 7, Length: 3}}) ||
+		!img.Rows[1].Equal(Row{{Start: 0, Length: 10}}) ||
+		!img.Rows[2].Equal(Row{{Start: 0, Length: 3}}) {
+		t.Errorf("rows = %v", img.Rows)
+	}
+}
+
+func TestUnflattenErrors(t *testing.T) {
+	if _, err := Unflatten(Row{{Start: 25, Length: 10}}, 10, 3); err == nil {
+		t.Error("out-of-range run accepted")
+	}
+	if _, err := Unflatten(Row{{Start: 0, Length: 1}}, 0, 0); err == nil {
+		t.Error("runs in empty image accepted")
+	}
+	if img, err := Unflatten(nil, 0, 0); err != nil || img.Height != 0 {
+		t.Errorf("empty unflatten: %v %v", img, err)
+	}
+}
+
+func TestFlattenedXORMatchesPerRow(t *testing.T) {
+	// XOR of flattened bitstrings = per-row XOR: the algebra behind
+	// the single-array deployment.
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 50; trial++ {
+		w, h := 1+rng.Intn(40), 1+rng.Intn(12)
+		a := randomImage(rng, w, h)
+		b := randomImage(rng, w, h)
+		perRow, err := XORImage(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flatDiff := XOR(Flatten(a), Flatten(b))
+		back, err := Unflatten(flatDiff, w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(perRow) {
+			t.Fatal("flattened XOR differs from per-row XOR")
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	img := NewImage(100, 10)
+	for y := 0; y < 10; y++ {
+		img.Rows[y] = Row{{Start: 10, Length: 30}, {Start: 60, Length: 10}}
+	}
+	s := Stats(img)
+	if s.Pixels != 1000 || s.Foreground != 400 || s.Runs != 20 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MeanRunLen != 20 {
+		t.Errorf("MeanRunLen = %v", s.MeanRunLen)
+	}
+	if s.BitmapBytes != 13*10 {
+		t.Errorf("BitmapBytes = %d", s.BitmapBytes)
+	}
+	// Exact: encoded size must equal what WriteBinary produces.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	if s.RLEBytes != buf.Len() {
+		t.Errorf("RLEBytes = %d, actual encoding %d", s.RLEBytes, buf.Len())
+	}
+	if s.Ratio <= 1 {
+		t.Errorf("structured image should compress: ratio %v", s.Ratio)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := Stats(NewImage(0, 0))
+	if s.Runs != 0 || s.MeanRunLen != 0 || s.Foreground != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestStatsMatchesEncodingRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 30; trial++ {
+		img := randomImage(rng, 1+rng.Intn(200), 1+rng.Intn(20))
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, img); err != nil {
+			t.Fatal(err)
+		}
+		if got := Stats(img).RLEBytes; got != buf.Len() {
+			t.Fatalf("RLEBytes %d != actual %d", got, buf.Len())
+		}
+	}
+}

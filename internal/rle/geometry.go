@@ -1,0 +1,199 @@
+package rle
+
+import "fmt"
+
+// Geometric transforms on RLE images, all computed in the compressed
+// domain. Horizontal structure is preserved by translation, cropping
+// and flips; transposition and rotation rebuild runs from column
+// events in a single counting pass (cost proportional to run count +
+// output size in runs, never to pixel count).
+
+// Translate shifts the image content by (dx, dy), clipping at the
+// borders.
+func Translate(img *Image, dx, dy int) *Image {
+	out := NewImage(img.Width, img.Height)
+	for y, row := range img.Rows {
+		ny := y + dy
+		if ny < 0 || ny >= img.Height || len(row) == 0 {
+			continue
+		}
+		out.Rows[ny] = row.Shift(dx).Clip(img.Width)
+	}
+	return out
+}
+
+// Crop extracts the rectangle [x0, x0+w) × [y0, y0+h) as a new
+// image; regions outside the source read as background. Negative
+// dimensions are an error.
+func Crop(img *Image, x0, y0, w, h int) (*Image, error) {
+	if w < 0 || h < 0 {
+		return nil, fmt.Errorf("rle: negative crop %dx%d", w, h)
+	}
+	out := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		src := img.Row(y0 + y)
+		if len(src) == 0 {
+			continue
+		}
+		out.Rows[y] = src.Shift(-x0).Clip(w)
+	}
+	return out, nil
+}
+
+// Paste writes src onto dst with its top-left corner at (x0, y0),
+// overwriting the covered region (both foreground and background of
+// the covered rectangle), clipping at dst's borders.
+func Paste(dst *Image, src *Image, x0, y0 int) {
+	for sy := 0; sy < src.Height; sy++ {
+		dy := y0 + sy
+		if dy < 0 || dy >= dst.Height {
+			continue
+		}
+		// Clear the covered span, then OR in the shifted source row.
+		coverStart, coverEnd := x0, x0+src.Width-1
+		if coverEnd < 0 || coverStart >= dst.Width {
+			continue
+		}
+		if coverStart < 0 {
+			coverStart = 0
+		}
+		if coverEnd >= dst.Width {
+			coverEnd = dst.Width - 1
+		}
+		cover := Row{Span(coverStart, coverEnd)}
+		cleared := AndNot(dst.Rows[dy], cover)
+		shifted := src.Rows[sy].Shift(x0).Clip(dst.Width)
+		dst.Rows[dy] = OR(cleared, shifted)
+	}
+}
+
+// FlipH mirrors the image horizontally. A run [s, e] maps to
+// [W-1-e, W-1-s]; per-row order reverses.
+func FlipH(img *Image) *Image {
+	out := NewImage(img.Width, img.Height)
+	for y, row := range img.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		flipped := make(Row, len(row))
+		for i, r := range row {
+			flipped[len(row)-1-i] = Span(img.Width-1-r.End(), img.Width-1-r.Start)
+		}
+		out.Rows[y] = flipped
+	}
+	return out
+}
+
+// FlipV mirrors the image vertically (row order reverses; runs are
+// untouched, so this is O(height) plus row copies).
+func FlipV(img *Image) *Image {
+	out := NewImage(img.Width, img.Height)
+	for y, row := range img.Rows {
+		out.Rows[img.Height-1-y] = row.Clone()
+	}
+	return out
+}
+
+// Rotate180 is FlipH∘FlipV.
+func Rotate180(img *Image) *Image {
+	return FlipH(FlipV(img))
+}
+
+// Transpose swaps rows and columns: output pixel (x, y) = input
+// (y, x). Runs are rebuilt from vertical extents with a single sweep
+// over column events, so cost is proportional to the total run count
+// plus the output run count.
+func Transpose(img *Image) *Image {
+	out := NewImage(img.Height, img.Width)
+	// For each output row (= input column) we need the set of input
+	// rows whose runs cover that column. Sweep input columns left to
+	// right, maintaining the set of active (row, run) intervals via
+	// start/end events.
+	type event struct {
+		x     int
+		row   int
+		start bool
+	}
+	var events []event
+	for y, row := range img.Rows {
+		for _, r := range row {
+			events = append(events, event{x: r.Start, row: y, start: true})
+			events = append(events, event{x: r.End() + 1, row: y, start: false})
+		}
+	}
+	// Counting sort events by x (x ∈ [0, Width]).
+	buckets := make([][]event, img.Width+1)
+	for _, e := range events {
+		if e.x >= 0 && e.x <= img.Width {
+			buckets[e.x] = append(buckets[e.x], e)
+		}
+	}
+	// active[y] = true when input row y is foreground at the current
+	// column. Output row x is FromBits(active) — but building it
+	// incrementally: maintain the current run list lazily by
+	// re-extracting only when events occurred at this column.
+	active := make([]bool, img.Height)
+	var current Row
+	dirty := true
+	for x := 0; x < img.Width; x++ {
+		if len(buckets[x]) > 0 {
+			for _, e := range buckets[x] {
+				active[e.row] = e.start
+			}
+			dirty = true
+		}
+		if dirty {
+			current = FromBits(active)
+			dirty = false
+		}
+		out.Rows[x] = current.Clone()
+	}
+	return out
+}
+
+// Downsample shrinks the image by an integer factor with OR-pooling:
+// an output pixel is set when any pixel of its f×f source block is.
+// Both passes stay in the compressed domain: rows are OR-merged in
+// groups of f, then each run's coordinates divide by f. Used by the
+// coarse-to-fine scan registration.
+func Downsample(img *Image, f int) (*Image, error) {
+	if f < 1 {
+		return nil, fmt.Errorf("rle: downsample factor %d", f)
+	}
+	if f == 1 {
+		return img.Clone(), nil
+	}
+	outW := (img.Width + f - 1) / f
+	outH := (img.Height + f - 1) / f
+	out := NewImage(outW, outH)
+	group := make([]Row, 0, f)
+	for oy := 0; oy < outH; oy++ {
+		group = group[:0]
+		for dy := 0; dy < f; dy++ {
+			if r := img.Row(oy*f + dy); len(r) > 0 {
+				group = append(group, r)
+			}
+		}
+		merged := ORMany(group)
+		if len(merged) == 0 {
+			continue
+		}
+		shrunk := make(Row, len(merged))
+		for i, r := range merged {
+			shrunk[i] = Span(r.Start/f, r.End()/f)
+		}
+		out.Rows[oy] = shrunk.Canonicalize()
+	}
+	return out, nil
+}
+
+// Rotate90 rotates the image 90° clockwise: output (x, y) = input
+// (y, H-1-x)... equivalently Transpose then FlipH.
+func Rotate90(img *Image) *Image {
+	return FlipH(Transpose(img))
+}
+
+// Rotate270 rotates 90° counter-clockwise.
+func Rotate270(img *Image) *Image {
+	return FlipV(Transpose(img))
+}

@@ -1,0 +1,257 @@
+package rle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refPixels collects a pixel matrix from an image for brute-force
+// comparison.
+func refPixels(img *Image) [][]bool {
+	px := make([][]bool, img.Height)
+	for y := range px {
+		px[y] = img.Row(y).Bits(img.Width)
+	}
+	return px
+}
+
+func imagesPixelEqual(t *testing.T, got, want *Image, what string) {
+	t.Helper()
+	if got.Width != want.Width || got.Height != want.Height {
+		t.Fatalf("%s: dims %dx%d, want %dx%d", what, got.Width, got.Height, want.Width, want.Height)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("%s: invalid output: %v", what, err)
+	}
+	for y := 0; y < want.Height; y++ {
+		if !got.Rows[y].EqualBits(want.Rows[y]) {
+			t.Fatalf("%s: row %d = %v, want %v", what, y, got.Rows[y], want.Rows[y])
+		}
+	}
+}
+
+func TestTranslateAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 60; trial++ {
+		img := randomImage(rng, 1+rng.Intn(50), 1+rng.Intn(20))
+		dx, dy := rng.Intn(21)-10, rng.Intn(11)-5
+		got := Translate(img, dx, dy)
+		want := NewImage(img.Width, img.Height)
+		px := refPixels(img)
+		for y := 0; y < img.Height; y++ {
+			bits := make([]bool, img.Width)
+			for x := 0; x < img.Width; x++ {
+				sx, sy := x-dx, y-dy
+				if sx >= 0 && sy >= 0 && sx < img.Width && sy < img.Height {
+					bits[x] = px[sy][sx]
+				}
+			}
+			want.Rows[y] = FromBits(bits)
+		}
+		imagesPixelEqual(t, got, want, "Translate")
+	}
+}
+
+func TestCrop(t *testing.T) {
+	img := NewImage(10, 4)
+	img.Rows[1] = Row{{Start: 2, Length: 6}}
+	img.Rows[2] = Row{{Start: 0, Length: 10}}
+	got, err := Crop(img, 3, 1, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Rows[0].Equal(Row{{Start: 0, Length: 4}}) { // from (2,6): columns 3..6 all set
+		t.Errorf("crop row 0 = %v", got.Rows[0])
+	}
+	if !got.Rows[1].Equal(Row{{Start: 0, Length: 4}}) {
+		t.Errorf("crop row 1 = %v", got.Rows[1])
+	}
+	// Out-of-range crop reads background.
+	got, err = Crop(img, -2, -1, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Area() != 0 && got.Rows[2] == nil {
+		t.Errorf("offset crop wrong: %v", got.Rows)
+	}
+	if _, err := Crop(img, 0, 0, -1, 2); err == nil {
+		t.Error("negative crop accepted")
+	}
+}
+
+func TestCropPasteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(607))
+	for trial := 0; trial < 40; trial++ {
+		img := randomImage(rng, 30+rng.Intn(30), 10+rng.Intn(10))
+		x0, y0 := rng.Intn(10), rng.Intn(5)
+		w, h := 5+rng.Intn(10), 3+rng.Intn(5)
+		sub, err := Crop(img, x0, y0, w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := img.Clone()
+		Paste(back, sub, x0, y0) // paste the cropped region back
+		if !back.Equal(img) {
+			t.Fatalf("crop+paste not identity at (%d,%d) %dx%d", x0, y0, w, h)
+		}
+	}
+}
+
+func TestPasteOverwritesRegion(t *testing.T) {
+	dst := NewImage(10, 3)
+	for y := range dst.Rows {
+		dst.Rows[y] = Row{{Start: 0, Length: 10}} // all foreground
+	}
+	src := NewImage(4, 2) // all background
+	Paste(dst, src, 3, 1) // covers rows 1-2, columns 3-6
+	if !dst.Rows[0].Equal(Row{{Start: 0, Length: 10}}) {
+		t.Error("row above paste disturbed")
+	}
+	want := Row{{Start: 0, Length: 3}, {Start: 7, Length: 3}}
+	for _, y := range []int{1, 2} {
+		if !dst.Rows[y].EqualBits(want) {
+			t.Errorf("pasted row %d = %v, want %v", y, dst.Rows[y], want)
+		}
+	}
+	// Clipped paste does not panic and only affects the overlap
+	// (row 2, columns 8-9; row 3 of the source falls off the image).
+	Paste(dst, src, 8, 2)
+	if !dst.Rows[2].EqualBits(Row{{Start: 0, Length: 3}, {Start: 7, Length: 1}}) {
+		t.Errorf("clipped paste row = %v", dst.Rows[2])
+	}
+}
+
+func TestFlipsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(611))
+	for trial := 0; trial < 40; trial++ {
+		img := randomImage(rng, 1+rng.Intn(40), 1+rng.Intn(15))
+		px := refPixels(img)
+
+		wantH := NewImage(img.Width, img.Height)
+		wantV := NewImage(img.Width, img.Height)
+		for y := 0; y < img.Height; y++ {
+			bh := make([]bool, img.Width)
+			for x := 0; x < img.Width; x++ {
+				bh[x] = px[y][img.Width-1-x]
+			}
+			wantH.Rows[y] = FromBits(bh)
+			wantV.Rows[img.Height-1-y] = FromBits(px[y])
+		}
+		imagesPixelEqual(t, FlipH(img), wantH, "FlipH")
+		imagesPixelEqual(t, FlipV(img), wantV, "FlipV")
+		// Involutions.
+		imagesPixelEqual(t, FlipH(FlipH(img)), img, "FlipH²")
+		imagesPixelEqual(t, FlipV(FlipV(img)), img, "FlipV²")
+		imagesPixelEqual(t, Rotate180(Rotate180(img)), img, "Rotate180²")
+	}
+}
+
+func TestTransposeAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(613))
+	for trial := 0; trial < 40; trial++ {
+		img := randomImage(rng, 1+rng.Intn(40), 1+rng.Intn(25))
+		got := Transpose(img)
+		px := refPixels(img)
+		want := NewImage(img.Height, img.Width)
+		for x := 0; x < img.Width; x++ {
+			bits := make([]bool, img.Height)
+			for y := 0; y < img.Height; y++ {
+				bits[y] = px[y][x]
+			}
+			want.Rows[x] = FromBits(bits)
+		}
+		imagesPixelEqual(t, got, want, "Transpose")
+		imagesPixelEqual(t, Transpose(got), img, "Transpose²")
+	}
+}
+
+func TestRotate90AgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(617))
+	for trial := 0; trial < 30; trial++ {
+		img := randomImage(rng, 1+rng.Intn(30), 1+rng.Intn(20))
+		got := Rotate90(img)
+		// Clockwise: output(x, y) = input(y, H-1-x) with output dims
+		// H×W.
+		px := refPixels(img)
+		want := NewImage(img.Height, img.Width)
+		for y := 0; y < want.Height; y++ {
+			bits := make([]bool, want.Width)
+			for x := 0; x < want.Width; x++ {
+				bits[x] = px[img.Height-1-x][y]
+			}
+			want.Rows[y] = FromBits(bits)
+		}
+		imagesPixelEqual(t, got, want, "Rotate90")
+		// Four quarter-turns are the identity.
+		imagesPixelEqual(t, Rotate90(Rotate90(Rotate90(Rotate90(img)))), img, "Rotate90⁴")
+		// 90+270 = identity.
+		imagesPixelEqual(t, Rotate270(Rotate90(img)), img, "Rotate270∘Rotate90")
+		// 90∘90 = 180.
+		imagesPixelEqual(t, Rotate90(Rotate90(img)), Rotate180(img), "90² vs 180")
+	}
+}
+
+func TestGeometryPreservesArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(619))
+	img := randomImage(rng, 37, 13)
+	area := img.Area()
+	for name, got := range map[string]*Image{
+		"FlipH":     FlipH(img),
+		"FlipV":     FlipV(img),
+		"Transpose": Transpose(img),
+		"Rotate90":  Rotate90(img),
+		"Rotate180": Rotate180(img),
+		"Rotate270": Rotate270(img),
+	} {
+		if got.Area() != area {
+			t.Errorf("%s changed area: %d → %d", name, area, got.Area())
+		}
+	}
+}
+
+func TestDownsampleAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(621))
+	for trial := 0; trial < 50; trial++ {
+		img := randomImage(rng, 1+rng.Intn(60), 1+rng.Intn(30))
+		f := 1 + rng.Intn(4)
+		got, err := Downsample(img, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outW := (img.Width + f - 1) / f
+		outH := (img.Height + f - 1) / f
+		if got.Width != outW || got.Height != outH {
+			t.Fatalf("dims %dx%d, want %dx%d", got.Width, got.Height, outW, outH)
+		}
+		px := refPixels(img)
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				want := false
+				for dy := 0; dy < f && !want; dy++ {
+					for dx := 0; dx < f && !want; dx++ {
+						y, x := oy*f+dy, ox*f+dx
+						if y < img.Height && x < img.Width && px[y][x] {
+							want = true
+						}
+					}
+				}
+				if got.Get(ox, oy) != want {
+					t.Fatalf("f=%d pixel (%d,%d) = %v, want %v", f, ox, oy, got.Get(ox, oy), want)
+				}
+			}
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("downsampled image invalid: %v", err)
+		}
+	}
+}
+
+func TestDownsampleErrors(t *testing.T) {
+	if _, err := Downsample(NewImage(4, 4), 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	one, err := Downsample(NewImage(4, 4), 1)
+	if err != nil || one.Width != 4 {
+		t.Error("factor 1 should clone")
+	}
+}

@@ -1,0 +1,231 @@
+package rle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bitOp applies a pixelwise reference operation over expanded rows.
+func bitOp(a, b Row, width int, op func(x, y bool) bool) Row {
+	ab, bb := a.Bits(width), b.Bits(width)
+	out := make([]bool, width)
+	for i := range out {
+		out[i] = op(ab[i], bb[i])
+	}
+	return FromBits(out)
+}
+
+func TestXORFigure1(t *testing.T) {
+	// The paper's Figure 1: difference of the two example rows.
+	want := Row{{3, 4}, {8, 2}, {15, 1}, {18, 2}, {30, 1}}
+	got := XOR(fig1Img1(), fig1Img2())
+	if !got.Equal(want) {
+		t.Fatalf("XOR = %v, want %v", got, want)
+	}
+	// XOR is symmetric.
+	if !XOR(fig1Img2(), fig1Img1()).Equal(want) {
+		t.Fatal("XOR not symmetric on Figure 1 inputs")
+	}
+}
+
+func TestOpsAgainstBitReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ops := []struct {
+		name string
+		rle  func(a, b Row) Row
+		bit  func(x, y bool) bool
+	}{
+		{"XOR", XOR, func(x, y bool) bool { return x != y }},
+		{"AND", AND, func(x, y bool) bool { return x && y }},
+		{"OR", OR, func(x, y bool) bool { return x || y }},
+		{"AndNot", AndNot, func(x, y bool) bool { return x && !y }},
+	}
+	for trial := 0; trial < 300; trial++ {
+		width := 1 + rng.Intn(256)
+		a, b := randomRow(rng, width), randomRow(rng, width)
+		for _, op := range ops {
+			got := op.rle(a, b)
+			want := bitOp(a, b, width, op.bit)
+			if !got.Equal(want) {
+				t.Fatalf("%s(%v, %v) = %v, want %v", op.name, a, b, got, want)
+			}
+			if !got.Canonical() {
+				t.Fatalf("%s output %v not canonical", op.name, got)
+			}
+		}
+	}
+}
+
+func TestOpsOnNonCanonicalInputs(t *testing.T) {
+	// Inputs with adjacent runs are valid per the paper; ops must
+	// still be correct.
+	a := Row{{0, 3}, {3, 3}, {10, 2}} // = {0..5, 10..11}
+	b := Row{{2, 2}, {4, 4}}          // = {2..7}
+	width := 16
+	for name, pair := range map[string][2]Row{
+		"XOR": {XOR(a, b), bitOp(a, b, width, func(x, y bool) bool { return x != y })},
+		"AND": {AND(a, b), bitOp(a, b, width, func(x, y bool) bool { return x && y })},
+		"OR":  {OR(a, b), bitOp(a, b, width, func(x, y bool) bool { return x || y })},
+	} {
+		if !pair[0].Equal(pair[1]) {
+			t.Errorf("%s on non-canonical inputs: got %v want %v", name, pair[0], pair[1])
+		}
+	}
+}
+
+func TestXOREdgeCases(t *testing.T) {
+	a := fig1Img1()
+	if got := XOR(a, nil); !got.Equal(a.Canonicalize()) {
+		t.Errorf("XOR(a, empty) = %v, want %v", got, a)
+	}
+	if got := XOR(nil, a); !got.Equal(a.Canonicalize()) {
+		t.Errorf("XOR(empty, a) = %v, want %v", got, a)
+	}
+	if got := XOR(a, a); len(got) != 0 {
+		t.Errorf("XOR(a, a) = %v, want empty", got)
+	}
+	if got := XOR(nil, nil); len(got) != 0 {
+		t.Errorf("XOR(empty, empty) = %v", got)
+	}
+}
+
+func TestXORProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.Intn(200)
+		a, b, c := randomRow(rng, width), randomRow(rng, width), randomRow(rng, width)
+		// Commutativity.
+		if !XOR(a, b).Equal(XOR(b, a)) {
+			t.Fatalf("XOR not commutative: %v %v", a, b)
+		}
+		// Associativity.
+		if !XOR(XOR(a, b), c).Equal(XOR(a, XOR(b, c))) {
+			t.Fatalf("XOR not associative: %v %v %v", a, b, c)
+		}
+		// Self-inverse: (a ⊕ b) ⊕ b = a.
+		if !XOR(XOR(a, b), b).EqualBits(a) {
+			t.Fatalf("XOR not self-inverse: %v %v", a, b)
+		}
+		// De Morgan via AndNot: a\b ∪ b\a = a ⊕ b.
+		if !OR(AndNot(a, b), AndNot(b, a)).Equal(XOR(a, b)) {
+			t.Fatalf("symmetric difference identity failed: %v %v", a, b)
+		}
+	}
+}
+
+func TestNot(t *testing.T) {
+	cases := []struct {
+		in    Row
+		width int
+		want  Row
+	}{
+		{nil, 8, Row{{0, 8}}},
+		{Row{{0, 8}}, 8, nil},
+		{Row{{2, 3}}, 8, Row{{0, 2}, {5, 3}}},
+		{Row{{0, 2}, {5, 3}}, 8, Row{{2, 3}}},
+		{Row{{0, 1}, {7, 1}}, 8, Row{{1, 6}}},
+	}
+	for _, c := range cases {
+		got := Not(c.in, c.width)
+		if !got.Equal(c.want) {
+			t.Errorf("Not(%v, %d) = %v, want %v", c.in, c.width, got, c.want)
+		}
+	}
+}
+
+func TestNotInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := 1 + rng.Intn(128)
+		row := randomRow(rng, width)
+		return Not(Not(row, width), width).EqualBits(row)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNotTruncatesOutOfRangeRuns(t *testing.T) {
+	// A run ending beyond width: complement must stay within bounds.
+	got := Not(Row{{2, 100}}, 8)
+	want := Row{{0, 2}}
+	if !got.Equal(want) {
+		t.Errorf("Not = %v, want %v", got, want)
+	}
+}
+
+func TestORManyAndANDMany(t *testing.T) {
+	rows := []Row{
+		{{0, 4}},          // 0..3
+		{{2, 4}},          // 2..5
+		{{3, 1}, {10, 2}}, // 3, 10..11
+	}
+	if got, want := ORMany(rows), (Row{{0, 6}, {10, 2}}); !got.Equal(want) {
+		t.Errorf("ORMany = %v, want %v", got, want)
+	}
+	if got, want := ANDMany(rows), (Row{{3, 1}}); !got.Equal(want) {
+		t.Errorf("ANDMany = %v, want %v", got, want)
+	}
+	if ORMany(nil) != nil {
+		t.Error("ORMany(nil) should be empty")
+	}
+	if ANDMany(nil) != nil {
+		t.Error("ANDMany(nil) should be empty")
+	}
+}
+
+func TestAtLeast(t *testing.T) {
+	rows := []Row{
+		{{0, 4}},
+		{{2, 4}},
+		{{3, 3}},
+	}
+	// Coverage: pixel0:1 1:1 2:2 3:3 4:2 5:2
+	if got, want := AtLeast(rows, 2), (Row{{2, 4}}); !got.Equal(want) {
+		t.Errorf("AtLeast(2) = %v, want %v", got, want)
+	}
+	if got, want := AtLeast(rows, 3), (Row{{3, 1}}); !got.Equal(want) {
+		t.Errorf("AtLeast(3) = %v, want %v", got, want)
+	}
+	if got := AtLeast(rows, 4); len(got) != 0 {
+		t.Errorf("AtLeast(4) = %v, want empty", got)
+	}
+	// n<1 clamps to 1 (= OR).
+	if !AtLeast(rows, 0).Equal(ORMany(rows)) {
+		t.Error("AtLeast(0) should equal ORMany")
+	}
+}
+
+func TestManyAgainstPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		width := 1 + rng.Intn(128)
+		n := 1 + rng.Intn(6)
+		rows := make([]Row, n)
+		for i := range rows {
+			rows[i] = randomRow(rng, width)
+		}
+		orRef, andRef := rows[0], rows[0]
+		for _, w := range rows[1:] {
+			orRef = OR(orRef, w)
+			andRef = AND(andRef, w)
+		}
+		if !ORMany(rows).Equal(orRef) {
+			t.Fatalf("ORMany disagrees with pairwise OR on %v", rows)
+		}
+		if !ANDMany(rows).Equal(andRef) {
+			t.Fatalf("ANDMany disagrees with pairwise AND on %v", rows)
+		}
+	}
+}
+
+func BenchmarkXORSweep(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a1 := randomRow(rng, 4096)
+	a2 := randomRow(rng, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		XOR(a1, a2)
+	}
+}

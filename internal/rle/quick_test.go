@@ -1,0 +1,139 @@
+package rle
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genRow makes Row usable with testing/quick: Generate produces an
+// arbitrary *valid* row (adjacent runs permitted), so properties can
+// be stated over the real input domain.
+type genRow Row
+
+func (genRow) Generate(r *rand.Rand, size int) reflect.Value {
+	width := 1 + r.Intn(8*size+8)
+	var row Row
+	pos := r.Intn(4)
+	for pos < width {
+		length := 1 + r.Intn(9)
+		if pos+length > width {
+			break
+		}
+		row = append(row, Run{Start: pos, Length: length})
+		pos += length + r.Intn(10) // gap 0 = adjacent runs
+		if pos >= width {
+			break
+		}
+	}
+	return reflect.ValueOf(genRow(row))
+}
+
+// genCanonicalRow generates maximally compressed rows.
+type genCanonicalRow Row
+
+func (genCanonicalRow) Generate(r *rand.Rand, size int) reflect.Value {
+	v := genRow{}.Generate(r, size).Interface().(genRow)
+	return reflect.ValueOf(genCanonicalRow(Row(v).Canonicalize()))
+}
+
+var quickCfg = &quick.Config{MaxCount: 400}
+
+func TestQuickGeneratedRowsAreValid(t *testing.T) {
+	f := func(a genRow) bool { return Row(a).Validate(-1) == nil }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCanonicalizeIdempotent(t *testing.T) {
+	f := func(a genRow) bool {
+		c := Row(a).Canonicalize()
+		return c.Canonical() && c.Canonicalize().Equal(c) && c.Area() == Row(a).Area()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickXORGroupLaws(t *testing.T) {
+	// (Rows, XOR) is an abelian group with ∅ identity and self
+	// inverses.
+	identity := func(a genRow) bool {
+		return XOR(Row(a), nil).EqualBits(Row(a))
+	}
+	inverse := func(a genRow) bool {
+		return len(XOR(Row(a), Row(a))) == 0
+	}
+	commutative := func(a, b genRow) bool {
+		return XOR(Row(a), Row(b)).Equal(XOR(Row(b), Row(a)))
+	}
+	associative := func(a, b, c genRow) bool {
+		return XOR(XOR(Row(a), Row(b)), Row(c)).Equal(XOR(Row(a), XOR(Row(b), Row(c))))
+	}
+	for name, f := range map[string]any{
+		"identity": identity, "inverse": inverse,
+		"commutative": commutative, "associative": associative,
+	} {
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// Over a window covering both operands: ¬(a ∨ b) = ¬a ∧ ¬b.
+	f := func(a, b genRow) bool {
+		width := 1
+		for _, r := range append(append(Row{}, a...), b...) {
+			if r.End()+1 > width {
+				width = r.End() + 1
+			}
+		}
+		lhs := Not(OR(Row(a), Row(b)), width)
+		rhs := AND(Not(Row(a), width), Not(Row(b), width))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAreaInclusionExclusion(t *testing.T) {
+	// |a| + |b| = |a ∨ b| + |a ∧ b|.
+	f := func(a, b genRow) bool {
+		return Row(a).Area()+Row(b).Area() == OR(Row(a), Row(b)).Area()+AND(Row(a), Row(b)).Area()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCodecsRoundTrip(t *testing.T) {
+	f := func(rows []genCanonicalRow) bool {
+		width := 1
+		img := NewImage(0, len(rows))
+		for y, row := range rows {
+			img.Rows[y] = Row(row)
+			if a := Row(row); len(a) > 0 && a[len(a)-1].End()+1 > width {
+				width = a[len(a)-1].End() + 1
+			}
+		}
+		img.Width = width
+		if img.Validate() != nil {
+			return true // generator widths shifted; skip invalid combos
+		}
+		var binBuf, txtBuf bytes.Buffer
+		if WriteBinary(&binBuf, img) != nil || WriteText(&txtBuf, img) != nil {
+			return false
+		}
+		fromBin, err1 := ReadBinary(&binBuf)
+		fromTxt, err2 := ReadText(&txtBuf)
+		return err1 == nil && err2 == nil && fromBin.Equal(img) && fromTxt.Equal(img)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,238 @@
+package rle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fig1Img1 and fig1Img2 are the paper's Figure 1 inputs.
+func fig1Img1() Row {
+	return Row{{10, 3}, {16, 2}, {23, 2}, {27, 3}}
+}
+
+func fig1Img2() Row {
+	return Row{{3, 4}, {8, 5}, {15, 5}, {23, 2}, {27, 4}}
+}
+
+// randomRow produces a valid (canonical) row of the given width using
+// the supplied RNG; exported within the package for other test files.
+func randomRow(rng *rand.Rand, width int) Row {
+	var row Row
+	pos := rng.Intn(4)
+	for pos < width {
+		length := 1 + rng.Intn(8)
+		if pos+length > width {
+			length = width - pos
+		}
+		if length <= 0 {
+			break
+		}
+		row = append(row, Run{Start: pos, Length: length})
+		pos += length + 1 + rng.Intn(10) // +1 gap keeps it canonical
+	}
+	return row
+}
+
+func TestValidateAcceptsFigure1(t *testing.T) {
+	if err := fig1Img1().Validate(32); err != nil {
+		t.Errorf("img1: %v", err)
+	}
+	if err := fig1Img2().Validate(32); err != nil {
+		t.Errorf("img2: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		row  Row
+	}{
+		{"zero length", Row{{5, 0}}},
+		{"negative start", Row{{-1, 3}}},
+		{"non increasing", Row{{5, 2}, {5, 3}}},
+		{"decreasing", Row{{9, 2}, {3, 3}}},
+		{"overlap", Row{{0, 5}, {4, 2}}},
+		{"beyond width", Row{{30, 5}}},
+	}
+	for _, c := range cases {
+		if err := c.row.Validate(32); err == nil {
+			t.Errorf("%s: Validate accepted %v", c.name, c.row)
+		}
+	}
+}
+
+func TestValidateSkipsBoundsWhenNegativeWidth(t *testing.T) {
+	if err := (Row{{1000, 1000}}).Validate(-1); err != nil {
+		t.Errorf("unbounded validate rejected in-variant row: %v", err)
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Row
+		want Row
+	}{
+		{"empty", nil, nil},
+		{"single", Row{{3, 4}}, Row{{3, 4}}},
+		{"adjacent pair merges", Row{{0, 3}, {3, 2}}, Row{{0, 5}}},
+		{"chain merges", Row{{0, 1}, {1, 1}, {2, 1}}, Row{{0, 3}}},
+		{"gap preserved", Row{{0, 3}, {4, 2}}, Row{{0, 3}, {4, 2}}},
+		{"overlap absorbed", Row{{0, 5}, {2, 2}}, Row{{0, 5}}},
+		{"overlap extends", Row{{0, 5}, {3, 10}}, Row{{0, 13}}},
+	}
+	for _, c := range cases {
+		got := c.in.Canonicalize()
+		if !got.Equal(c.want) {
+			t.Errorf("%s: Canonicalize(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+		if !got.Canonical() {
+			t.Errorf("%s: result %v not canonical", c.name, got)
+		}
+	}
+}
+
+func TestCanonicalPredicate(t *testing.T) {
+	if !(Row{{0, 3}, {4, 2}}).Canonical() {
+		t.Error("gapped row reported non-canonical")
+	}
+	if (Row{{0, 3}, {3, 2}}).Canonical() {
+		t.Error("adjacent row reported canonical")
+	}
+	if (Row{{4, 2}, {0, 3}}).Canonical() {
+		t.Error("invalid row reported canonical")
+	}
+}
+
+func TestNormalizeSortsAndMerges(t *testing.T) {
+	in := []Run{{8, 2}, {0, 3}, {3, 5}, {20, 1}, {15, 2}, {0, 0}, {-3, 2}}
+	got := Normalize(in)
+	want := Row{{0, 10}, {15, 2}, {20, 1}}
+	if !got.Equal(want) {
+		t.Errorf("Normalize = %v, want %v", got, want)
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.Intn(300)
+		row := randomRow(rng, width)
+		back := FromBits(row.Bits(width))
+		if !back.Equal(row) {
+			t.Fatalf("round trip: %v -> %v (width %d)", row, back, width)
+		}
+	}
+}
+
+func TestFromBitsProperty(t *testing.T) {
+	// FromBits always yields a canonical row whose Bits reproduce the
+	// input.
+	f := func(bits []bool) bool {
+		row := FromBits(bits)
+		if !row.Canonical() {
+			return false
+		}
+		got := row.Bits(len(bits))
+		for i := range bits {
+			if got[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGetMatchesBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		width := 1 + rng.Intn(200)
+		row := randomRow(rng, width)
+		bits := row.Bits(width)
+		for i := 0; i < width; i++ {
+			if row.Get(i) != bits[i] {
+				t.Fatalf("Get(%d) = %v disagrees with bits for %v", i, row.Get(i), row)
+			}
+		}
+		if row.Get(-1) || row.Get(width+5) {
+			t.Fatal("out-of-range Get returned foreground")
+		}
+	}
+}
+
+func TestAreaAndRunCount(t *testing.T) {
+	row := fig1Img2()
+	if got := row.Area(); got != 4+5+5+2+4 {
+		t.Errorf("Area = %d, want 20", got)
+	}
+	if got := row.RunCount(); got != 5 {
+		t.Errorf("RunCount = %d, want 5", got)
+	}
+	if (Row)(nil).Area() != 0 || (Row)(nil).RunCount() != 0 {
+		t.Error("empty row has nonzero area or count")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	row := fig1Img1()
+	cp := row.Clone()
+	cp[0].Start = 99
+	if row[0].Start == 99 {
+		t.Error("Clone aliases the original")
+	}
+	if (Row)(nil).Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+}
+
+func TestEqualBits(t *testing.T) {
+	a := Row{{0, 3}, {3, 2}} // non-canonical encoding of 0..4
+	b := Row{{0, 5}}
+	if a.Equal(b) {
+		t.Error("Equal should compare encodings, not bitstrings")
+	}
+	if !a.EqualBits(b) {
+		t.Error("EqualBits should identify equivalent encodings")
+	}
+	if a.EqualBits(Row{{0, 4}}) {
+		t.Error("EqualBits conflated different bitstrings")
+	}
+}
+
+func TestClip(t *testing.T) {
+	row := Row{{-5, 3}, {-2, 4}, {10, 5}, {28, 10}, {50, 3}}
+	got := row.Clip(32)
+	want := Row{{0, 2}, {10, 5}, {28, 4}}
+	if !got.Equal(want) {
+		t.Errorf("Clip = %v, want %v", got, want)
+	}
+	if err := got.Validate(32); err != nil {
+		t.Errorf("clipped row invalid: %v", err)
+	}
+}
+
+func TestShift(t *testing.T) {
+	row := fig1Img1()
+	right := row.Shift(3)
+	for i := range row {
+		if right[i].Start != row[i].Start+3 || right[i].Length != row[i].Length {
+			t.Fatalf("Shift(3)[%d] = %v", i, right[i])
+		}
+	}
+	if !row.Shift(5).Shift(-5).Equal(row) {
+		t.Error("Shift is not invertible")
+	}
+}
+
+func TestRowString(t *testing.T) {
+	if got := (Row{{3, 4}, {8, 2}}).String(); got != "[(3,4) (8,2)]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Row)(nil).String(); got != "[]" {
+		t.Errorf("nil String = %q", got)
+	}
+}

@@ -1,0 +1,117 @@
+package rle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRunCountDiff(t *testing.T) {
+	if got := RunCountDiff(fig1Img1(), fig1Img2()); got != 1 {
+		t.Errorf("RunCountDiff = %d, want 1", got)
+	}
+	if got := RunCountDiff(fig1Img2(), fig1Img1()); got != 1 {
+		t.Errorf("RunCountDiff not symmetric: %d", got)
+	}
+	if RunCountDiff(nil, nil) != 0 {
+		t.Error("RunCountDiff of empties should be 0")
+	}
+}
+
+func TestXORRunsFigure1(t *testing.T) {
+	if got := XORRuns(fig1Img1(), fig1Img2()); got != 5 {
+		t.Errorf("XORRuns = %d, want 5 (Figure 1 difference has 5 runs)", got)
+	}
+	if XORRuns(fig1Img1(), fig1Img1()) != 0 {
+		t.Error("self XORRuns should be 0")
+	}
+}
+
+func TestHamming(t *testing.T) {
+	// Figure 1 difference: (3,4)(8,2)(15,1)(18,2)(30,1) = 10 pixels.
+	if got := Hamming(fig1Img1(), fig1Img2()); got != 10 {
+		t.Errorf("Hamming = %d, want 10", got)
+	}
+	if Hamming(fig1Img1(), fig1Img1()) != 0 {
+		t.Error("self Hamming should be 0")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard(nil, nil); got != 1 {
+		t.Errorf("Jaccard(∅,∅) = %v, want 1", got)
+	}
+	a := Row{{0, 4}}
+	if got := Jaccard(a, a); got != 1 {
+		t.Errorf("Jaccard(a,a) = %v, want 1", got)
+	}
+	b := Row{{2, 4}} // overlap 2, union 6
+	if got, want := Jaccard(a, b), 2.0/6.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Jaccard = %v, want %v", got, want)
+	}
+	if got := Jaccard(a, Row{{10, 2}}); got != 0 {
+		t.Errorf("disjoint Jaccard = %v, want 0", got)
+	}
+}
+
+func TestImageSimilarity(t *testing.T) {
+	a := NewImage(32, 2)
+	b := NewImage(32, 2)
+	a.SetRow(0, fig1Img1())
+	b.SetRow(0, fig1Img2())
+	if got := ImageHamming(a, b); got != 10 {
+		t.Errorf("ImageHamming = %d, want 10", got)
+	}
+	if got := ImageXORRuns(a, b); got != 5 {
+		t.Errorf("ImageXORRuns = %d, want 5", got)
+	}
+}
+
+func TestSimilarityRelations(t *testing.T) {
+	// Hamming ≥ XORRuns (every run has ≥1 pixel); Jaccard = 1 iff
+	// Hamming = 0.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.Intn(200)
+		a, b := randomRow(rng, width), randomRow(rng, width)
+		h, k3 := Hamming(a, b), XORRuns(a, b)
+		if h < k3 {
+			t.Fatalf("Hamming %d < XORRuns %d for %v %v", h, k3, a, b)
+		}
+		if (h == 0) != (Jaccard(a, b) == 1) {
+			t.Fatalf("Jaccard/Hamming inconsistency for %v %v", a, b)
+		}
+	}
+}
+
+func TestXORAreaShiftedAgainstMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 300; trial++ {
+		width := 8 + rng.Intn(200)
+		a := randomRow(rng, width)
+		b := randomRow(rng, width)
+		dx := rng.Intn(2*width+1) - width // shifts past both edges
+		got := XORAreaShifted(a, b, dx, width)
+		want := Hamming(a, b.Shift(dx).Clip(width))
+		if got != want {
+			t.Fatalf("XORAreaShifted(dx=%d) = %d, want %d\na=%v\nb=%v", dx, got, want, a, b)
+		}
+	}
+}
+
+func TestXORAreaShiftedEdges(t *testing.T) {
+	a := Row{{Start: 0, Length: 4}}
+	if got := XORAreaShifted(a, nil, 0, 8); got != 4 {
+		t.Errorf("empty b: %d", got)
+	}
+	if got := XORAreaShifted(nil, a, 2, 8); got != 4 {
+		t.Errorf("empty a: %d", got)
+	}
+	if got := XORAreaShifted(a, a, 0, 8); got != 0 {
+		t.Errorf("identical: %d", got)
+	}
+	// b shifted fully out of the window.
+	if got := XORAreaShifted(a, a, 100, 8); got != 4 {
+		t.Errorf("b out of window: %d", got)
+	}
+}

@@ -1,0 +1,254 @@
+// Package server implements the HTTP face of the inspection system:
+// the "on-line automatic inspection" service the paper's application
+// (§1) runs as — boards stream in, compressed-domain differences and
+// defect reports stream out. Served by cmd/sysdiffd.
+//
+// Endpoints:
+//
+//	GET  /healthz             → 200 "ok"
+//	POST /v1/diff             → multipart form, files "a" and "b";
+//	                            query: engine=lockstep|channel|sequential|bus,
+//	                            format=pbm|pbm-plain|png|rlet|rleb.
+//	                            Response body is the encoded difference image;
+//	                            X-Sysrle-* headers carry engine statistics.
+//	POST /v1/inspect          → multipart form, files "ref" and "scan";
+//	                            query: engine=..., min-area=N.
+//	                            Response is a JSON defect report.
+//
+// Uploaded images may be PBM (P1/P4), PNG, RLET or RLEB; the format
+// is sniffed.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+
+	"sysrle"
+	"sysrle/internal/imageio"
+	"sysrle/internal/inspect"
+	"sysrle/internal/rle"
+)
+
+// MaxUploadBytes bounds one multipart upload.
+const MaxUploadBytes = 64 << 20
+
+// New returns the service handler.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/diff", handleDiff)
+	mux.HandleFunc("POST /v1/inspect", handleInspect)
+	mux.HandleFunc("POST /v1/align", handleAlign)
+	return mux
+}
+
+func engineFromQuery(r *http.Request) (sysrle.Engine, error) {
+	switch name := r.URL.Query().Get("engine"); name {
+	case "", "lockstep":
+		return sysrle.NewLockstep(), nil
+	case "channel":
+		return sysrle.NewChannel(), nil
+	case "sequential":
+		return sysrle.NewSequential(), nil
+	case "bus":
+		return sysrle.NewBus(0), nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q", name)
+	}
+}
+
+func formImage(r *http.Request, field string) (*rle.Image, error) {
+	file, _, err := r.FormFile(field)
+	if err != nil {
+		return nil, fmt.Errorf("missing upload %q: %v", field, err)
+	}
+	defer file.Close()
+	img, err := imageio.Read(file)
+	if err != nil {
+		return nil, fmt.Errorf("upload %q: %v", field, err)
+	}
+	return img, nil
+}
+
+func parseUploads(w http.ResponseWriter, r *http.Request, fieldA, fieldB string) (*rle.Image, *rle.Image, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxUploadBytes)
+	if err := r.ParseMultipartForm(MaxUploadBytes); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing multipart form: %v", err))
+		return nil, nil, false
+	}
+	defer func(f *multipart.Form) {
+		if f != nil {
+			_ = f.RemoveAll()
+		}
+	}(r.MultipartForm)
+	a, err := formImage(r, fieldA)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	b, err := formImage(r, fieldB)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	return a, b, true
+}
+
+func handleDiff(w http.ResponseWriter, r *http.Request) {
+	engine, err := engineFromQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "pbm"
+	}
+	if !validFormat(format) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (have %v)", format, imageio.Formats()))
+		return
+	}
+	a, b, ok := parseUploads(w, r, "a", "b")
+	if !ok {
+		return
+	}
+	diff, stats, err := sysrle.DiffImageWith(a, b, engine, 0)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", imageio.ContentType(format))
+	w.Header().Set("X-Sysrle-Engine", engine.Name())
+	w.Header().Set("X-Sysrle-Rows-Differing", strconv.Itoa(stats.RowsDiffering))
+	w.Header().Set("X-Sysrle-Iterations-Total", strconv.Itoa(stats.TotalIterations))
+	w.Header().Set("X-Sysrle-Iterations-Max-Row", strconv.Itoa(stats.MaxRowIterations))
+	w.Header().Set("X-Sysrle-Diff-Pixels", strconv.Itoa(diff.Area()))
+	// The format was validated up front, so a write error here can
+	// only be a broken connection; nothing useful remains to send.
+	_ = imageio.Write(w, format, diff)
+}
+
+func validFormat(format string) bool {
+	for _, f := range imageio.Formats() {
+		if f == format {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectResponse is the JSON shape of /v1/inspect.
+type inspectResponse struct {
+	Engine           string           `json:"engine"`
+	RowsCompared     int              `json:"rows_compared"`
+	RowsDiffering    int              `json:"rows_differing"`
+	DiffPixels       int              `json:"diff_pixels"`
+	DiffRuns         int              `json:"diff_runs"`
+	TotalIterations  int              `json:"iterations_total"`
+	MaxRowIterations int              `json:"iterations_max_row"`
+	Clean            bool             `json:"clean"`
+	AlignDX          int              `json:"align_dx"`
+	AlignDY          int              `json:"align_dy"`
+	Defects          []inspect.Defect `json:"defects"`
+}
+
+func handleInspect(w http.ResponseWriter, r *http.Request) {
+	engine, err := engineFromQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	minArea := 0
+	if s := r.URL.Query().Get("min-area"); s != "" {
+		minArea, err = strconv.Atoi(s)
+		if err != nil || minArea < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad min-area %q", s))
+			return
+		}
+	}
+	maxAlign := 0
+	if s := r.URL.Query().Get("align"); s != "" {
+		maxAlign, err = strconv.Atoi(s)
+		if err != nil || maxAlign < 0 || maxAlign > 256 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad align %q (want 0..256)", s))
+			return
+		}
+	}
+	ref, scan, ok := parseUploads(w, r, "ref", "scan")
+	if !ok {
+		return
+	}
+	ins := &inspect.Inspector{Engine: engine, MinDefectArea: minArea, MaxAlignShift: maxAlign}
+	rep, err := ins.Compare(ref, scan)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := inspectResponse{
+		Engine:           engine.Name(),
+		RowsCompared:     rep.RowsCompared,
+		RowsDiffering:    rep.RowsDiffering,
+		DiffPixels:       rep.DiffArea,
+		DiffRuns:         rep.DiffRuns,
+		TotalIterations:  rep.TotalIterations,
+		MaxRowIterations: rep.MaxRowIterations,
+		Clean:            rep.Clean(),
+		AlignDX:          rep.AlignDX,
+		AlignDY:          rep.AlignDY,
+		Defects:          rep.Defects,
+	}
+	if resp.Defects == nil {
+		resp.Defects = []inspect.Defect{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// alignResponse is the JSON shape of /v1/align.
+type alignResponse struct {
+	DX           int `json:"dx"`
+	DY           int `json:"dy"`
+	ResidualArea int `json:"residual_area"`
+}
+
+func handleAlign(w http.ResponseWriter, r *http.Request) {
+	maxShift := 4
+	if s := r.URL.Query().Get("max-shift"); s != "" {
+		var err error
+		maxShift, err = strconv.Atoi(s)
+		if err != nil || maxShift < 1 || maxShift > 64 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad max-shift %q (want 1..64)", s))
+			return
+		}
+	}
+	ref, scan, ok := parseUploads(w, r, "ref", "scan")
+	if !ok {
+		return
+	}
+	if ref.Width != scan.Width || ref.Height != scan.Height {
+		httpError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("size mismatch %dx%d vs %dx%d", ref.Width, ref.Height, scan.Width, scan.Height))
+		return
+	}
+	dx, dy, area := inspect.Align(ref, scan, maxShift)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(alignResponse{DX: dx, DY: dy, ResidualArea: area})
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,104 @@
+package systolic
+
+import "fmt"
+
+// RunChannels executes the machine with one goroutine per cell,
+// channels carrying the shifted values between neighbours, and a
+// controller goroutine playing the role of the termination wiring:
+// it gathers every cell's C output after each iteration and
+// broadcasts continue/stop on the cells' F inputs.
+//
+// Semantics match RunLockstep exactly: same final states, same
+// iteration count, same errors. The cells slice is updated in place
+// with the final states before returning.
+//
+// Wiring per iteration, for cell i:
+//
+//	F (tick[i])  ── controller tells the cell to run one iteration
+//	Local; m := Extract
+//	right[i] <- m        // to cell i+1 (buffered, so all cells can
+//	in := <-right[i-1]   // send before any receives: one sync step)
+//	Inject(in)
+//	report{i, state}  ── controller (the C wire, carrying a snapshot)
+//
+// Cell 0's left input is fed the zero M by the controller; the last
+// cell's right output drains to the controller, which applies the
+// overflow check.
+func RunChannels[S, M any](p Program[S, M], cells []S, opts Options[S]) (int, error) {
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations(len(cells))
+	}
+	n := len(cells)
+	if n == 0 || allQuiet(p, cells) {
+		return 0, nil
+	}
+
+	type report struct {
+		idx   int
+		state S
+	}
+	// right[i] carries the value cell i shifts out; right[n-1] drains
+	// to the controller. left input of cell i is right[i-1]; cell 0
+	// reads from feed. Buffered(1): each channel holds at most one
+	// value per iteration, so every cell's send completes without
+	// waiting for its neighbour's receive — one global synchronous
+	// shift, like the hardware.
+	right := make([]chan M, n)
+	for i := range right {
+		right[i] = make(chan M, 1)
+	}
+	feed := make(chan M, 1)
+	ticks := make([]chan bool, n)
+	for i := range ticks {
+		ticks[i] = make(chan bool) // unbuffered: controller paces iterations
+	}
+	reports := make(chan report, n)
+
+	for i := 0; i < n; i++ {
+		go func(i int, s S) {
+			var left <-chan M
+			if i == 0 {
+				left = feed
+			} else {
+				left = right[i-1]
+			}
+			for <-ticks[i] {
+				p.Local(i, &s)
+				right[i] <- p.Extract(&s)
+				p.Inject(&s, <-left)
+				reports <- report{idx: i, state: s}
+			}
+		}(i, cells[i])
+	}
+	stopAll := func() {
+		for i := 0; i < n; i++ {
+			ticks[i] <- false
+		}
+	}
+
+	for iter := 1; iter <= maxIter; iter++ {
+		var zero M
+		feed <- zero
+		for i := 0; i < n; i++ {
+			ticks[i] <- true
+		}
+		for i := 0; i < n; i++ {
+			r := <-reports
+			cells[r.idx] = r.state
+		}
+		if out := <-right[n-1]; !p.Empty(out) {
+			stopAll()
+			return iter, fmt.Errorf("%w (iteration %d)", ErrOverflow, iter)
+		}
+		if opts.Observer != nil {
+			opts.Observer(iter, PhaseShift, cells)
+		}
+		if allQuiet(p, cells) {
+			stopAll()
+			return iter, nil
+		}
+	}
+	stopAll()
+	return maxIter, fmt.Errorf("%w (%d)", ErrMaxIterations, maxIter)
+}

@@ -1,0 +1,31 @@
+package systolic
+
+// Recorder is an Observer implementation that retains a copy of every
+// snapshot it sees — the machinery behind Figure-3-style execution
+// traces.
+type Recorder[S any] struct {
+	Snapshots []Snapshot[S]
+}
+
+// Snapshot is one recorded machine state.
+type Snapshot[S any] struct {
+	Iteration int
+	Phase     Phase
+	Cells     []S
+}
+
+// Observe implements Observer; pass rec.Observe as Options.Observer.
+func (rec *Recorder[S]) Observe(iteration int, phase Phase, cells []S) {
+	cp := make([]S, len(cells))
+	copy(cp, cells)
+	rec.Snapshots = append(rec.Snapshots, Snapshot[S]{Iteration: iteration, Phase: phase, Cells: cp})
+}
+
+// Final returns the last recorded snapshot's cells, or nil if nothing
+// was recorded.
+func (rec *Recorder[S]) Final() []S {
+	if len(rec.Snapshots) == 0 {
+		return nil
+	}
+	return rec.Snapshots[len(rec.Snapshots)-1].Cells
+}

@@ -1,0 +1,183 @@
+// Package systolic is a small framework for simulating linear
+// systolic arrays: a row of identical cells that, in globally
+// synchronous iterations, (1) compute locally and (2) shift one value
+// to their right neighbour, until every cell reports quiescence — the
+// paper's wired-AND of the per-cell C outputs feeding the broadcast F
+// (termination) input.
+//
+// Two runners with identical semantics are provided:
+//
+//   - RunLockstep — a deterministic array sweep; this is the fast
+//     reference engine the benchmarks use.
+//   - RunChannels — one goroutine per cell with CSP channels for the
+//     shift path and a controller goroutine standing in for the F/C
+//     wires; this is the natural Go rendering of the hardware and is
+//     property-tested to be observationally equivalent to lockstep.
+//
+// The framework is generic so the paper's image-difference cell
+// program (internal/core) and its broadcast-bus ablation share the
+// harness, tracing and termination machinery.
+package systolic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Program describes the per-cell behaviour of a machine with cell
+// state S and shifted message type M.
+//
+// One iteration of the machine is, for every cell i simultaneously:
+//
+//	Local(i, &cells[i])                  // the cell's compute steps
+//	m_i = Extract(&cells[i])             // take the outgoing value
+//	Inject(&cells[i], m_{i-1})           // receive from the left
+//
+// Cell 0 is injected with the zero value of M, which therefore must
+// mean "no data". The value extracted from the last cell leaves the
+// array; if Empty reports it carried data, the run fails with
+// ErrOverflow — a violation of the array-sizing contract (the paper's
+// Corollary 1.2 guarantees this cannot happen for a correctly sized
+// image-difference array).
+type Program[S, M any] struct {
+	// Local performs the cell's compute phase in place.
+	Local func(i int, s *S)
+	// Extract removes and returns the cell's outgoing value.
+	Extract func(s *S) M
+	// Inject delivers the left neighbour's extracted value.
+	Inject func(s *S, m M)
+	// Quiet reports whether the cell asserts its termination output
+	// (C in the paper): it holds no data that still needs to move.
+	Quiet func(s S) bool
+	// Empty reports whether a shifted value carries no data; used for
+	// the cell-0 boundary and the overflow guard.
+	Empty func(m M) bool
+}
+
+// Phase identifies the point within an iteration at which an Observer
+// snapshot is taken.
+type Phase int
+
+const (
+	// PhaseLocal is after every cell's Local step, before the shift.
+	PhaseLocal Phase = iota
+	// PhaseShift is after the shift — the end of the iteration.
+	PhaseShift
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseLocal:
+		return "local"
+	case PhaseShift:
+		return "shift"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Observer receives a read-only snapshot of all cell states.
+// Iterations are numbered from 1. The slice is reused between calls;
+// copy it to retain.
+type Observer[S any] func(iteration int, phase Phase, cells []S)
+
+// Options tunes a run.
+type Options[S any] struct {
+	// MaxIterations aborts a run that fails to terminate (a cell
+	// program bug); 0 means DefaultMaxIterations(len(cells)).
+	MaxIterations int
+	// Observer, when non-nil, is called with state snapshots. The
+	// lockstep runner reports both phases; the channel runner reports
+	// PhaseShift (end-of-iteration) snapshots only, which is the
+	// granularity at which the two runners are equivalent.
+	Observer Observer[S]
+}
+
+// LockstepBuffers lets a caller processing many inputs through
+// equally shaped machines reuse the runner's scratch space (see
+// RunLockstepBuffered). The zero value is ready to use.
+type LockstepBuffers[M any] struct {
+	carry []M
+}
+
+// DefaultMaxIterations is the runaway guard used when
+// Options.MaxIterations is zero: generous enough for any terminating
+// cell program over n cells (the image-difference program needs at
+// most n iterations).
+func DefaultMaxIterations(cells int) int {
+	return 16*cells + 64
+}
+
+// ErrOverflow reports that data was shifted out of the last cell —
+// the array was too small for the input.
+var ErrOverflow = errors.New("systolic: non-empty value shifted out of the last cell")
+
+// ErrMaxIterations reports that the machine failed to reach
+// quiescence within the iteration budget.
+var ErrMaxIterations = errors.New("systolic: iteration limit exceeded")
+
+// allQuiet reports whether every cell asserts C.
+func allQuiet[S, M any](p Program[S, M], cells []S) bool {
+	for _, s := range cells {
+		if !p.Quiet(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunLockstep executes the machine to quiescence, mutating cells in
+// place, and returns the number of iterations executed. An input
+// whose cells are all quiet runs zero iterations.
+func RunLockstep[S, M any](p Program[S, M], cells []S, opts Options[S]) (int, error) {
+	return RunLockstepBuffered(p, cells, opts, nil)
+}
+
+// RunLockstepBuffered is RunLockstep drawing its scratch space from
+// buf (allocated on first use, grown as needed), for callers that run
+// many machines back to back — e.g. streaming every scanline of an
+// image through one engine.
+func RunLockstepBuffered[S, M any](p Program[S, M], cells []S, opts Options[S], buf *LockstepBuffers[M]) (int, error) {
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations(len(cells))
+	}
+	if len(cells) == 0 || allQuiet(p, cells) {
+		return 0, nil
+	}
+	var carry []M
+	if buf != nil && cap(buf.carry) >= len(cells) {
+		carry = buf.carry[:len(cells)]
+	} else {
+		carry = make([]M, len(cells))
+		if buf != nil {
+			buf.carry = carry
+		}
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		for i := range cells {
+			p.Local(i, &cells[i])
+		}
+		if opts.Observer != nil {
+			opts.Observer(iter, PhaseLocal, cells)
+		}
+		for i := range cells {
+			carry[i] = p.Extract(&cells[i])
+		}
+		if !p.Empty(carry[len(cells)-1]) {
+			return iter, fmt.Errorf("%w (iteration %d)", ErrOverflow, iter)
+		}
+		for i := len(cells) - 1; i >= 1; i-- {
+			p.Inject(&cells[i], carry[i-1])
+		}
+		var zero M
+		p.Inject(&cells[0], zero)
+		if opts.Observer != nil {
+			opts.Observer(iter, PhaseShift, cells)
+		}
+		if allQuiet(p, cells) {
+			return iter, nil
+		}
+	}
+	return maxIter, fmt.Errorf("%w (%d)", ErrMaxIterations, maxIter)
+}

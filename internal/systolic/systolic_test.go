@@ -1,0 +1,268 @@
+package systolic
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// absorber is a toy cell program exercising every framework feature:
+// each cell has a storage slot and a moving slot; Local absorbs the
+// moving token into free storage; the shift phase moves unabsorbed
+// tokens right. Termination: no moving tokens anywhere. The final
+// placement is the "parking" of each token in the first free cell at
+// or to the right of it, which is easy to predict in tests.
+type absorberCell struct {
+	stored    bool
+	moving    bool
+	movingVal int
+	storedVal int
+}
+
+type token struct {
+	val int
+	has bool
+}
+
+func absorberProgram() Program[absorberCell, token] {
+	return Program[absorberCell, token]{
+		Local: func(i int, s *absorberCell) {
+			if s.moving && !s.stored {
+				s.stored, s.storedVal = true, s.movingVal
+				s.moving, s.movingVal = false, 0
+			}
+		},
+		Extract: func(s *absorberCell) token {
+			t := token{val: s.movingVal, has: s.moving}
+			s.moving, s.movingVal = false, 0
+			return t
+		},
+		Inject: func(s *absorberCell, m token) {
+			if m.has {
+				s.moving, s.movingVal = true, m.val
+			}
+		},
+		Quiet: func(s absorberCell) bool { return !s.moving },
+		Empty: func(m token) bool { return !m.has },
+	}
+}
+
+// shifter never absorbs: every token marches right and out — the
+// overflow scenario.
+func shifterProgram() Program[absorberCell, token] {
+	p := absorberProgram()
+	p.Local = func(i int, s *absorberCell) {}
+	return p
+}
+
+// stubborn never quiesces and never moves data — the iteration-limit
+// scenario.
+func stubbornProgram() Program[absorberCell, token] {
+	p := absorberProgram()
+	p.Quiet = func(s absorberCell) bool { return false }
+	p.Extract = func(s *absorberCell) token { return token{} }
+	return p
+}
+
+type runner func(p Program[absorberCell, token], cells []absorberCell, opts Options[absorberCell]) (int, error)
+
+var runners = map[string]runner{
+	"lockstep": RunLockstep[absorberCell, token],
+	"channels": RunChannels[absorberCell, token],
+}
+
+func TestAbsorberParking(t *testing.T) {
+	for name, run := range runners {
+		t.Run(name, func(t *testing.T) {
+			// storage pre-filled at cells 2,3,4; token starts moving
+			// at cell 2 → parks at cell 5 after 4 iterations (3
+			// shifts + absorb on the 4th Local).
+			cells := make([]absorberCell, 8)
+			for _, i := range []int{2, 3, 4} {
+				cells[i].stored = true
+				cells[i].storedVal = -1
+			}
+			cells[2].moving, cells[2].movingVal = true, 42
+			iters, err := run(absorberProgram(), cells, Options[absorberCell]{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iters != 4 {
+				t.Errorf("iterations = %d, want 4", iters)
+			}
+			if !cells[5].stored || cells[5].storedVal != 42 {
+				t.Errorf("token did not park at cell 5: %+v", cells)
+			}
+			for i, c := range cells {
+				if c.moving {
+					t.Errorf("cell %d still has a moving token", i)
+				}
+			}
+		})
+	}
+}
+
+func TestAlreadyQuietRunsZeroIterations(t *testing.T) {
+	for name, run := range runners {
+		t.Run(name, func(t *testing.T) {
+			cells := make([]absorberCell, 5)
+			cells[1].stored = true // stored data alone is quiet
+			iters, err := run(absorberProgram(), cells, Options[absorberCell]{})
+			if err != nil || iters != 0 {
+				t.Errorf("iters=%d err=%v, want 0,nil", iters, err)
+			}
+		})
+	}
+}
+
+func TestEmptyArray(t *testing.T) {
+	for name, run := range runners {
+		t.Run(name, func(t *testing.T) {
+			iters, err := run(absorberProgram(), nil, Options[absorberCell]{})
+			if err != nil || iters != 0 {
+				t.Errorf("iters=%d err=%v", iters, err)
+			}
+		})
+	}
+}
+
+func TestOverflowDetected(t *testing.T) {
+	for name, run := range runners {
+		t.Run(name, func(t *testing.T) {
+			cells := make([]absorberCell, 4)
+			cells[1].moving, cells[1].movingVal = true, 7
+			_, err := run(shifterProgram(), cells, Options[absorberCell]{})
+			if !errors.Is(err, ErrOverflow) {
+				t.Errorf("err = %v, want ErrOverflow", err)
+			}
+		})
+	}
+}
+
+func TestIterationLimit(t *testing.T) {
+	for name, run := range runners {
+		t.Run(name, func(t *testing.T) {
+			cells := make([]absorberCell, 3)
+			_, err := run(stubbornProgram(), cells, Options[absorberCell]{MaxIterations: 10})
+			if !errors.Is(err, ErrMaxIterations) {
+				t.Errorf("err = %v, want ErrMaxIterations", err)
+			}
+		})
+	}
+}
+
+// randomAbsorberCells builds a configuration guaranteed to terminate:
+// at least as many free storage slots at/right of every moving token.
+func randomAbsorberCells(rng *rand.Rand) []absorberCell {
+	n := 2 + rng.Intn(20)
+	cells := make([]absorberCell, n)
+	for i := range cells {
+		if rng.Intn(2) == 0 {
+			cells[i].stored, cells[i].storedVal = true, rng.Intn(100)
+		}
+	}
+	// Place moving tokens only where enough free slots remain to the
+	// right (counting this cell).
+	free := 0
+	for i := n - 1; i >= 0; i-- {
+		if !cells[i].stored {
+			free++
+		}
+		if free > 0 && rng.Intn(3) == 0 {
+			cells[i].moving, cells[i].movingVal = true, rng.Intn(100)
+			free--
+		}
+	}
+	return cells
+}
+
+func TestRunnersEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		cells := randomAbsorberCells(rng)
+		a := make([]absorberCell, len(cells))
+		b := make([]absorberCell, len(cells))
+		copy(a, cells)
+		copy(b, cells)
+		var recA, recB Recorder[absorberCell]
+		itA, errA := RunLockstep(absorberProgram(), a, Options[absorberCell]{Observer: recA.Observe})
+		itB, errB := RunChannels(absorberProgram(), b, Options[absorberCell]{Observer: recB.Observe})
+		if errA != nil || errB != nil {
+			t.Fatalf("errors: %v %v", errA, errB)
+		}
+		if itA != itB {
+			t.Fatalf("iteration mismatch: lockstep %d, channels %d\nstart %+v", itA, itB, cells)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("final state mismatch\nlockstep %+v\nchannels %+v", a, b)
+		}
+		// End-of-iteration snapshots must agree too.
+		shiftA := make([]Snapshot[absorberCell], 0, itA)
+		for _, s := range recA.Snapshots {
+			if s.Phase == PhaseShift {
+				shiftA = append(shiftA, s)
+			}
+		}
+		if len(shiftA) != len(recB.Snapshots) {
+			t.Fatalf("snapshot count mismatch: %d vs %d", len(shiftA), len(recB.Snapshots))
+		}
+		for k := range shiftA {
+			if !reflect.DeepEqual(shiftA[k].Cells, recB.Snapshots[k].Cells) {
+				t.Fatalf("snapshot %d differs", k)
+			}
+		}
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	cells := make([]absorberCell, 4)
+	cells[0].moving = true
+	var rec Recorder[absorberCell]
+	iters, err := RunLockstep(absorberProgram(), cells, Options[absorberCell]{Observer: rec.Observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Snapshots) != 2*iters {
+		t.Errorf("snapshots = %d, want %d", len(rec.Snapshots), 2*iters)
+	}
+	if rec.Snapshots[0].Iteration != 1 || rec.Snapshots[0].Phase != PhaseLocal {
+		t.Errorf("first snapshot = %+v", rec.Snapshots[0])
+	}
+	if got := rec.Final(); !reflect.DeepEqual(got, cells) {
+		t.Errorf("Final() = %+v, want %+v", got, cells)
+	}
+	var empty Recorder[absorberCell]
+	if empty.Final() != nil {
+		t.Error("empty recorder Final should be nil")
+	}
+}
+
+func TestRecorderSnapshotsAreCopies(t *testing.T) {
+	cells := make([]absorberCell, 3)
+	cells[0].moving, cells[0].movingVal = true, 5
+	var rec Recorder[absorberCell]
+	if _, err := RunLockstep(absorberProgram(), cells, Options[absorberCell]{Observer: rec.Observe}); err != nil {
+		t.Fatal(err)
+	}
+	first := rec.Snapshots[0].Cells
+	cells[0].storedVal = 999
+	if first[0].storedVal == 999 {
+		t.Error("snapshot aliases live cells")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseLocal.String() != "local" || PhaseShift.String() != "shift" {
+		t.Error("phase names wrong")
+	}
+	if Phase(9).String() != "Phase(9)" {
+		t.Errorf("unknown phase = %q", Phase(9).String())
+	}
+}
+
+func TestDefaultMaxIterations(t *testing.T) {
+	if DefaultMaxIterations(10) <= 10 {
+		t.Error("default guard too small")
+	}
+}

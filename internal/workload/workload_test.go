@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/rle"
+)
+
+func TestGenerateRowValidAndCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := PaperRow(2048, 0.3)
+	for trial := 0; trial < 50; trial++ {
+		row, err := GenerateRow(rng, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := row.Validate(p.Width); err != nil {
+			t.Fatal(err)
+		}
+		if !row.Canonical() {
+			t.Fatalf("generated row not maximally compressed: %v", row)
+		}
+		for _, r := range row {
+			if r.Length < 4 || r.Length > 20 {
+				t.Fatalf("run length %d outside [4,20]", r.Length)
+			}
+		}
+	}
+}
+
+func TestGenerateRowDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, density := range []float64{0.1, 0.3, 0.5, 0.7} {
+		p := PaperRow(10000, density)
+		total := 0
+		const trials = 30
+		for i := 0; i < trials; i++ {
+			row, err := GenerateRow(rng, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += row.Area()
+		}
+		got := float64(total) / float64(trials*p.Width)
+		if math.Abs(got-density) > 0.06 {
+			t.Errorf("density target %v achieved %v", density, got)
+		}
+	}
+}
+
+func TestFigure5RunCountMatchesPaper(t *testing.T) {
+	// Paper §5: "the image size is 10,000 pixels with approximately
+	// 250 runs in the original image, which translates to a density
+	// of 30%".
+	rng := rand.New(rand.NewSource(3))
+	p := PaperRow(10000, 0.3)
+	total := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		row, err := GenerateRow(rng, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += row.RunCount()
+	}
+	mean := float64(total) / trials
+	if mean < 220 || mean > 280 {
+		t.Errorf("mean run count %v, want ≈250", mean)
+	}
+}
+
+func TestRowParamsValidate(t *testing.T) {
+	bad := []RowParams{
+		{Width: -1, MinRunLen: 4, MaxRunLen: 20, Density: 0.3},
+		{Width: 100, MinRunLen: 0, MaxRunLen: 20, Density: 0.3},
+		{Width: 100, MinRunLen: 5, MaxRunLen: 4, Density: 0.3},
+		{Width: 100, MinRunLen: 4, MaxRunLen: 20, Density: 0},
+		{Width: 100, MinRunLen: 4, MaxRunLen: 20, Density: 1},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+		if _, err := GenerateRow(rand.New(rand.NewSource(1)), p); err == nil {
+			t.Errorf("GenerateRow accepted %+v", p)
+		}
+	}
+}
+
+func TestErrorMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := PaperErrors(40)
+	for trial := 0; trial < 30; trial++ {
+		mask, err := ErrorMask(rng, 1000, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mask.Validate(1000); err != nil {
+			t.Fatal(err)
+		}
+		// ≤ Count runs (merging only reduces), each ≥ MinLen pixels
+		// in total area terms only before merge; area bounded above.
+		if len(mask) > p.Count {
+			t.Fatalf("mask has %d runs > count %d", len(mask), p.Count)
+		}
+		if mask.Area() > p.Count*p.MaxLen {
+			t.Fatalf("mask area %d exceeds max %d", mask.Area(), p.Count*p.MaxLen)
+		}
+	}
+}
+
+func TestErrorMaskEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if mask, err := ErrorMask(rng, 100, ErrorParams{}); err != nil || mask != nil {
+		t.Errorf("zero errors: %v %v", mask, err)
+	}
+	if _, err := ErrorMask(rng, 100, ErrorParams{Count: -1}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := ErrorMask(rng, 100, ErrorParams{Count: 2, MinLen: 5, MaxLen: 4}); err == nil {
+		t.Error("bad length range accepted")
+	}
+	// Error runs longer than the row clamp to the row.
+	mask, err := ErrorMask(rng, 3, ErrorParams{Count: 1, MinLen: 10, MaxLen: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask.Area() != 3 {
+		t.Errorf("clamped mask = %v", mask)
+	}
+}
+
+func TestCountForPixelFraction(t *testing.T) {
+	p := CountForPixelFraction(10000, 0.035, 2, 6)
+	// 350 error pixels at mean length 4 → ≈ 88 runs.
+	if p.Count < 80 || p.Count > 95 {
+		t.Errorf("Count = %d, want ≈88", p.Count)
+	}
+	if CountForPixelFraction(10000, 0, 2, 6).Count != 0 {
+		t.Error("zero fraction should give zero errors")
+	}
+}
+
+func TestGeneratePair(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rp := PaperRow(2000, 0.3)
+	ep := PaperErrors(12)
+	pair, err := GeneratePair(rng, rp, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.B.Validate(rp.Width); err != nil {
+		t.Fatal(err)
+	}
+	// B = A ⊕ mask by construction, so A ⊕ B = mask.
+	if !rle.XOR(pair.A, pair.B).EqualBits(pair.Mask) {
+		t.Error("pair mask inconsistent with A ⊕ B")
+	}
+	// Changed pixels = mask area.
+	if got := rle.Hamming(pair.A, pair.B); got != pair.Mask.Area() {
+		t.Errorf("Hamming = %d, mask area = %d", got, pair.Mask.Area())
+	}
+}
+
+func TestGeneratePairZeroErrorsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pair, err := GeneratePair(rng, PaperRow(500, 0.3), ErrorParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pair.A.EqualBits(pair.B) {
+		t.Error("zero-error pair differs")
+	}
+}
+
+func TestGenerateImage(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	img, err := GenerateImage(rng, PaperRow(300, 0.4), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if img.Height != 20 || img.Width != 300 {
+		t.Errorf("dims %dx%d", img.Width, img.Height)
+	}
+	if _, err := GenerateImage(rng, PaperRow(300, 0.4), -1); err == nil {
+		t.Error("negative height accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := PaperRow(1000, 0.3)
+	a1, _ := GenerateRow(rand.New(rand.NewSource(99)), p)
+	a2, _ := GenerateRow(rand.New(rand.NewSource(99)), p)
+	if !a1.Equal(a2) {
+		t.Error("same seed produced different rows")
+	}
+}

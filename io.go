@@ -1,0 +1,26 @@
+package sysrle
+
+import (
+	"io"
+
+	"sysrle/internal/imageio"
+)
+
+// Image I/O. Formats: PBM (P1/P4), PNG, and the library's RLE text
+// ("rlet") and binary ("rleb") formats; reads sniff the format from
+// the magic bytes.
+
+// ReadImage decodes an image from any supported format.
+func ReadImage(r io.Reader) (*Image, error) { return imageio.Read(r) }
+
+// ReadImageFile decodes an image file.
+func ReadImageFile(path string) (*Image, error) { return imageio.ReadFile(path) }
+
+// WriteImage encodes an image in the named format ("pbm",
+// "pbm-plain", "png", "rlet", "rleb").
+func WriteImage(w io.Writer, format string, img *Image) error {
+	return imageio.Write(w, format, img)
+}
+
+// ImageFormats lists the supported output format names.
+func ImageFormats() []string { return imageio.Formats() }

@@ -1,0 +1,29 @@
+package sysrle
+
+import "sysrle/internal/morph"
+
+// Compressed-domain binary morphology with rectangular structuring
+// elements — the operation class the paper's introduction motivates,
+// done without decompressing.
+
+// SE is a rectangular structuring element with horizontal radius Rx
+// and vertical radius Ry; Box(1) is the 3×3 box.
+type SE = morph.SE
+
+// Box returns the square structuring element of the given radius.
+func Box(r int) SE { return morph.Box(r) }
+
+// Dilate grows foreground by the SE.
+func Dilate(img *Image, se SE) (*Image, error) { return morph.Dilate(img, se) }
+
+// Erode shrinks foreground by the SE.
+func Erode(img *Image, se SE) (*Image, error) { return morph.Erode(img, se) }
+
+// Open removes foreground detail smaller than the SE.
+func Open(img *Image, se SE) (*Image, error) { return morph.Open(img, se) }
+
+// Close fills background detail smaller than the SE.
+func Close(img *Image, se SE) (*Image, error) { return morph.Close(img, se) }
+
+// Gradient extracts object boundaries (dilation minus erosion).
+func Gradient(img *Image, se SE) (*Image, error) { return morph.Gradient(img, se) }

@@ -1,0 +1,221 @@
+// Package sysrle computes differences of run-length encoded binary
+// images with a simulated systolic array, reproducing "A Systolic
+// Algorithm to Process Compressed Binary Images" (Ercal, Allen,
+// Feng; IPPS 1999).
+//
+// The central operation is the image difference (pixelwise XOR) of
+// two RLE-encoded rows, computed without decompressing them. Several
+// engines implement it:
+//
+//   - the systolic lockstep engine — the paper's cell array simulated
+//     deterministically (the default);
+//   - the systolic channel engine — the same array with one goroutine
+//     per cell and CSP channels for the shift path;
+//   - the sparse engine — lockstep-identical semantics at simulation
+//     cost proportional to actual data movement;
+//   - the stream engine and the fixed-capacity array — buffer-reusing
+//     and persistent-hardware deployments of the same machine;
+//   - the sequential engine — the paper's §2 merge baseline;
+//   - the broadcast-bus engine — the paper's §6 future-work
+//     extension.
+//
+// For similar images the systolic engines converge in time
+// proportional to the difference in run counts between the inputs,
+// whereas the sequential merge always pays for every run.
+//
+// The simplest entry points:
+//
+//	diff, err := sysrle.Diff(rowA, rowB)       // one row
+//	img, stats, err := sysrle.DiffImage(a, b)  // whole images, rows in parallel
+//
+// Richer functionality lives behind the Engine interface (per-run
+// statistics, engine selection) and in the subpackages used by the
+// examples: PCB inspection, compressed-domain morphology, workload
+// generation.
+package sysrle
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sysrle/internal/broadcast"
+	"sysrle/internal/core"
+	"sysrle/internal/rle"
+)
+
+// Run is one foreground run: Length pixels starting at Start.
+type Run = rle.Run
+
+// Row is one run-length encoded scanline.
+type Row = rle.Row
+
+// Image is a run-length encoded binary image.
+type Image = rle.Image
+
+// Result reports a single row difference: the output runs, the
+// iteration (or merge-step) count, and the array size used.
+type Result = core.Result
+
+// Engine is a row-difference engine; see NewLockstep, NewChannel,
+// NewSequential, NewBus.
+type Engine = core.Engine
+
+// NewImage returns an all-background RLE image.
+func NewImage(width, height int) *Image { return rle.NewImage(width, height) }
+
+// NewLockstep returns the deterministic systolic engine (the paper's
+// algorithm; the default used by Diff).
+func NewLockstep() Engine { return core.Lockstep{} }
+
+// NewChannel returns the goroutine-per-cell systolic engine.
+func NewChannel() Engine { return core.Channel{} }
+
+// NewSequential returns the §2 sequential merge baseline.
+func NewSequential() Engine { return core.Sequential{} }
+
+// NewBus returns the §6 broadcast-bus engine; bandwidth is bus
+// transactions per cycle, 0 meaning unlimited.
+func NewBus(bandwidth int) Engine { return broadcast.Bus{Bandwidth: bandwidth} }
+
+// NewStream returns a lockstep engine that reuses its buffers across
+// calls — the lowest-allocation way to push many rows through one
+// engine. Not safe for concurrent use; create one per goroutine.
+func NewStream() Engine { return core.NewStream() }
+
+// NewSparse returns the sparse simulator: lockstep-identical
+// semantics and iteration counts, but simulation cost proportional to
+// the data movement the machine actually performs rather than to the
+// array length — the fastest way to *measure* the systolic algorithm
+// on similar images.
+func NewSparse() Engine { return core.Sparse{} }
+
+// FixedArray is a fixed-capacity systolic array with one persistent
+// goroutine per cell, through which row pairs are streamed — the
+// shape of the deployed hardware. Inputs that need more than its
+// cells fail with core.ErrTooWide. Close it when done.
+type FixedArray = core.ChannelArray
+
+// NewFixedArray builds and starts a FixedArray with the given number
+// of cells.
+func NewFixedArray(cells int) *FixedArray { return core.NewChannelArray(cells) }
+
+// Diff returns the canonical image difference (XOR) of two rows,
+// computed by the systolic lockstep engine.
+func Diff(a, b Row) (Row, error) {
+	res, err := core.Lockstep{}.XORRow(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return res.Row.Canonicalize(), nil
+}
+
+// Encode run-length encodes an uncompressed bitstring.
+func Encode(bits []bool) Row { return rle.FromBits(bits) }
+
+// Decode expands a row to an uncompressed bitstring of the given
+// width.
+func Decode(row Row, width int) []bool { return row.Bits(width) }
+
+// XOR, AND, OR and AndNot are the compressed-domain boolean sweeps —
+// single-pass reference implementations (the systolic engines compute
+// XOR; these cover the rest of the algebra).
+func XOR(a, b Row) Row    { return rle.XOR(a, b) }
+func AND(a, b Row) Row    { return rle.AND(a, b) }
+func OR(a, b Row) Row     { return rle.OR(a, b) }
+func AndNot(a, b Row) Row { return rle.AndNot(a, b) }
+
+// ImageStats aggregates per-row engine costs over an image diff.
+type ImageStats struct {
+	// TotalIterations sums the per-row iteration counts.
+	TotalIterations int
+	// MaxRowIterations is the slowest row — the critical path when
+	// every scanline has its own array.
+	MaxRowIterations int
+	// RowsDiffering counts scanlines with a non-empty difference.
+	RowsDiffering int
+}
+
+// DiffImage computes the per-row difference of two equally sized
+// images with the lockstep engine, fanning rows across GOMAXPROCS
+// workers. Rows of the result are canonical.
+func DiffImage(a, b *Image) (*Image, *ImageStats, error) {
+	return DiffImageWith(a, b, nil, 0)
+}
+
+// DiffImageWith is DiffImage with an explicit engine (nil = lockstep)
+// and worker count (≤0 = GOMAXPROCS).
+func DiffImageWith(a, b *Image, engine Engine, workers int) (*Image, *ImageStats, error) {
+	if a.Width != b.Width || a.Height != b.Height {
+		return nil, nil, fmt.Errorf("sysrle: size mismatch %dx%d vs %dx%d", a.Width, a.Height, b.Width, b.Height)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.Height && a.Height > 0 {
+		workers = a.Height
+	}
+	out := rle.NewImage(a.Width, a.Height)
+	iters := make([]int, a.Height)
+	errs := make([]error, a.Height)
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The default engine is a per-worker buffer-reusing
+			// lockstep stream (identical semantics, fewer
+			// allocations). A caller-supplied engine is shared, so
+			// it must be safe for concurrent use — all the package's
+			// engines are.
+			eng := engine
+			if eng == nil {
+				eng = core.NewStream()
+			}
+			for y := range rows {
+				res, err := eng.XORRow(a.Rows[y], b.Rows[y])
+				if err != nil {
+					errs[y] = err
+					continue
+				}
+				out.Rows[y] = res.Row.Canonicalize()
+				iters[y] = res.Iterations
+			}
+		}()
+	}
+	for y := 0; y < a.Height; y++ {
+		rows <- y
+	}
+	close(rows)
+	wg.Wait()
+	for y, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("sysrle: row %d: %w", y, err)
+		}
+	}
+	stats := &ImageStats{}
+	for y, n := range iters {
+		stats.TotalIterations += n
+		if n > stats.MaxRowIterations {
+			stats.MaxRowIterations = n
+		}
+		if len(out.Rows[y]) > 0 {
+			stats.RowsDiffering++
+		}
+	}
+	return out, stats, nil
+}
+
+// Similarity measures re-exported for workload characterization.
+
+// RunCountDiff returns |k1−k2|, the run-count difference the systolic
+// iteration count tracks on similar images.
+func RunCountDiff(a, b Row) int { return rle.RunCountDiff(a, b) }
+
+// XORRuns returns the run count of the difference — the paper's
+// similarity measure.
+func XORRuns(a, b Row) int { return rle.XORRuns(a, b) }
+
+// Hamming returns the number of differing pixels.
+func Hamming(a, b Row) int { return rle.Hamming(a, b) }
