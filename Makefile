@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench experiments fuzz clean
+.PHONY: all build test vet race ci cover bench experiments fuzz clean
 
 all: build vet test
+
+# Mirrors .github/workflows/ci.yml.
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -16,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/systolic/ ./internal/core/ ./internal/server/ .
+	$(GO) test -race ./internal/systolic/ ./internal/core/ ./internal/server/ ./internal/telemetry/ ./cmd/sysdiffd/ .
 
 cover:
 	$(GO) test -cover ./...

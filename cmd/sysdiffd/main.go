@@ -2,31 +2,147 @@
 // over HTTP — the "on-line automatic inspection" deployment shape of
 // the paper's §1 application.
 //
-//	sysdiffd [-addr :8422]
+//	sysdiffd [flags]
+//
+//	-addr :8422              listen address
+//	-max-inflight 64         concurrent requests before shedding 429 (0 = unlimited)
+//	-request-timeout 30s     per-request deadline, 503 on expiry (0 = none)
+//	-max-upload 67108864     request body limit in bytes, 413 beyond it (0 = none)
+//	-read-timeout 1m         socket read deadline
+//	-write-timeout 2m        socket write deadline
+//	-idle-timeout 2m         keep-alive idle deadline
+//	-drain-timeout 30s       graceful-shutdown deadline on SIGINT/SIGTERM
+//	-log-json                emit access logs as JSON instead of text
 //
 //	curl -F a=@ref.pbm -F b=@scan.pbm 'localhost:8422/v1/diff?format=png' -o diff.png
 //	curl -F ref=@ref.pbm -F scan=@scan.pbm 'localhost:8422/v1/inspect?min-area=2'
+//	curl localhost:8422/metrics
+//
+// On SIGINT or SIGTERM the server stops accepting connections, drains
+// in-flight requests for up to -drain-timeout, then exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sysrle/internal/server"
 )
 
-func main() {
-	addr := flag.String("addr", ":8422", "listen address")
-	flag.Parse()
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(),
-		ReadHeaderTimeout: 10 * time.Second,
+// options collects the flag-configurable server shape.
+type options struct {
+	addr           string
+	maxInFlight    int
+	requestTimeout time.Duration
+	maxUpload      int64
+	readTimeout    time.Duration
+	writeTimeout   time.Duration
+	idleTimeout    time.Duration
+	drainTimeout   time.Duration
+	logJSON        bool
+}
+
+func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
+	var o options
+	fs.StringVar(&o.addr, "addr", ":8422", "listen address")
+	fs.IntVar(&o.maxInFlight, "max-inflight", server.DefaultMaxInFlight,
+		"max concurrently served requests; beyond it requests get 429 (0 = unlimited)")
+	fs.DurationVar(&o.requestTimeout, "request-timeout", server.DefaultRequestTimeout,
+		"per-request deadline; 503 on expiry (0 = none)")
+	fs.Int64Var(&o.maxUpload, "max-upload", server.MaxUploadBytes,
+		"request body limit in bytes; 413 beyond it (0 = none)")
+	fs.DurationVar(&o.readTimeout, "read-timeout", time.Minute, "socket read deadline")
+	fs.DurationVar(&o.writeTimeout, "write-timeout", 2*time.Minute, "socket write deadline")
+	fs.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "keep-alive idle deadline")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second,
+		"in-flight drain deadline during graceful shutdown")
+	fs.BoolVar(&o.logJSON, "log-json", false, "emit logs as JSON")
+	err := fs.Parse(args)
+	return o, err
+}
+
+// unlimited maps a 0 flag value onto the Config convention where 0
+// means "default" and negative means "disabled".
+func unlimited[T int | int64 | time.Duration](v T) T {
+	if v == 0 {
+		return -1
 	}
-	log.Printf("sysdiffd listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+	return v
+}
+
+// run serves until ctx is canceled, then drains gracefully. If ready
+// is non-nil, the bound listener address is sent once serving.
+func run(ctx context.Context, o options, log *slog.Logger, ready chan<- net.Addr) error {
+	handler := server.NewWith(server.Config{
+		MaxUploadBytes: unlimited(o.maxUpload),
+		MaxInFlight:    unlimited(o.maxInFlight),
+		RequestTimeout: unlimited(o.requestTimeout),
+		Logger:         log,
+	})
+	srv := &http.Server{
+		Addr:              o.addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       o.readTimeout,
+		WriteTimeout:      o.writeTimeout,
+		IdleTimeout:       o.idleTimeout,
+		ErrorLog:          slog.NewLogLogger(log.Handler(), slog.LevelWarn),
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	log.Info("sysdiffd listening", "addr", ln.Addr().String())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Info("shutting down, draining in-flight requests", "drain_timeout", o.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Warn("drain incomplete, closing", "err", err)
+		_ = srv.Close()
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Info("sysdiffd stopped cleanly")
+	return nil
+}
+
+func main() {
+	o, err := parseFlags(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if o.logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, log, nil); err != nil {
+		log.Error("sysdiffd failed", "err", err)
+		os.Exit(1)
 	}
 }

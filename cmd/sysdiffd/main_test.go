@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testOptions(t *testing.T) options {
+	t.Helper()
+	fs := flag.NewFlagSet("sysdiffd", flag.ContinueOnError)
+	o, err := parseFlags(fs, []string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// TestGracefulShutdown is the deployment contract: the server answers
+// requests, then on cancellation (what SIGINT/SIGTERM trigger via
+// signal.NotifyContext) drains and run returns nil — exit code 0.
+func TestGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, testOptions(t), discard(), ready) }()
+
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// A burst of requests in flight while the signal arrives: all must
+	// complete and the drain must still exit cleanly.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(base + "/metrics")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	cancel()
+	wg.Wait()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil (exit 0)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("sysdiffd", flag.ContinueOnError)
+	o, err := parseFlags(fs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8422" || o.maxInFlight == 0 || o.requestTimeout == 0 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+}
+
+func TestUnlimitedMapping(t *testing.T) {
+	if got := unlimited(0); got != -1 {
+		t.Errorf("unlimited(0) = %d, want -1", got)
+	}
+	if got := unlimited(7); got != 7 {
+		t.Errorf("unlimited(7) = %d, want 7", got)
+	}
+}

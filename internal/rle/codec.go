@@ -35,6 +35,26 @@ const (
 // RLE stream.
 var ErrFormat = errors.New("rle: unrecognized format")
 
+// Decode budgets. Headers are attacker-controlled (the HTTP service
+// feeds uploads straight into these decoders), so a header alone must
+// never cause a large allocation: each side is capped, and the total
+// cell budget charges one slot per row on top of width×height so a
+// degenerate zero-width image cannot smuggle an enormous row count.
+const (
+	maxDim         = 1 << 30 // per-side dimension cap
+	maxDecodeCells = 1 << 31 // (width+1)*height budget
+)
+
+func checkDimensions(width, height int) error {
+	if width < 0 || height < 0 || width > maxDim || height > maxDim {
+		return fmt.Errorf("%w: implausible dimensions %dx%d", ErrFormat, width, height)
+	}
+	if (uint64(width)+1)*uint64(height) > maxDecodeCells {
+		return fmt.Errorf("%w: dimensions %dx%d exceed decode budget", ErrFormat, width, height)
+	}
+	return nil
+}
+
 // WriteText serializes the image in the text format.
 func WriteText(w io.Writer, img *Image) error {
 	bw := bufio.NewWriter(w)
@@ -75,7 +95,12 @@ func ReadText(r io.Reader) (*Image, error) {
 	if err1 != nil || err2 != nil || width < 0 || height < 0 {
 		return nil, fmt.Errorf("%w: bad dimensions %q %q", ErrFormat, fields[1], fields[2])
 	}
-	img := NewImage(width, height)
+	if err := checkDimensions(width, height); err != nil {
+		return nil, err
+	}
+	// Rows grow as lines are actually read, so a forged height costs
+	// nothing before the body backs it up.
+	img := &Image{Width: width, Height: height}
 	for y := 0; y < height; y++ {
 		line, err := br.ReadString('\n')
 		if err != nil && !(err == io.EOF && y == height-1) {
@@ -83,22 +108,42 @@ func ReadText(r io.Reader) (*Image, error) {
 		}
 		line = strings.TrimSpace(line)
 		if line == "" {
+			img.Rows = append(img.Rows, nil)
 			continue
 		}
 		var row Row
 		for _, tok := range strings.Fields(line) {
-			var start, length int
-			if _, err := fmt.Sscanf(tok, "%d,%d", &start, &length); err != nil {
+			start, length, err := parseRunToken(tok)
+			if err != nil {
 				return nil, fmt.Errorf("rle: row %d: bad run %q", y, tok)
 			}
 			row = append(row, Run{Start: start, Length: length})
 		}
-		img.Rows[y] = row
+		img.Rows = append(img.Rows, row)
 	}
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
 	return img, nil
+}
+
+// parseRunToken parses a "<start>,<length>" token exactly: both halves
+// must be full decimal integers with nothing left over. (Sscanf-style
+// parsing accepted trailing garbage, turning "3,4junk" into run {3,4}.)
+func parseRunToken(tok string) (start, length int, err error) {
+	startStr, lenStr, ok := strings.Cut(tok, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("rle: run %q: missing comma", tok)
+	}
+	start, err = strconv.Atoi(startStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	length, err = strconv.Atoi(lenStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return start, length, nil
 }
 
 // WriteBinary serializes the image in the binary format.
@@ -152,11 +197,16 @@ func ReadBinary(r io.Reader) (*Image, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rle: reading height: %w", err)
 	}
-	const maxDim = 1 << 30
 	if width > maxDim || height > maxDim {
 		return nil, fmt.Errorf("%w: implausible dimensions %dx%d", ErrFormat, width, height)
 	}
-	img := NewImage(int(width), int(height))
+	if err := checkDimensions(int(width), int(height)); err != nil {
+		return nil, err
+	}
+	// Rows grow as body bytes are actually decoded; a forged header
+	// claiming height=2^30 with a truncated body fails at the first
+	// missing row count instead of allocating gigabytes up front.
+	img := &Image{Width: int(width), Height: int(height)}
 	for y := 0; y < int(height); y++ {
 		count, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -165,7 +215,14 @@ func ReadBinary(r io.Reader) (*Image, error) {
 		if count > width {
 			return nil, fmt.Errorf("rle: row %d: %d runs exceed width %d", y, count, width)
 		}
-		row := make(Row, 0, count)
+		// The claimed run count is not yet backed by bytes either, so
+		// cap the preallocation; append grows past it only as runs
+		// really decode.
+		sizeHint := count
+		if sizeHint > 4096 {
+			sizeHint = 4096
+		}
+		row := make(Row, 0, sizeHint)
 		pos := 0
 		for i := uint64(0); i < count; i++ {
 			gap, err := binary.ReadUvarint(br)
@@ -176,11 +233,21 @@ func ReadBinary(r io.Reader) (*Image, error) {
 			if err != nil {
 				return nil, fmt.Errorf("rle: row %d run %d length: %w", y, i, err)
 			}
-			run := Run{Start: pos + int(gap), Length: int(length)}
+			// Reject runs that could not fit in the row before doing
+			// any int arithmetic on them: huge uvarints would overflow
+			// Start/End and could slip past Validate.
+			if gap > uint64(img.Width) || length == 0 || length > uint64(img.Width) {
+				return nil, fmt.Errorf("rle: row %d run %d: gap %d / length %d outside width %d", y, i, gap, length, img.Width)
+			}
+			start := pos + int(gap)
+			if start+int(length) > img.Width {
+				return nil, fmt.Errorf("rle: row %d run %d: extends to %d beyond width %d", y, i, start+int(length)-1, img.Width)
+			}
+			run := Run{Start: start, Length: int(length)}
 			row = append(row, run)
 			pos = run.End() + 1
 		}
-		img.Rows[y] = row
+		img.Rows = append(img.Rows, row)
 	}
 	if err := img.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"sysrle/internal/telemetry"
+)
+
+// The middleware stack, outermost first:
+//
+//	panic recovery → request ID → access log + metrics → in-flight
+//	limiter → per-request timeout → mux
+//
+// Recovery is outermost so a panic anywhere (including one re-raised
+// by http.TimeoutHandler from its worker goroutine) becomes a 500
+// JSON error instead of killing the process. The access logger sits
+// outside the limiter and timeout so shed (429) and timed-out (503)
+// requests are still logged and counted.
+
+// ridPrefix makes request IDs unique across process restarts.
+var ridPrefix = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var ridCounter atomic.Uint64
+
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", ridPrefix, ridCounter.Add(1))
+}
+
+// requestIDHeader is the request/response header carrying the ID.
+const requestIDHeader = "X-Request-Id"
+
+// withRequestID tags the request and response with an ID, honoring a
+// sane inbound one (proxies often assign IDs upstream).
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(requestIDHeader)
+		if id == "" || len(id) > 64 || !printableASCII(id) {
+			id = newRequestID()
+			r.Header.Set(requestIDHeader, id)
+		}
+		w.Header().Set(requestIDHeader, id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+func printableASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x21 || s[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+// withRecover turns handler panics into 500 JSON errors.
+func (s *Server) withRecover(next http.Handler) http.Handler {
+	panics := s.reg.Counter("sysrle_http_panics_total")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				// The client deliberately aborting is not a server bug;
+				// re-raise so the net/http machinery handles it.
+				if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					panic(v)
+				}
+				panics.Inc()
+				s.log.Error("panic serving request",
+					"method", r.Method, "path", r.URL.Path,
+					"request_id", r.Header.Get(requestIDHeader), "panic", fmt.Sprint(v))
+				// Best effort: if the handler already wrote, the extra
+				// WriteHeader is a no-op warning, not a crash.
+				httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusWriter records the status code and bytes written.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming still works
+// through the wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// countingBody counts request body bytes actually read. The counter is
+// atomic because http.TimeoutHandler runs the inner handler on another
+// goroutine which may still be reading when the request is abandoned.
+type countingBody struct {
+	rc io.ReadCloser
+	n  atomic.Int64
+}
+
+func (cb *countingBody) Read(p []byte) (int, error) {
+	n, err := cb.rc.Read(p)
+	cb.n.Add(int64(n))
+	return n, err
+}
+
+func (cb *countingBody) Close() error { return cb.rc.Close() }
+
+// endpointLabel collapses the path to a known route so metric
+// cardinality stays bounded no matter what paths clients probe.
+func endpointLabel(path string) string {
+	switch path {
+	case "/healthz", "/metrics", "/debug/vars", "/v1/diff", "/v1/inspect", "/v1/align":
+		return path
+	default:
+		return "other"
+	}
+}
+
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// withObserve wraps the handler with structured access logging and the
+// request-level metrics: count by endpoint/status class, per-endpoint
+// latency histogram, bytes in/out.
+func (s *Server) withObserve(next http.Handler) http.Handler {
+	s.reg.Help("sysrle_http_requests_total", "Requests served, by endpoint and status class.")
+	s.reg.Help("sysrle_http_request_seconds", "Request latency, by endpoint.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		endpoint := endpointLabel(r.URL.Path)
+		body := &countingBody{rc: r.Body}
+		r.Body = body
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		ep := telemetry.L("endpoint", endpoint)
+		s.reg.Counter("sysrle_http_requests_total", ep, telemetry.L("class", statusClass(sw.status))).Inc()
+		s.reg.Histogram("sysrle_http_request_seconds", nil, ep).ObserveDuration(elapsed)
+		s.reg.Counter("sysrle_http_request_bytes_total").Add(body.n.Load())
+		s.reg.Counter("sysrle_http_response_bytes_total").Add(sw.bytes)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes_in", body.n.Load(),
+			"bytes_out", sw.bytes,
+			"duration", elapsed,
+			"request_id", r.Header.Get(requestIDHeader),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// withLimit sheds load once MaxInFlight requests are already being
+// served, with 429 + Retry-After. /healthz and /metrics bypass the
+// limiter (and the timeout, see wrap) so the service stays observable
+// while saturated.
+func (s *Server) withLimit(next http.Handler) http.Handler {
+	if s.cfg.MaxInFlight <= 0 {
+		return next
+	}
+	sem := make(chan struct{}, s.cfg.MaxInFlight)
+	inFlight := s.reg.Gauge("sysrle_http_in_flight")
+	throttled := s.reg.Counter("sysrle_http_throttled_total")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			inFlight.Inc()
+			defer func() {
+				<-sem
+				inFlight.Dec()
+			}()
+			next.ServeHTTP(w, r)
+		default:
+			throttled.Inc()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests,
+				fmt.Errorf("server at capacity (%d requests in flight)", s.cfg.MaxInFlight))
+		}
+	})
+}
+
+// exempt routes the observability endpoints around mid (limiter or
+// timeout) so they cannot be shed or timed out.
+func exempt(mid, direct http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/metrics", "/debug/vars":
+			direct.ServeHTTP(w, r)
+		default:
+			mid.ServeHTTP(w, r)
+		}
+	})
+}
+
+// wrap assembles the full stack around the route mux.
+func (s *Server) wrap(mux http.Handler) http.Handler {
+	h := mux
+	if s.cfg.RequestTimeout > 0 {
+		h = exempt(http.TimeoutHandler(h, s.cfg.RequestTimeout, timeoutBody), mux)
+	}
+	h = exempt(s.withLimit(h), h)
+	h = s.withObserve(h)
+	h = withRequestID(h)
+	h = s.withRecover(h)
+	return h
+}
+
+// timeoutBody is what http.TimeoutHandler writes with its 503.
+const timeoutBody = `{"error":"request timed out"}`
+
+// discardLogger drops everything; the default for handlers constructed
+// without an explicit logger (tests, library use).
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sysrle/internal/telemetry"
+)
+
+// newTestServer builds a Server plus a wrapped custom inner handler,
+// so middleware behavior can be driven directly.
+func newTestServer(cfg Config, inner http.Handler) (*Server, http.Handler) {
+	if cfg.MaxUploadBytes == 0 {
+		cfg.MaxUploadBytes = MaxUploadBytes
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	s := &Server{cfg: cfg, log: discardLogger(), reg: telemetry.NewRegistry()}
+	if cfg.Registry != nil {
+		s.reg = cfg.Registry
+	}
+	return s, s.wrap(inner)
+}
+
+func TestRequestIDAssigned(t *testing.T) {
+	_, h := newTestServer(Config{}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(requestIDHeader) == "" {
+			t.Error("handler saw no request ID")
+		}
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Header().Get(requestIDHeader) == "" {
+		t.Error("response missing X-Request-Id")
+	}
+}
+
+func TestRequestIDPropagated(t *testing.T) {
+	_, h := newTestServer(Config{}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set(requestIDHeader, "upstream-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(requestIDHeader); got != "upstream-42" {
+		t.Errorf("request ID = %q, want upstream-42", got)
+	}
+}
+
+func TestRequestIDRejectsGarbage(t *testing.T) {
+	_, h := newTestServer(Config{}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set(requestIDHeader, strings.Repeat("x", 200))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(requestIDHeader); len(got) > 64 || got == "" {
+		t.Errorf("oversized inbound ID not replaced: %q", got)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	s, h := newTestServer(Config{}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/diff", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Errorf("panic response body %q", rec.Body.String())
+	}
+	if got := s.reg.Counter("sysrle_http_panics_total").Value(); got != 1 {
+		t.Errorf("panics counter = %d, want 1", got)
+	}
+}
+
+func TestLimiterSheds(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	s, h := newTestServer(Config{MaxInFlight: 1, RequestTimeout: -1}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/v1/diff")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered // first request is now occupying the only slot
+
+	resp, err := http.Get(srv.URL + "/v1/diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("missing Retry-After header")
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Error("429 body is not the JSON error shape")
+	}
+	if got := s.reg.Counter("sysrle_http_throttled_total").Value(); got != 1 {
+		t.Errorf("throttled counter = %d, want 1", got)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestLimiterExemptsHealthAndMetrics(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	_, h := newTestServer(Config{MaxInFlight: 1, RequestTimeout: -1}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/diff" {
+			entered <- struct{}{}
+			<-release
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/v1/diff")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	defer func() { close(release); wg.Wait() }()
+
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s while saturated: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	_, h := newTestServer(Config{RequestTimeout: 20 * time.Millisecond}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+		}
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("timeout body %q is not the JSON error shape", body)
+	}
+}
+
+func TestObserveRecordsMetrics(t *testing.T) {
+	s, h := newTestServer(Config{}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/diff", strings.NewReader("hello")))
+
+	if got := s.reg.Counter("sysrle_http_requests_total",
+		telemetry.L("endpoint", "/v1/diff"), telemetry.L("class", "4xx")).Value(); got != 1 {
+		t.Errorf("requests counter = %d, want 1", got)
+	}
+	if got := s.reg.Histogram("sysrle_http_request_seconds", nil,
+		telemetry.L("endpoint", "/v1/diff")).Count(); got != 1 {
+		t.Errorf("latency histogram count = %d, want 1", got)
+	}
+	if got := s.reg.Counter("sysrle_http_request_bytes_total").Value(); got != int64(len("hello")) {
+		t.Errorf("bytes in = %d, want %d", got, len("hello"))
+	}
+	if got := s.reg.Counter("sysrle_http_response_bytes_total").Value(); got != int64(len("short and stout")) {
+		t.Errorf("bytes out = %d, want %d", got, len("short and stout"))
+	}
+}
+
+func TestEndpointLabelBoundsCardinality(t *testing.T) {
+	s, h := newTestServer(Config{}, http.NewServeMux())
+	for _, path := range []string{"/a", "/b", "/c/d/e", "/v1/zzz"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+	if got := s.reg.Counter("sysrle_http_requests_total",
+		telemetry.L("endpoint", "other"), telemetry.L("class", "4xx")).Value(); got != 4 {
+		t.Errorf("probed paths not collapsed to 'other': %d", got)
+	}
+}

@@ -6,46 +6,140 @@
 // Endpoints:
 //
 //	GET  /healthz             → 200 "ok"
+//	GET  /metrics             → telemetry registry in Prometheus text
+//	                            exposition format: request counts and
+//	                            status classes, per-endpoint latency
+//	                            histograms, bytes in/out, in-flight
+//	                            gauge, per-engine iteration totals.
+//	GET  /debug/vars          → the same registry as expvar-style JSON.
 //	POST /v1/diff             → multipart form, files "a" and "b";
 //	                            query: engine=lockstep|channel|sequential|bus,
 //	                            format=pbm|pbm-plain|png|rlet|rleb.
 //	                            Response body is the encoded difference image;
 //	                            X-Sysrle-* headers carry engine statistics.
 //	POST /v1/inspect          → multipart form, files "ref" and "scan";
-//	                            query: engine=..., min-area=N.
+//	                            query: engine=..., min-area=N, align=N
+//	                            (max registration shift, 0..256).
 //	                            Response is a JSON defect report.
+//	POST /v1/align            → multipart form, files "ref" and "scan";
+//	                            query: max-shift=N (1..64, default 4).
+//	                            Response is a JSON {dx, dy, residual_area}.
 //
-// Uploaded images may be PBM (P1/P4), PNG, RLET or RLEB; the format
-// is sniffed.
+// Uploaded images may be PBM (P1/P4), PGM (P2/P5), PNG, RLET or RLEB;
+// the format is sniffed. Uploads over the configured size limit get
+// 413; when MaxInFlight requests are already being served, further
+// ones get 429 with Retry-After (except /healthz, /metrics and
+// /debug/vars, which bypass the limiter and the per-request timeout so
+// the service stays observable under saturation). Every response
+// carries an X-Request-Id, also attached to the access log lines.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"mime/multipart"
 	"net/http"
 	"strconv"
+	"time"
 
 	"sysrle"
 	"sysrle/internal/imageio"
 	"sysrle/internal/inspect"
 	"sysrle/internal/rle"
+	"sysrle/internal/telemetry"
 )
 
-// MaxUploadBytes bounds one multipart upload.
+// MaxUploadBytes is the default bound on one multipart upload.
 const MaxUploadBytes = 64 << 20
 
-// New returns the service handler.
-func New() http.Handler {
+// multipartMemory is ParseMultipartForm's in-memory threshold: parts
+// beyond it spill to temp files, so concurrent large uploads cost disk,
+// not RAM. (Passing the full upload limit here — the old behavior —
+// buffered every upload entirely in memory.)
+const multipartMemory = 8 << 20
+
+// Config tunes the service; the zero value gets production defaults.
+type Config struct {
+	// MaxUploadBytes bounds one request body; 0 means MaxUploadBytes
+	// (64 MiB), negative disables the limit.
+	MaxUploadBytes int64
+	// MaxInFlight bounds concurrently served requests; beyond it
+	// requests are shed with 429. 0 means DefaultMaxInFlight;
+	// negative disables the limiter.
+	MaxInFlight int
+	// RequestTimeout bounds one request end to end (503 on expiry).
+	// 0 means DefaultRequestTimeout; negative disables the timeout.
+	RequestTimeout time.Duration
+	// Logger receives structured access and error logs; nil discards.
+	Logger *slog.Logger
+	// Registry receives service telemetry; nil creates a private one.
+	Registry *telemetry.Registry
+}
+
+// Default limits for Config zero values.
+const (
+	DefaultMaxInFlight    = 64
+	DefaultRequestTimeout = 30 * time.Second
+)
+
+// Server is the configured service; it is an http.Handler factory,
+// not a handler itself — see New/NewWith.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	reg *telemetry.Registry
+}
+
+// New returns the service handler with default configuration (and
+// logging discarded — pass a Config with a Logger for production).
+func New() http.Handler { return NewWith(Config{}) }
+
+// NewWith returns the service handler for the given configuration.
+func NewWith(cfg Config) http.Handler {
+	if cfg.MaxUploadBytes == 0 {
+		cfg.MaxUploadBytes = MaxUploadBytes
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	s := &Server{cfg: cfg, log: cfg.Logger, reg: cfg.Registry}
+	if s.log == nil {
+		s.log = discardLogger()
+	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("POST /v1/diff", handleDiff)
-	mux.HandleFunc("POST /v1/inspect", handleInspect)
-	mux.HandleFunc("POST /v1/align", handleAlign)
-	return mux
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("POST /v1/diff", s.handleDiff)
+	mux.HandleFunc("POST /v1/inspect", s.handleInspect)
+	mux.HandleFunc("POST /v1/align", s.handleAlign)
+	return s.wrap(mux)
+}
+
+// recordEngine feeds one engine run's facade stats into telemetry.
+func (s *Server) recordEngine(engine string, totalIterations, rowsDiffering int) {
+	s.reg.Help("sysrle_engine_iterations_total", "Systolic iterations executed, by engine.")
+	eng := telemetry.L("engine", engine)
+	s.reg.Counter("sysrle_engine_iterations_total", eng).Add(int64(totalIterations))
+	s.reg.Counter("sysrle_engine_rows_differing_total", eng).Add(int64(rowsDiffering))
+	s.reg.Counter("sysrle_engine_runs_total", eng).Inc()
 }
 
 func engineFromQuery(r *http.Request) (sysrle.Engine, error) {
@@ -76,10 +170,17 @@ func formImage(r *http.Request, field string) (*rle.Image, error) {
 	return img, nil
 }
 
-func parseUploads(w http.ResponseWriter, r *http.Request, fieldA, fieldB string) (*rle.Image, *rle.Image, bool) {
-	r.Body = http.MaxBytesReader(w, r.Body, MaxUploadBytes)
-	if err := r.ParseMultipartForm(MaxUploadBytes); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing multipart form: %v", err))
+func (s *Server) parseUploads(w http.ResponseWriter, r *http.Request, fieldA, fieldB string) (*rle.Image, *rle.Image, bool) {
+	if s.cfg.MaxUploadBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	}
+	if err := r.ParseMultipartForm(multipartMemory); err != nil {
+		code := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, fmt.Errorf("parsing multipart form: %v", err))
 		return nil, nil, false
 	}
 	defer func(f *multipart.Form) {
@@ -100,7 +201,7 @@ func parseUploads(w http.ResponseWriter, r *http.Request, fieldA, fieldB string)
 	return a, b, true
 }
 
-func handleDiff(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	engine, err := engineFromQuery(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -114,7 +215,7 @@ func handleDiff(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (have %v)", format, imageio.Formats()))
 		return
 	}
-	a, b, ok := parseUploads(w, r, "a", "b")
+	a, b, ok := s.parseUploads(w, r, "a", "b")
 	if !ok {
 		return
 	}
@@ -123,6 +224,7 @@ func handleDiff(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.recordEngine(engine.Name(), stats.TotalIterations, stats.RowsDiffering)
 	w.Header().Set("Content-Type", imageio.ContentType(format))
 	w.Header().Set("X-Sysrle-Engine", engine.Name())
 	w.Header().Set("X-Sysrle-Rows-Differing", strconv.Itoa(stats.RowsDiffering))
@@ -158,29 +260,29 @@ type inspectResponse struct {
 	Defects          []inspect.Defect `json:"defects"`
 }
 
-func handleInspect(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
 	engine, err := engineFromQuery(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	minArea := 0
-	if s := r.URL.Query().Get("min-area"); s != "" {
-		minArea, err = strconv.Atoi(s)
+	if q := r.URL.Query().Get("min-area"); q != "" {
+		minArea, err = strconv.Atoi(q)
 		if err != nil || minArea < 0 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad min-area %q", s))
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad min-area %q", q))
 			return
 		}
 	}
 	maxAlign := 0
-	if s := r.URL.Query().Get("align"); s != "" {
-		maxAlign, err = strconv.Atoi(s)
+	if q := r.URL.Query().Get("align"); q != "" {
+		maxAlign, err = strconv.Atoi(q)
 		if err != nil || maxAlign < 0 || maxAlign > 256 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad align %q (want 0..256)", s))
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad align %q (want 0..256)", q))
 			return
 		}
 	}
-	ref, scan, ok := parseUploads(w, r, "ref", "scan")
+	ref, scan, ok := s.parseUploads(w, r, "ref", "scan")
 	if !ok {
 		return
 	}
@@ -190,6 +292,7 @@ func handleInspect(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	s.recordEngine(engine.Name(), rep.TotalIterations, rep.RowsDiffering)
 	resp := inspectResponse{
 		Engine:           engine.Name(),
 		RowsCompared:     rep.RowsCompared,
@@ -219,17 +322,17 @@ type alignResponse struct {
 	ResidualArea int `json:"residual_area"`
 }
 
-func handleAlign(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	maxShift := 4
-	if s := r.URL.Query().Get("max-shift"); s != "" {
+	if q := r.URL.Query().Get("max-shift"); q != "" {
 		var err error
-		maxShift, err = strconv.Atoi(s)
+		maxShift, err = strconv.Atoi(q)
 		if err != nil || maxShift < 1 || maxShift > 64 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad max-shift %q (want 1..64)", s))
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad max-shift %q (want 1..64)", q))
 			return
 		}
 	}
-	ref, scan, ok := parseUploads(w, r, "ref", "scan")
+	ref, scan, ok := s.parseUploads(w, r, "ref", "scan")
 	if !ok {
 		return
 	}

@@ -264,6 +264,151 @@ func TestAlignEndpointBadShift(t *testing.T) {
 	}
 }
 
+func TestAlignSizeMismatch(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	ref, _, _ := testBoards(t)
+	body, ctype := multipartBody(t, "pbm", map[string]*rle.Image{"ref": ref, "scan": rle.NewImage(4, 4)})
+	resp, err := http.Post(srv.URL+"/v1/align", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("status %d, want 422 (%s)", resp.StatusCode, raw)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(raw, &e); err != nil || !strings.Contains(e.Error, "size mismatch") {
+		t.Errorf("error body %q", raw)
+	}
+}
+
+func TestAlignMissingFile(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	ref, _, _ := testBoards(t)
+	body, ctype := multipartBody(t, "pbm", map[string]*rle.Image{"ref": ref})
+	resp, err := http.Post(srv.URL+"/v1/align", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint drives a real diff through the service and
+// checks the scrape reflects it: request count, latency histogram and
+// per-engine iteration totals.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	ref, scan, _ := testBoards(t)
+	body, ctype := multipartBody(t, "pbm", map[string]*rle.Image{"a": ref, "b": scan})
+	resp, err := http.Post(srv.URL+"/v1/diff?engine=lockstep", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", mresp.StatusCode)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	out := string(raw)
+	for _, want := range []string{
+		`sysrle_http_requests_total{class="2xx",endpoint="/v1/diff"} 1`,
+		`sysrle_http_request_seconds_bucket{endpoint="/v1/diff",le="+Inf"} 1`,
+		`sysrle_http_request_seconds_count{endpoint="/v1/diff"} 1`,
+		`sysrle_engine_iterations_total{engine="systolic-lockstep"}`,
+		`sysrle_engine_runs_total{engine="systolic-lockstep"} 1`,
+		"# TYPE sysrle_http_requests_total counter",
+		"# TYPE sysrle_http_request_seconds histogram",
+		"sysrle_http_request_bytes_total",
+		"sysrle_http_response_bytes_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// The engine iteration total must be a real non-zero count: the
+	// boards differ, so the lockstep engine iterated.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `sysrle_engine_iterations_total{engine="systolic-lockstep"}`) {
+			fields := strings.Fields(line)
+			if len(fields) != 2 || fields[1] == "0" {
+				t.Errorf("iteration total not recorded: %q", line)
+			}
+		}
+	}
+}
+
+func TestDebugVarsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	// Any request seeds the registry.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	dresp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var vars map[string]map[string]json.RawMessage
+	if err := json.NewDecoder(dresp.Body).Decode(&vars); err != nil {
+		t.Fatalf("debug vars not JSON: %v", err)
+	}
+	if _, ok := vars["sysrle_http_requests_total"]; !ok {
+		t.Errorf("debug vars missing request counter: %v", vars)
+	}
+}
+
+// TestUploadTooLarge checks MaxBytesReader tripping surfaces as 413,
+// not a generic 400.
+func TestUploadTooLarge(t *testing.T) {
+	srv := httptest.NewServer(NewWith(Config{MaxUploadBytes: 1 << 12}))
+	defer srv.Close()
+	ref, scan, _ := testBoards(t)
+	body, ctype := multipartBody(t, "pbm-plain", map[string]*rle.Image{"a": ref, "b": scan})
+	resp, err := http.Post(srv.URL+"/v1/diff", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status %d, want 413 (%s)", resp.StatusCode, raw)
+	}
+}
+
+func TestResponseCarriesRequestID(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("response missing X-Request-Id")
+	}
+}
+
 func TestMethodRouting(t *testing.T) {
 	srv := httptest.NewServer(New())
 	defer srv.Close()
