@@ -11,6 +11,9 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -fuzz FuzzReadBinary -fuzztime 15s ./internal/rle/
+	$(GO) test -fuzz FuzzReadText -fuzztime 15s ./internal/rle/
+	$(GO) test -fuzz FuzzReadPBM -fuzztime 15s ./internal/bitmap/
 
 build:
 	$(GO) build ./...

@@ -14,31 +14,38 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sysrle/internal/experiments"
 	"sysrle/internal/metrics"
 )
 
-func main() {
+// run executes one benchtab invocation against explicit streams, so
+// tests can drive it without a process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig2      = flag.Bool("fig2", false, "print the Figure 2 architecture diagram")
-		fig3      = flag.Bool("fig3", false, "print the Figure 3 execution trace")
-		fig4      = flag.Bool("fig4", false, "print the Figure 4 cell-state taxonomy")
-		fig5      = flag.Bool("fig5", false, "run the Figure 5 sweep")
-		table1    = flag.Bool("table1", false, "run the Table 1 comparison")
-		ablation  = flag.Bool("ablation", false, "run the broadcast-bus ablation")
-		density   = flag.Bool("density", false, "run the §5 density-robustness sweep")
-		resources = flag.Bool("resources", false, "print the conclusion's processor-count comparison")
-		util      = flag.Bool("util", false, "run the §5 array-utilization sweep")
-		pcb       = flag.Bool("pcb", false, "run the §1 PCB inspection sweep")
-		deploy    = flag.Bool("deploy", false, "run the per-row vs flattened deployment comparison")
-		all       = flag.Bool("all", false, "run every experiment")
-		trials    = flag.Int("trials", experiments.DefaultConfig().Trials, "random trials per data point")
-		seed      = flag.Int64("seed", experiments.DefaultConfig().Seed, "workload RNG seed")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		fig2      = fs.Bool("fig2", false, "print the Figure 2 architecture diagram")
+		fig3      = fs.Bool("fig3", false, "print the Figure 3 execution trace")
+		fig4      = fs.Bool("fig4", false, "print the Figure 4 cell-state taxonomy")
+		fig5      = fs.Bool("fig5", false, "run the Figure 5 sweep")
+		table1    = fs.Bool("table1", false, "run the Table 1 comparison")
+		ablation  = fs.Bool("ablation", false, "run the broadcast-bus ablation")
+		density   = fs.Bool("density", false, "run the §5 density-robustness sweep")
+		resources = fs.Bool("resources", false, "print the conclusion's processor-count comparison")
+		util      = fs.Bool("util", false, "run the §5 array-utilization sweep")
+		pcb       = fs.Bool("pcb", false, "run the §1 PCB inspection sweep")
+		deploy    = fs.Bool("deploy", false, "run the per-row vs flattened deployment comparison")
+		all       = fs.Bool("all", false, "run every experiment")
+		trials    = fs.Int("trials", experiments.DefaultConfig().Trials, "random trials per data point")
+		seed      = fs.Int64("seed", experiments.DefaultConfig().Seed, "workload RNG seed")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *all {
 		*fig2, *fig3, *fig4, *fig5, *table1, *ablation = true, true, true, true, true, true
 		*density, *resources, *util, *pcb, *deploy = true, true, true, true, true
@@ -46,34 +53,36 @@ func main() {
 	anySelected := *fig2 || *fig3 || *fig4 || *fig5 || *table1 || *ablation ||
 		*density || *resources || *util || *pcb || *deploy
 	if !anySelected {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("no experiment selected")
 	}
 	cfg := experiments.Config{Trials: *trials, Seed: *seed}
+	var emitErr error
 	emit := func(t *metrics.Table) {
+		if emitErr != nil {
+			return
+		}
 		if *csv {
 			if t.Title != "" {
-				fmt.Printf("# %s\n", t.Title)
+				fmt.Fprintf(stdout, "# %s\n", t.Title)
 			}
-			if err := t.WriteCSV(os.Stdout); err != nil {
-				fatal(err)
-			}
+			emitErr = t.WriteCSV(stdout)
 		} else {
-			fmt.Println(t.Format())
+			fmt.Fprintln(stdout, t.Format())
 		}
 	}
 
 	if *fig2 {
-		fmt.Println(experiments.Figure2())
-		fmt.Println()
+		fmt.Fprintln(stdout, experiments.Figure2())
+		fmt.Fprintln(stdout)
 	}
 	if *fig3 {
 		text, err := experiments.Figure3Trace()
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println("Figure 3: execution of the systolic algorithm on the Figure 1 inputs")
-		fmt.Println(text)
+		fmt.Fprintln(stdout, "Figure 3: execution of the systolic algorithm on the Figure 1 inputs")
+		fmt.Fprintln(stdout, text)
 	}
 	if *fig4 {
 		emit(experiments.Figure4Table())
@@ -81,7 +90,7 @@ func main() {
 	if *fig5 {
 		points, err := experiments.Figure5(cfg, experiments.PaperFigure5())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(experiments.Figure5Table(points))
 	}
@@ -89,14 +98,14 @@ func main() {
 		params := experiments.PaperTable1()
 		rows, err := experiments.Table1(cfg, params)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(experiments.Table1Table(params, rows))
 	}
 	if *ablation {
 		points, err := experiments.Ablation(cfg, experiments.PaperFigure5())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(experiments.AblationTable(points))
 	}
@@ -104,7 +113,7 @@ func main() {
 		points, err := experiments.DensitySweep(cfg, 10000, 0.10,
 			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(experiments.DensityTable(points))
 	}
@@ -115,7 +124,7 @@ func main() {
 	if *util {
 		points, err := experiments.Utilization(cfg, experiments.PaperFigure5())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(experiments.UtilizationTable(points))
 	}
@@ -127,7 +136,7 @@ func main() {
 		points, err := experiments.PCBSweep(pcbCfg,
 			[][2]int{{400, 300}, {800, 600}, {1600, 1200}}, []int{0, 5, 20})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(experiments.PCBTable(points))
 	}
@@ -139,13 +148,16 @@ func main() {
 		points, err := experiments.Deployment(depCfg,
 			[][2]int{{400, 300}, {800, 600}, {1600, 1200}}, 8)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(experiments.DeploymentTable(points))
 	}
+	return emitErr
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchtab:", err)
-	os.Exit(1)
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
 }

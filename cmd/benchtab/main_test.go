@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFiguresSmoke drives the static figures: fast, deterministic
+// output shapes.
+func TestRunFiguresSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-fig2", "-fig3", "-fig4"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Figure 3", "RegSmall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestRunSweepSmoke runs the cheapest randomized sweep with tiny
+// parameters and checks the tabular shape.
+func TestRunSweepSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-table1", "-trials", "1", "-seed", "7"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "systolic") {
+		t.Errorf("table output missing engine column: %q", stdout.String())
+	}
+}
+
+func TestRunCSVSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-resources", "-csv"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	first := strings.SplitN(strings.TrimPrefix(stdout.String(), "# "), "\n", 3)
+	if len(first) < 2 || !strings.Contains(first[1], ",") {
+		t.Errorf("no CSV header in %q", stdout.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Error("no experiment selected, but run succeeded")
+	}
+	if err := run([]string{"-no-such-flag"}, &stdout, &stderr); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

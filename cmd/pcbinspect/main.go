@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -20,30 +21,23 @@ import (
 	"sysrle/internal/inspect"
 )
 
-func main() {
+// run executes one inspection against explicit streams, so tests can
+// drive it without a process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcbinspect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		width    = flag.Int("width", 800, "board width in pixels")
-		height   = flag.Int("height", 600, "board height in pixels")
-		defects  = flag.Int("defects", 8, "defects to inject")
-		seed     = flag.Int64("seed", 1, "RNG seed")
-		engine   = flag.String("engine", "lockstep", "diff engine: lockstep, channel, sequential, bus")
-		saveRef  = flag.String("save-ref", "", "write the reference artwork as PBM")
-		saveScan = flag.String("save-scan", "", "write the defective scan as PBM")
-		misalign = flag.Int("misalign", 0, "shift the scan by this many pixels to exercise auto-registration")
+		width    = fs.Int("width", 800, "board width in pixels")
+		height   = fs.Int("height", 600, "board height in pixels")
+		defects  = fs.Int("defects", 8, "defects to inject")
+		seed     = fs.Int64("seed", 1, "RNG seed")
+		engine   = fs.String("engine", "lockstep", "diff engine: lockstep, channel, sequential, bus")
+		saveRef  = fs.String("save-ref", "", "write the reference artwork as PBM")
+		saveScan = fs.String("save-scan", "", "write the defective scan as PBM")
+		misalign = fs.Int("misalign", 0, "shift the scan by this many pixels to exercise auto-registration")
 	)
-	flag.Parse()
-
-	rng := rand.New(rand.NewSource(*seed))
-	layout, err := inspect.GenerateBoard(rng, inspect.DefaultBoard(*width, *height))
-	if err != nil {
-		fatal(err)
-	}
-	scan, injected := inspect.InjectDefects(rng, layout, *defects)
-	fmt.Printf("board %dx%d: %d pads, %.1f%% copper; injected %d defect(s)\n",
-		*width, *height, len(layout.Pads),
-		100*float64(layout.Art.Popcount())/float64(*width**height), len(injected))
-	for _, inj := range injected {
-		fmt.Printf("  injected %-12s at (%d,%d)-(%d,%d)\n", inj.Type, inj.X0, inj.Y0, inj.X1, inj.Y1)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 
 	var eng sysrle.Engine
@@ -57,7 +51,20 @@ func main() {
 	case "bus":
 		eng = sysrle.NewBus(0)
 	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	layout, err := inspect.GenerateBoard(rng, inspect.DefaultBoard(*width, *height))
+	if err != nil {
+		return err
+	}
+	scan, injected := inspect.InjectDefects(rng, layout, *defects)
+	fmt.Fprintf(stdout, "board %dx%d: %d pads, %.1f%% copper; injected %d defect(s)\n",
+		*width, *height, len(layout.Pads),
+		100*float64(layout.Art.Popcount())/float64(*width**height), len(injected))
+	for _, inj := range injected {
+		fmt.Fprintf(stdout, "  injected %-12s at (%d,%d)-(%d,%d)\n", inj.Type, inj.X0, inj.Y0, inj.X1, inj.Y1)
 	}
 
 	scanImg := scan.ToRLE()
@@ -70,28 +77,36 @@ func main() {
 			maxShift = -maxShift
 		}
 		maxShift++
-		fmt.Printf("scan deliberately misaligned by (%d,%d)\n", *misalign, -*misalign)
+		fmt.Fprintf(stdout, "scan deliberately misaligned by (%d,%d)\n", *misalign, -*misalign)
 	}
 	ins := &inspect.Inspector{Engine: eng, MinDefectArea: 2, MaxAlignShift: maxShift}
 	rep, err := ins.Compare(layout.Art.ToRLE(), scanImg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	if rep.AlignDX != 0 || rep.AlignDY != 0 {
-		fmt.Printf("auto-registration recovered offset (%d,%d)\n", rep.AlignDX, rep.AlignDY)
+		fmt.Fprintf(stdout, "auto-registration recovered offset (%d,%d)\n", rep.AlignDX, rep.AlignDY)
 	}
-	fmt.Print(inspect.FormatReport(rep))
+	fmt.Fprint(stdout, inspect.FormatReport(rep))
 
 	if *saveRef != "" {
 		if err := savePBM(*saveRef, layout.Art); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *saveScan != "" {
 		if err := savePBM(*saveScan, scan); err != nil {
-			fatal(err)
+			return err
 		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pcbinspect:", err)
+		os.Exit(1)
 	}
 }
 
@@ -102,9 +117,4 @@ func savePBM(path string, b *bitmap.Bitmap) error {
 	}
 	defer f.Close()
 	return bitmap.WritePBM(f, b)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pcbinspect:", err)
-	os.Exit(1)
 }

@@ -13,6 +13,16 @@
 //	-idle-timeout 2m         keep-alive idle deadline
 //	-drain-timeout 30s       graceful-shutdown deadline on SIGINT/SIGTERM
 //	-log-json                emit access logs as JSON instead of text
+//	-ref-cache 268435456     decoded-reference LRU budget in bytes (0 = default, <0 = off)
+//	-ref-ttl 0               evict references idle this long (0 = keep forever)
+//	-job-workers 4           batch-inspection worker pool size
+//	-job-queue 256           queued scans across all jobs before 429 backpressure
+//	-job-retention 15m       how long finished jobs stay pollable
+//
+//	curl -F image=@golden.pbm localhost:8422/v1/references          # → {"id": ...}
+//	curl -F b=@scan.pbm "localhost:8422/v1/diff?ref=<id>"           # no re-upload of the golden board
+//	curl -F scan=@s1.pbm -F scan=@s2.pbm "localhost:8422/v1/jobs?ref=<id>"
+//	curl localhost:8422/v1/jobs/job-000001                          # poll progress
 //
 //	curl -F a=@ref.pbm -F b=@scan.pbm 'localhost:8422/v1/diff?format=png' -o diff.png
 //	curl -F ref=@ref.pbm -F scan=@scan.pbm 'localhost:8422/v1/inspect?min-area=2'
@@ -34,6 +44,8 @@ import (
 	"syscall"
 	"time"
 
+	"sysrle/internal/jobs"
+	"sysrle/internal/refstore"
 	"sysrle/internal/server"
 )
 
@@ -48,6 +60,11 @@ type options struct {
 	idleTimeout    time.Duration
 	drainTimeout   time.Duration
 	logJSON        bool
+	refCache       int64
+	refTTL         time.Duration
+	jobWorkers     int
+	jobQueue       int
+	jobRetention   time.Duration
 }
 
 func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
@@ -65,6 +82,16 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second,
 		"in-flight drain deadline during graceful shutdown")
 	fs.BoolVar(&o.logJSON, "log-json", false, "emit logs as JSON")
+	fs.Int64Var(&o.refCache, "ref-cache", refstore.DefaultCacheBytes,
+		"decoded-reference LRU cache budget in bytes (negative disables caching)")
+	fs.DurationVar(&o.refTTL, "ref-ttl", 0,
+		"evict references idle this long (0 = keep forever)")
+	fs.IntVar(&o.jobWorkers, "job-workers", jobs.DefaultWorkers,
+		"batch-inspection worker pool size")
+	fs.IntVar(&o.jobQueue, "job-queue", jobs.DefaultQueueDepth,
+		"queued scans across all jobs before submissions get 429")
+	fs.DurationVar(&o.jobRetention, "job-retention", jobs.DefaultRetention,
+		"how long finished jobs stay pollable before collection")
 	err := fs.Parse(args)
 	return o, err
 }
@@ -86,7 +113,13 @@ func run(ctx context.Context, o options, log *slog.Logger, ready chan<- net.Addr
 		MaxInFlight:    unlimited(o.maxInFlight),
 		RequestTimeout: unlimited(o.requestTimeout),
 		Logger:         log,
+		RefCacheBytes:  o.refCache,
+		RefTTL:         o.refTTL,
+		JobWorkers:     o.jobWorkers,
+		JobQueueDepth:  o.jobQueue,
+		JobRetention:   o.jobRetention,
 	})
+	defer handler.Close()
 	srv := &http.Server{
 		Addr:              o.addr,
 		Handler:           handler,

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sysrle/internal/rle"
 )
@@ -50,15 +51,23 @@ func (p *ArrayPool) XORImage(a, b *rle.Image) (*rle.Image, *PoolStats, error) {
 	iters := make([]int, a.Height)
 	errs := make([]error, a.Height)
 	rows := make(chan int)
+	// One bad row fails the whole image, so there is no point pushing
+	// the rest of it through the bank: the first failure stops row
+	// distribution and the workers skip whatever was already queued.
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for _, arr := range p.arrays {
 		wg.Add(1)
 		go func(arr *ChannelArray) {
 			defer wg.Done()
 			for y := range rows {
+				if failed.Load() {
+					continue
+				}
 				res, err := arr.XORRow(a.Rows[y], b.Rows[y])
 				if err != nil {
 					errs[y] = err
+					failed.Store(true)
 					continue
 				}
 				out.Rows[y] = res.Row.Canonicalize()
@@ -66,7 +75,7 @@ func (p *ArrayPool) XORImage(a, b *rle.Image) (*rle.Image, *PoolStats, error) {
 			}
 		}(arr)
 	}
-	for y := 0; y < a.Height; y++ {
+	for y := 0; y < a.Height && !failed.Load(); y++ {
 		rows <- y
 	}
 	close(rows)

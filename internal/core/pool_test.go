@@ -116,3 +116,28 @@ func TestXORImageFlatErrors(t *testing.T) {
 		t.Error("size mismatch accepted")
 	}
 }
+
+func TestArrayPoolUsableAfterRowFailure(t *testing.T) {
+	// A failing image must short-circuit row distribution without
+	// deadlocking the feeder or wedging the bank: the same pool must
+	// serve a clean image immediately afterwards.
+	pool := NewArrayPool(2, 4)
+	defer pool.Close()
+	bad := rle.NewImage(64, 512)
+	wide := rle.Row{{Start: 0, Length: 1}, {Start: 3, Length: 1}, {Start: 6, Length: 1}}
+	for y := range bad.Rows {
+		bad.Rows[y] = wide.Clone()
+	}
+	if _, _, err := pool.XORImage(bad, bad); !errors.Is(err, ErrTooWide) {
+		t.Fatalf("err = %v, want ErrTooWide", err)
+	}
+	good := rle.NewImage(64, 8)
+	good.Rows[2] = rle.Row{{Start: 5, Length: 3}}
+	diff, stats, err := pool.XORImage(good, rle.NewImage(64, 8))
+	if err != nil {
+		t.Fatalf("pool wedged after failure: %v", err)
+	}
+	if diff.Area() != 3 || stats.RowsDiffering != 1 {
+		t.Errorf("diff area %d rows %d, want 3 and 1", diff.Area(), stats.RowsDiffering)
+	}
+}

@@ -1,0 +1,549 @@
+// Package jobs is the async batch-inspection subsystem: the paper's
+// §1 workload — one golden reference diffed against a stream of
+// scans — submitted as a single job that returns immediately with an
+// id, executed by a fixed worker pool, and polled to completion.
+//
+// A job is N scans against one reference (either a refstore id, so
+// the decoded reference is fetched once through the registry's cache
+// and shared by every scan, or an inline image). Each worker owns a
+// buffer-reusing core.NewStream() engine, the lowest-allocation way
+// to push many rows through one simulated array; scans are the unit
+// of parallelism, so a job's scans spread across the whole pool. The
+// task queue is bounded: a Submit that doesn't fit fails with
+// ErrQueueFull and the HTTP layer turns that into 429 backpressure.
+//
+// Lifecycle: queued → running → done | failed | canceled. Progress
+// is per scan; Cancel stops unstarted scans (in-flight scans finish).
+// Finished jobs are garbage-collected a retention window after they
+// finish, by a janitor goroutine; Close stops the pool.
+//
+// Telemetry (when a registry is configured):
+//
+//	sysrle_jobs_submitted_total / completed_total{state=...}
+//	sysrle_jobs_scans_total     scans processed
+//	sysrle_jobs_queue_depth     tasks waiting (gauge)
+//	sysrle_jobs_active          jobs not yet terminal (gauge)
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sysrle/internal/broadcast"
+	"sysrle/internal/core"
+	"sysrle/internal/inspect"
+	"sysrle/internal/refstore"
+	"sysrle/internal/rle"
+	"sysrle/internal/telemetry"
+)
+
+// Errors returned by Submit and the accessors.
+var (
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrNotFound  = errors.New("jobs: job not found")
+	ErrNoScans   = errors.New("jobs: no scans submitted")
+	ErrClosed    = errors.New("jobs: manager closed")
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultWorkers    = 4
+	DefaultQueueDepth = 256
+	DefaultRetention  = 15 * time.Minute
+)
+
+// State is a job lifecycle state.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Config tunes a Manager; the zero value gets production defaults.
+type Config struct {
+	// Workers is the pool size. 0 means DefaultWorkers.
+	Workers int
+	// QueueDepth bounds queued scan tasks across all jobs; a Submit
+	// that doesn't fit fails with ErrQueueFull. 0 means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// Retention keeps finished jobs pollable for this long before
+	// the janitor collects them. 0 means DefaultRetention; negative
+	// retains forever (tests).
+	Retention time.Duration
+	// Store resolves Spec.RefID references; nil restricts jobs to
+	// inline references.
+	Store *refstore.Store
+	// Registry receives telemetry; nil records nothing.
+	Registry *telemetry.Registry
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Spec describes one batch job: N scans against one reference.
+type Spec struct {
+	// RefID names a registered reference; Ref supplies one inline.
+	// Exactly one must be set.
+	RefID string
+	Ref   *rle.Image
+	// Scans are compared against the reference in index order of
+	// submission (completion order is unspecified).
+	Scans []*rle.Image
+	// Engine selects the row-difference engine by name: "" or
+	// "stream" for the per-worker buffer-reusing lockstep stream,
+	// else lockstep|channel|sequential|sparse|bus.
+	Engine string
+	// MinDefectArea and MaxAlignShift forward to inspect.Inspector.
+	MinDefectArea int
+	MaxAlignShift int
+}
+
+// ScanResult is the outcome of one scan.
+type ScanResult struct {
+	Index      int    `json:"index"`
+	Clean      bool   `json:"clean"`
+	Defects    int    `json:"defects"`
+	DiffPixels int    `json:"diff_pixels"`
+	DiffRuns   int    `json:"diff_runs"`
+	Iterations int    `json:"iterations"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Status is a point-in-time snapshot of a job.
+type Status struct {
+	ID         string       `json:"id"`
+	State      State        `json:"state"`
+	RefID      string       `json:"ref_id,omitempty"`
+	Engine     string       `json:"engine"`
+	ScansTotal int          `json:"scans_total"`
+	ScansDone  int          `json:"scans_done"`
+	Created    time.Time    `json:"created"`
+	Started    *time.Time   `json:"started,omitempty"`
+	Finished   *time.Time   `json:"finished,omitempty"`
+	Error      string       `json:"error,omitempty"`
+	Results    []ScanResult `json:"results,omitempty"`
+}
+
+// job is the internal mutable record.
+type job struct {
+	mu       sync.Mutex
+	id       string
+	spec     Spec
+	ref      *rle.Image
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     int
+	failed   int
+	results  []ScanResult
+	canceled bool
+}
+
+// task is one unit of work: one scan of one job.
+type task struct {
+	job  *job
+	scan int
+}
+
+// Manager owns the worker pool, the bounded queue and the job table.
+type Manager struct {
+	cfg Config
+
+	mu     sync.Mutex // guards jobs map, closed, and queue admission
+	jobs   map[string]*job
+	seq    uint64
+	closed bool
+
+	tasks chan task
+	wg    sync.WaitGroup
+	stop  chan struct{}
+
+	submitted, scans    *telemetry.Counter
+	completedBy         func(State) *telemetry.Counter
+	queueDepth, activeG *telemetry.Gauge
+}
+
+// New starts the worker pool and janitor.
+func New(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Retention == 0 {
+		cfg.Retention = DefaultRetention
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	m := &Manager{
+		cfg:   cfg,
+		jobs:  make(map[string]*job),
+		tasks: make(chan task, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+	}
+	if reg := cfg.Registry; reg != nil {
+		reg.Help("sysrle_jobs_submitted_total", "Batch jobs accepted.")
+		reg.Help("sysrle_jobs_queue_depth", "Scan tasks waiting in the job queue.")
+		m.submitted = reg.Counter("sysrle_jobs_submitted_total")
+		m.scans = reg.Counter("sysrle_jobs_scans_total")
+		m.completedBy = func(s State) *telemetry.Counter {
+			return reg.Counter("sysrle_jobs_completed_total", telemetry.L("state", string(s)))
+		}
+		m.queueDepth = reg.Gauge("sysrle_jobs_queue_depth")
+		m.activeG = reg.Gauge("sysrle_jobs_active")
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	m.wg.Add(1)
+	go m.janitor()
+	return m
+}
+
+// Close stops the janitor, closes the queue and waits for the
+// workers to drain it. Queued scans still run to completion; only
+// new submissions are refused (ErrClosed).
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.tasks)
+	m.mu.Unlock()
+	close(m.stop)
+	m.wg.Wait()
+}
+
+// engineFor builds the engine one worker uses for one job. The
+// default stream engine is per-call state, so each worker constructs
+// its own; named engines are stateless and shared freely.
+func engineFor(name string) (core.Engine, error) {
+	switch name {
+	case "", "stream":
+		return core.NewStream(), nil
+	case "lockstep":
+		return core.Lockstep{}, nil
+	case "channel":
+		return core.Channel{}, nil
+	case "sequential":
+		return core.Sequential{}, nil
+	case "sparse":
+		return core.Sparse{}, nil
+	case "bus":
+		return broadcast.Bus{}, nil
+	default:
+		return nil, fmt.Errorf("jobs: unknown engine %q", name)
+	}
+}
+
+// Submit validates the spec, resolves the reference, and enqueues one
+// task per scan. It returns the job id immediately; admission is
+// all-or-nothing — if the queue cannot take every scan the job is
+// rejected with ErrQueueFull so callers get clean backpressure
+// instead of a half-enqueued job.
+func (m *Manager) Submit(spec Spec) (string, error) {
+	if len(spec.Scans) == 0 {
+		return "", ErrNoScans
+	}
+	if _, err := engineFor(spec.Engine); err != nil {
+		return "", err
+	}
+	if (spec.RefID == "") == (spec.Ref == nil) {
+		return "", errors.New("jobs: exactly one of RefID and Ref must be set")
+	}
+	ref := spec.Ref
+	if spec.RefID != "" {
+		if m.cfg.Store == nil {
+			return "", errors.New("jobs: no reference store configured")
+		}
+		var err error
+		// One decode (at most) for the whole batch: the store's LRU
+		// means a hot reference costs a map lookup here.
+		ref, err = m.cfg.Store.Get(spec.RefID)
+		if err != nil {
+			return "", err
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return "", ErrClosed
+	}
+	if cap(m.tasks)-len(m.tasks) < len(spec.Scans) {
+		return "", ErrQueueFull
+	}
+	m.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", m.seq),
+		spec:    spec,
+		ref:     ref,
+		state:   StateQueued,
+		created: m.cfg.now(),
+		results: make([]ScanResult, len(spec.Scans)),
+	}
+	for i := range j.results {
+		j.results[i] = ScanResult{Index: i}
+	}
+	m.jobs[j.id] = j
+	// Only workers drain the channel, so under m.mu the capacity
+	// check above guarantees every send below succeeds immediately.
+	for i := range spec.Scans {
+		m.tasks <- task{job: j, scan: i}
+	}
+	if m.submitted != nil {
+		m.submitted.Inc()
+		m.queueDepth.Set(int64(len(m.tasks)))
+		m.activeG.Inc()
+	}
+	return j.id, nil
+}
+
+// Get returns a snapshot of a job.
+func (m *Manager) Get(id string) (Status, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// List returns a snapshot of every retained job, newest first.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		js = append(js, j)
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(js))
+	for i, j := range js {
+		out[i] = j.snapshot()
+	}
+	// IDs are zero-padded sequence numbers, so lexical order is
+	// submission order.
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
+	return out
+}
+
+// Cancel marks a job canceled. Queued scans are skipped; a scan
+// already on a worker finishes and is recorded. Canceling a terminal
+// job is a no-op; the final state is returned either way.
+func (m *Manager) Cancel(id string) (Status, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.canceled = true
+		if j.done >= len(j.spec.Scans) {
+			// Every scan already finished; canceling changes nothing.
+			j.canceled = false
+		}
+	}
+	j.mu.Unlock()
+	return j.snapshot(), nil
+}
+
+// Delete cancels (if needed) and removes a job record. Queued scans
+// of a deleted job are still drained by the workers (as fast skips —
+// record keeps a pointer to the job, not the table entry), so the
+// telemetry gauges stay consistent.
+func (m *Manager) Delete(id string) error {
+	if _, err := m.Cancel(id); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.jobs, id)
+	m.mu.Unlock()
+	return nil
+}
+
+// worker drains the queue. Each worker constructs the job's engine
+// itself, so stream engines (mutable buffers) are never shared.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	// Engines are cached per job spec name; the common "" case means
+	// one stream reused across every task this worker ever runs.
+	engines := map[string]core.Engine{}
+	for t := range m.tasks {
+		if m.queueDepth != nil {
+			m.queueDepth.Set(int64(len(m.tasks)))
+		}
+		j := t.job
+		j.mu.Lock()
+		if j.state == StateQueued && !j.canceled {
+			j.state = StateRunning
+			j.started = m.cfg.now()
+		}
+		skip := j.canceled
+		j.mu.Unlock()
+		if skip {
+			m.record(j, ScanResult{Index: t.scan, Error: "canceled"}, true)
+			continue
+		}
+		eng, ok := engines[j.spec.Engine]
+		if !ok {
+			eng, _ = engineFor(j.spec.Engine) // validated at Submit
+			engines[j.spec.Engine] = eng
+		}
+		ins := &inspect.Inspector{
+			Engine: eng,
+			// Scans are the unit of parallelism; one row worker per
+			// scan keeps the pool's CPU use at Workers and keeps the
+			// per-worker stream engine single-threaded.
+			Workers:       1,
+			MinDefectArea: j.spec.MinDefectArea,
+			MaxAlignShift: j.spec.MaxAlignShift,
+		}
+		res := ScanResult{Index: t.scan}
+		rep, err := ins.Compare(j.ref, j.spec.Scans[t.scan])
+		if err != nil {
+			res.Error = err.Error()
+		} else {
+			res.Clean = rep.Clean()
+			res.Defects = len(rep.Defects)
+			res.DiffPixels = rep.DiffArea
+			res.DiffRuns = rep.DiffRuns
+			res.Iterations = rep.TotalIterations
+		}
+		if m.scans != nil {
+			m.scans.Inc()
+		}
+		m.record(j, res, false)
+	}
+}
+
+// record stores one scan result and finalizes the job when it was the
+// last. canceledScan marks results that were skipped, not failed.
+func (m *Manager) record(j *job, res ScanResult, canceledScan bool) {
+	j.mu.Lock()
+	j.results[res.Index] = res
+	j.done++
+	if res.Error != "" && !canceledScan {
+		j.failed++
+	}
+	finished := j.done >= len(j.spec.Scans)
+	if finished && !j.state.Terminal() {
+		j.finished = m.cfg.now()
+		switch {
+		case j.canceled:
+			j.state = StateCanceled
+		case j.failed > 0:
+			j.state = StateFailed
+		default:
+			j.state = StateDone
+		}
+	}
+	state := j.state
+	j.mu.Unlock()
+	if finished {
+		if m.completedBy != nil {
+			m.completedBy(state).Inc()
+			m.activeG.Dec()
+		}
+	}
+}
+
+// janitor collects finished jobs a retention window after they
+// finish.
+func (m *Manager) janitor() {
+	defer m.wg.Done()
+	if m.cfg.Retention < 0 {
+		return
+	}
+	interval := m.cfg.Retention / 4
+	if interval < 50*time.Millisecond {
+		interval = 50 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			m.collect()
+		}
+	}
+}
+
+// collect removes jobs whose retention has lapsed.
+func (m *Manager) collect() {
+	deadline := m.cfg.now().Add(-m.cfg.Retention)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		expired := j.state.Terminal() && !j.finished.IsZero() && j.finished.Before(deadline)
+		j.mu.Unlock()
+		if expired {
+			delete(m.jobs, id)
+		}
+	}
+}
+
+// snapshot copies the job under its lock.
+func (j *job) snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:         j.id,
+		State:      j.state,
+		RefID:      j.spec.RefID,
+		Engine:     engineName(j.spec.Engine),
+		ScansTotal: len(j.spec.Scans),
+		ScansDone:  j.done,
+		Created:    j.created,
+	}
+	if j.canceled && !j.state.Terminal() {
+		st.State = StateCanceled
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.failed > 0 {
+		st.Error = fmt.Sprintf("%d of %d scans failed", j.failed, len(j.spec.Scans))
+	}
+	st.Results = append([]ScanResult(nil), j.results...)
+	return st
+}
+
+func engineName(name string) string {
+	if name == "" {
+		return "stream"
+	}
+	return name
+}

@@ -1,0 +1,280 @@
+package refstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sysrle/internal/rle"
+	"sysrle/internal/telemetry"
+)
+
+func testImage(seed int64, w, h int) *rle.Image {
+	rng := rand.New(rand.NewSource(seed))
+	img := rle.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		var row rle.Row
+		x := 0
+		for x < w-2 {
+			x += 1 + rng.Intn(6)
+			length := 1 + rng.Intn(4)
+			if x+length > w {
+				break
+			}
+			row = append(row, rle.Run{Start: x, Length: length})
+			x += length + 1
+		}
+		img.SetRow(y, row)
+	}
+	return img
+}
+
+func TestPutIsContentAddressed(t *testing.T) {
+	s := New(Config{})
+	img := testImage(1, 64, 16)
+	m1, err := s.Put(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.ID) != 64 {
+		t.Errorf("id %q is not a hex sha256", m1.ID)
+	}
+	// Same content again — including via a clone — is idempotent.
+	m2, err := s.Put(img.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.ID != m2.ID || s.Len() != 1 {
+		t.Errorf("identical content got ids %s and %s (len %d)", m1.ID, m2.ID, s.Len())
+	}
+	// A non-canonical encoding of the same pixels hashes the same,
+	// because the id covers the canonical RLEB bytes.
+	split := img.Clone()
+	for y, row := range split.Rows {
+		var fragmented rle.Row
+		for _, r := range row {
+			for i := 0; i < r.Length; i++ {
+				fragmented = append(fragmented, rle.Run{Start: r.Start + i, Length: 1})
+			}
+		}
+		split.Rows[y] = fragmented
+	}
+	m3, err := s.Put(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.ID != m1.ID {
+		t.Error("non-canonical run list changed the content address")
+	}
+	// Different content gets a different id.
+	m4, err := s.Put(testImage(2, 64, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.ID == m1.ID {
+		t.Error("distinct images share an id")
+	}
+}
+
+func TestGetDecodesOnceThenHits(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(Config{Registry: reg})
+	img := testImage(3, 80, 20)
+	meta, err := s.Put(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fetches = 10
+	for i := 0; i < fetches; i++ {
+		got, err := s.Get(meta.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(img.Canonicalize()) {
+			t.Fatal("decoded reference differs from the upload")
+		}
+	}
+	if v := reg.Counter("sysrle_refstore_decodes_total").Value(); v != 1 {
+		t.Errorf("decodes = %d, want exactly 1 for %d fetches", v, fetches)
+	}
+	if v := reg.Counter("sysrle_refstore_misses_total").Value(); v != 1 {
+		t.Errorf("misses = %d, want 1", v)
+	}
+	if v := reg.Counter("sysrle_refstore_hits_total").Value(); v != fetches-1 {
+		t.Errorf("hits = %d, want %d", v, fetches-1)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Get("deadbeef"); err != ErrNotFound {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+	if _, ok := s.Meta("deadbeef"); ok {
+		t.Error("Meta found a ghost")
+	}
+	if s.Delete("deadbeef") {
+		t.Error("Delete found a ghost")
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	one := testImage(4, 128, 64)
+	oneSize := decodedSize(128, 64, one.Canonicalize().RunCount())
+	// Budget fits one decoded image but not two.
+	s := New(Config{CacheBytes: oneSize + oneSize/2, Registry: reg})
+	m1, _ := s.Put(one)
+	m2, _ := s.Put(testImage(5, 128, 64))
+	if _, err := s.Get(m1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(m2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ResidentBytes(); got > oneSize+oneSize/2 {
+		t.Errorf("resident %d exceeds budget", got)
+	}
+	if v := reg.Counter("sysrle_refstore_evictions_total", telemetry.L("reason", "budget")).Value(); v == 0 {
+		t.Error("no budget eviction recorded")
+	}
+	// The evicted reference is still registered — it just re-decodes.
+	if _, err := s.Get(m1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("sysrle_refstore_decodes_total").Value(); v != 3 {
+		t.Errorf("decodes = %d, want 3 (two cold, one re-decode)", v)
+	}
+}
+
+func TestCachingDisabled(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(Config{CacheBytes: -1, Registry: reg})
+	m, _ := s.Put(testImage(6, 32, 8))
+	for i := 0; i < 3; i++ {
+		if _, err := s.Get(m.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := reg.Counter("sysrle_refstore_decodes_total").Value(); v != 3 {
+		t.Errorf("decodes = %d, want 3 with caching disabled", v)
+	}
+	if s.ResidentBytes() != 0 {
+		t.Error("resident bytes with caching disabled")
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Config{TTL: time.Minute, now: func() time.Time { return now }})
+	m1, _ := s.Put(testImage(7, 32, 8))
+	now = now.Add(30 * time.Second)
+	m2, _ := s.Put(testImage(8, 32, 8))
+	// Touching m1 resets its idle clock.
+	if _, err := s.Get(m1.ID); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(45 * time.Second)
+	// m2 is now 45s idle (fine); m1 was touched 45s ago (fine).
+	if s.Len() != 2 {
+		t.Fatalf("premature TTL eviction: len %d", s.Len())
+	}
+	now = now.Add(20 * time.Second)
+	// m1 idle 65s → evicted; m2 idle 65s → evicted too.
+	if n := s.Sweep(); n != 2 {
+		t.Errorf("sweep removed %d, want 2", n)
+	}
+	if _, err := s.Get(m2.ID); err != ErrNotFound {
+		t.Errorf("expired reference still served: %v", err)
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(Config{now: func() time.Time { return now }})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		m, err := s.Put(testImage(int64(10+i), 48, 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, m.ID)
+		now = now.Add(time.Second)
+	}
+	list := s.List()
+	if len(list) != 3 {
+		t.Fatalf("len %d", len(list))
+	}
+	for i := range list {
+		if list[i].ID != ids[2-i] {
+			t.Errorf("list[%d] = %s, want %s", i, list[i].ID, ids[2-i])
+		}
+	}
+}
+
+// TestConcurrentAccess exercises upload/read/evict/delete under the
+// race detector.
+func TestConcurrentAccess(t *testing.T) {
+	one := testImage(20, 96, 32)
+	oneSize := decodedSize(96, 32, one.Canonicalize().RunCount())
+	s := New(Config{CacheBytes: 2 * oneSize, Registry: telemetry.NewRegistry()})
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				img := testImage(int64(i%7), 96, 32)
+				m, err := s.Put(img)
+				if err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				got, err := s.Get(m.ID)
+				if err == nil {
+					if got.Width != 96 {
+						t.Errorf("bad decode width %d", got.Width)
+						return
+					}
+				} else if err != ErrNotFound {
+					t.Errorf("get: %v", err)
+					return
+				}
+				if i%9 == w {
+					s.Delete(m.ID)
+				}
+				s.List()
+				s.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every surviving reference still round-trips.
+	for _, m := range s.List() {
+		if _, err := s.Get(m.ID); err != nil {
+			t.Errorf("surviving ref %s: %v", m.ID[:8], err)
+		}
+	}
+}
+
+func TestPutRejectsInvalid(t *testing.T) {
+	s := New(Config{})
+	bad := rle.NewImage(8, 1)
+	bad.Rows[0] = rle.Row{{Start: 6, Length: 5}} // runs past the width
+	if _, err := s.Put(bad); err == nil {
+		t.Error("invalid image registered")
+	}
+}
+
+func ExampleStore() {
+	s := New(Config{})
+	img := rle.NewImage(16, 2)
+	img.SetRow(0, rle.Row{{Start: 2, Length: 5}})
+	meta, _ := s.Put(img)
+	ref, _ := s.Get(meta.ID)
+	fmt.Println(meta.Width, meta.Height, meta.Runs, ref.Area())
+	// Output: 16 2 1 5
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -141,9 +142,18 @@ func (cb *countingBody) Close() error { return cb.rc.Close() }
 // cardinality stays bounded no matter what paths clients probe.
 func endpointLabel(path string) string {
 	switch path {
-	case "/healthz", "/metrics", "/debug/vars", "/v1/diff", "/v1/inspect", "/v1/align":
+	case "/healthz", "/metrics", "/debug/vars", "/v1/diff", "/v1/inspect", "/v1/align",
+		"/v1/references", "/v1/jobs":
 		return path
 	default:
+		// Ids are client-chosen content hashes and job counters; fold
+		// them so cardinality stays bounded.
+		switch {
+		case strings.HasPrefix(path, "/v1/references/"):
+			return "/v1/references/{id}"
+		case strings.HasPrefix(path, "/v1/jobs/"):
+			return "/v1/jobs/{id}"
+		}
 		return "other"
 	}
 }

@@ -1,0 +1,201 @@
+package server
+
+// The reference-registry and batch-job endpoints. The synchronous
+// compare endpoints live in server.go; everything here is the async
+// side: register a golden reference once, then submit batches of
+// scans against it and poll.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"sysrle/internal/imageio"
+	"sysrle/internal/jobs"
+	"sysrle/internal/refstore"
+	"sysrle/internal/rle"
+)
+
+// writeJSON renders one response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleRefPut(w http.ResponseWriter, r *http.Request) {
+	if !s.parseForm(w, r) {
+		return
+	}
+	defer cleanupForm(r.MultipartForm)
+	img, err := formImage(r, "image")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	meta, err := s.refs.Put(img)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, meta)
+}
+
+// refListResponse is the JSON shape of GET /v1/references.
+type refListResponse struct {
+	References []refstore.Meta `json:"references"`
+}
+
+func (s *Server) handleRefList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, refListResponse{References: s.refs.List()})
+}
+
+func (s *Server) handleRefGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	meta, ok := s.refs.Meta(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("reference %q: %w", id, refstore.ErrNotFound))
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+func (s *Server) handleRefDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.refs.Delete(id) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("reference %q: %w", id, refstore.ErrNotFound))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// intQuery parses an optional bounded integer query parameter.
+func intQuery(r *http.Request, name string, lo, hi int) (int, error) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < lo || v > hi {
+		return 0, fmt.Errorf("bad %s %q (want %d..%d)", name, q, lo, hi)
+	}
+	return v, nil
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	engine := r.URL.Query().Get("engine")
+	minArea, err := intQuery(r, "min-area", 0, 1<<30)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	maxAlign, err := intQuery(r, "align", 0, 256)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.parseForm(w, r) {
+		return
+	}
+	defer cleanupForm(r.MultipartForm)
+
+	spec := jobs.Spec{
+		Engine:        engine,
+		MinDefectArea: minArea,
+		MaxAlignShift: maxAlign,
+	}
+	spec.RefID = r.URL.Query().Get("ref")
+	if spec.RefID == "" {
+		spec.RefID = r.FormValue("ref")
+	}
+	if spec.RefID == "" {
+		// No registered reference named: accept one uploaded inline.
+		ref, err := formImage(r, "ref")
+		if err != nil {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("need ?ref=<id>, form value \"ref\", or an uploaded \"ref\" file: %v", err))
+			return
+		}
+		spec.Ref = ref
+	}
+
+	files := r.MultipartForm.File["scan"]
+	if len(files) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New(`no "scan" uploads in form`))
+		return
+	}
+	spec.Scans = make([]*rle.Image, 0, len(files))
+	for i, fh := range files {
+		f, err := fh.Open()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("scan %d: %v", i, err))
+			return
+		}
+		img, err := imageio.Read(f)
+		_ = f.Close()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("scan %d (%s): %v", i, fh.Filename, err))
+			return
+		}
+		spec.Scans = append(spec.Scans, img)
+	}
+
+	id, err := s.jobs.Submit(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, refstore.ErrNotFound):
+		httpError(w, http.StatusNotFound, fmt.Errorf("reference %q: %w", spec.RefID, err))
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	status, err := s.jobs.Get(id)
+	if err != nil {
+		// Submitted and already collected is impossible within one
+		// request; report it rather than hide it.
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, status)
+}
+
+// jobListResponse is the JSON shape of GET /v1/jobs.
+type jobListResponse struct {
+	Jobs []jobs.Status `json:"jobs"`
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, jobListResponse{Jobs: s.jobs.List()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	status, err := s.jobs.Get(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("job %q: %w", id, jobs.ErrNotFound))
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.jobs.Delete(id); err != nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("job %q: %w", id, jobs.ErrNotFound))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

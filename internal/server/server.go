@@ -24,6 +24,54 @@
 //	POST /v1/align            → multipart form, files "ref" and "scan";
 //	                            query: max-shift=N (1..64, default 4).
 //	                            Response is a JSON {dx, dy, residual_area}.
+//	POST   /v1/references     → multipart form, file "image". Registers
+//	                            the image in the content-addressed
+//	                            reference registry and returns 201 with
+//	                            its metadata; the id is the hex SHA-256
+//	                            of the canonical RLEB encoding, so
+//	                            re-uploading identical content is
+//	                            idempotent.
+//	GET    /v1/references     → JSON list of registered references.
+//	GET    /v1/references/{id}→ metadata for one reference (404 if not
+//	                            registered or expired).
+//	DELETE /v1/references/{id}→ unregister; 204, or 404.
+//	POST   /v1/jobs           → multipart form: one or more files under
+//	                            field "scan", plus either ?ref=<id>
+//	                            (or form value "ref") naming a stored
+//	                            reference, or a file "ref" uploaded
+//	                            inline. Query: engine=..., min-area=N,
+//	                            align=N as for /v1/inspect. Returns 202
+//	                            with the job snapshot; 429 with
+//	                            Retry-After when the job queue cannot
+//	                            take every scan (backpressure is
+//	                            all-or-nothing, never a half-enqueued
+//	                            job); 404 for an unknown reference.
+//	GET    /v1/jobs           → JSON list of retained job snapshots.
+//	GET    /v1/jobs/{id}      → job snapshot: state, per-scan progress
+//	                            and results.
+//	DELETE /v1/jobs/{id}      → cancel (if still running) and remove
+//	                            the job record; 204, or 404.
+//
+// # Async API contract
+//
+// A job moves queued → running → done | failed | canceled, and never
+// leaves a terminal state. Clients poll GET /v1/jobs/{id}: the
+// snapshot carries scans_total/scans_done for progress and a
+// per-scan results array (index, clean, defect count, diff pixels,
+// iterations, or an error string) that fills in as scans complete;
+// completion order across scans is unspecified. "failed" means at
+// least one scan errored — the rest still ran and their results are
+// present. DELETE cancels: scans not yet started are skipped, a scan
+// already on a worker finishes and is recorded. Finished jobs stay
+// pollable for the configured retention window, then are
+// garbage-collected, after which GET returns 404; polling clients
+// must treat 404 after a terminal snapshot as "already collected".
+//
+// The ref=<id> query parameter on /v1/diff, /v1/inspect and /v1/align
+// substitutes a registered reference for the first upload ("a" and
+// "ref" respectively), so the hot path skips both the upload and the
+// decode: the registry caches decoded references in an LRU under a
+// byte budget and hands the same decoded image to every request.
 //
 // Uploaded images may be PBM (P1/P4), PGM (P2/P5), PNG, RLET or RLEB;
 // the format is sniffed. Uploads over the configured size limit get
@@ -47,6 +95,8 @@ import (
 	"sysrle"
 	"sysrle/internal/imageio"
 	"sysrle/internal/inspect"
+	"sysrle/internal/jobs"
+	"sysrle/internal/refstore"
 	"sysrle/internal/rle"
 	"sysrle/internal/telemetry"
 )
@@ -76,6 +126,21 @@ type Config struct {
 	Logger *slog.Logger
 	// Registry receives service telemetry; nil creates a private one.
 	Registry *telemetry.Registry
+
+	// RefCacheBytes bounds the decoded-reference LRU; 0 means
+	// refstore.DefaultCacheBytes, negative disables decoded caching.
+	RefCacheBytes int64
+	// RefTTL evicts references idle for this long; 0 keeps forever.
+	RefTTL time.Duration
+	// JobWorkers sizes the batch-inspection pool; 0 means
+	// jobs.DefaultWorkers.
+	JobWorkers int
+	// JobQueueDepth bounds queued scans across all jobs (429 beyond
+	// it); 0 means jobs.DefaultQueueDepth.
+	JobQueueDepth int
+	// JobRetention keeps finished jobs pollable; 0 means
+	// jobs.DefaultRetention, negative retains forever.
+	JobRetention time.Duration
 }
 
 // Default limits for Config zero values.
@@ -84,20 +149,38 @@ const (
 	DefaultRequestTimeout = 30 * time.Second
 )
 
-// Server is the configured service; it is an http.Handler factory,
-// not a handler itself — see New/NewWith.
+// Server is the configured service. It serves HTTP (the full
+// middleware stack is assembled at construction) and owns the
+// reference registry and the batch-job worker pool; Close releases
+// the pool's goroutines.
 type Server struct {
-	cfg Config
-	log *slog.Logger
-	reg *telemetry.Registry
+	cfg     Config
+	log     *slog.Logger
+	reg     *telemetry.Registry
+	refs    *refstore.Store
+	jobs    *jobs.Manager
+	handler http.Handler
 }
+
+// ServeHTTP dispatches through the middleware stack.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Close stops the batch-job worker pool. In-flight and queued scans
+// finish; new submissions get 503.
+func (s *Server) Close() { s.jobs.Close() }
+
+// Refs exposes the reference registry (tests, preloading a golden
+// reference at startup).
+func (s *Server) Refs() *refstore.Store { return s.refs }
 
 // New returns the service handler with default configuration (and
 // logging discarded — pass a Config with a Logger for production).
-func New() http.Handler { return NewWith(Config{}) }
+func New() *Server { return NewWith(Config{}) }
 
 // NewWith returns the service handler for the given configuration.
-func NewWith(cfg Config) http.Handler {
+func NewWith(cfg Config) *Server {
 	if cfg.MaxUploadBytes == 0 {
 		cfg.MaxUploadBytes = MaxUploadBytes
 	}
@@ -114,6 +197,18 @@ func NewWith(cfg Config) http.Handler {
 	if s.reg == nil {
 		s.reg = telemetry.NewRegistry()
 	}
+	s.refs = refstore.New(refstore.Config{
+		CacheBytes: cfg.RefCacheBytes,
+		TTL:        cfg.RefTTL,
+		Registry:   s.reg,
+	})
+	s.jobs = jobs.New(jobs.Config{
+		Workers:    cfg.JobWorkers,
+		QueueDepth: cfg.JobQueueDepth,
+		Retention:  cfg.JobRetention,
+		Store:      s.refs,
+		Registry:   s.reg,
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -130,7 +225,16 @@ func NewWith(cfg Config) http.Handler {
 	mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	mux.HandleFunc("POST /v1/inspect", s.handleInspect)
 	mux.HandleFunc("POST /v1/align", s.handleAlign)
-	return s.wrap(mux)
+	mux.HandleFunc("POST /v1/references", s.handleRefPut)
+	mux.HandleFunc("GET /v1/references", s.handleRefList)
+	mux.HandleFunc("GET /v1/references/{id}", s.handleRefGet)
+	mux.HandleFunc("DELETE /v1/references/{id}", s.handleRefDelete)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.handler = s.wrap(mux)
+	return s
 }
 
 // recordEngine feeds one engine run's facade stats into telemetry.
@@ -170,7 +274,11 @@ func formImage(r *http.Request, field string) (*rle.Image, error) {
 	return img, nil
 }
 
-func (s *Server) parseUploads(w http.ResponseWriter, r *http.Request, fieldA, fieldB string) (*rle.Image, *rle.Image, bool) {
+// parseForm applies the upload limit and parses the multipart body,
+// writing the error response itself on failure. Handlers read every
+// image they need before returning; the deferred cleanup then drops
+// any temp files the parts spilled to.
+func (s *Server) parseForm(w http.ResponseWriter, r *http.Request) bool {
 	if s.cfg.MaxUploadBytes > 0 {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	}
@@ -181,17 +289,53 @@ func (s *Server) parseUploads(w http.ResponseWriter, r *http.Request, fieldA, fi
 			code = http.StatusRequestEntityTooLarge
 		}
 		httpError(w, code, fmt.Errorf("parsing multipart form: %v", err))
+		return false
+	}
+	return true
+}
+
+func cleanupForm(f *multipart.Form) {
+	if f != nil {
+		_ = f.RemoveAll()
+	}
+}
+
+// storedRef resolves the ref=<id> query parameter through the
+// registry, writing 404 on an unknown or expired id.
+func (s *Server) storedRef(w http.ResponseWriter, id string) (*rle.Image, bool) {
+	img, err := s.refs.Get(id)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, refstore.ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		httpError(w, code, fmt.Errorf("reference %q: %w", id, err))
+		return nil, false
+	}
+	return img, true
+}
+
+// parseUploads resolves the two images of a compare-shaped request.
+// With ref=<id> in the query the first image comes from the registry
+// (no upload, no decode on a cache hit) and only fieldB is read from
+// the form.
+func (s *Server) parseUploads(w http.ResponseWriter, r *http.Request, fieldA, fieldB string) (*rle.Image, *rle.Image, bool) {
+	if !s.parseForm(w, r) {
 		return nil, nil, false
 	}
-	defer func(f *multipart.Form) {
-		if f != nil {
-			_ = f.RemoveAll()
+	defer cleanupForm(r.MultipartForm)
+	var a *rle.Image
+	if id := r.URL.Query().Get("ref"); id != "" {
+		var ok bool
+		if a, ok = s.storedRef(w, id); !ok {
+			return nil, nil, false
 		}
-	}(r.MultipartForm)
-	a, err := formImage(r, fieldA)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return nil, nil, false
+	} else {
+		var err error
+		if a, err = formImage(r, fieldA); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return nil, nil, false
+		}
 	}
 	b, err := formImage(r, fieldB)
 	if err != nil {

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sysrle/internal/broadcast"
 	"sysrle/internal/core"
@@ -159,6 +160,10 @@ func DiffImageWith(a, b *Image, engine Engine, workers int) (*Image, *ImageStats
 	iters := make([]int, a.Height)
 	errs := make([]error, a.Height)
 	rows := make(chan int)
+	// One bad row fails the whole diff, so the first failure stops
+	// row distribution instead of paying engine time for the rest of
+	// a bad image; already-queued rows are skipped.
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -174,9 +179,13 @@ func DiffImageWith(a, b *Image, engine Engine, workers int) (*Image, *ImageStats
 				eng = core.NewStream()
 			}
 			for y := range rows {
+				if failed.Load() {
+					continue
+				}
 				res, err := eng.XORRow(a.Rows[y], b.Rows[y])
 				if err != nil {
 					errs[y] = err
+					failed.Store(true)
 					continue
 				}
 				out.Rows[y] = res.Row.Canonicalize()
@@ -184,7 +193,7 @@ func DiffImageWith(a, b *Image, engine Engine, workers int) (*Image, *ImageStats
 			}
 		}()
 	}
-	for y := 0; y < a.Height; y++ {
+	for y := 0; y < a.Height && !failed.Load(); y++ {
 		rows <- y
 	}
 	close(rows)

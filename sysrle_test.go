@@ -1,7 +1,9 @@
 package sysrle
 
 import (
+	"errors"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"sysrle/internal/workload"
@@ -158,5 +160,32 @@ func TestSimilarityHelpers(t *testing.T) {
 	}
 	if Hamming(a, b) != want.Area() {
 		t.Error("Hamming wrong")
+	}
+}
+
+// countingEngine fails every row and counts how many XORRow calls it
+// receives, to observe the error short-circuit.
+type countingEngine struct{ calls atomic.Int64 }
+
+func (e *countingEngine) Name() string { return "counting-fail" }
+
+func (e *countingEngine) XORRow(a, b Row) (Result, error) {
+	e.calls.Add(1)
+	return Result{}, errors.New("boom")
+}
+
+func TestDiffImageShortCircuitsOnError(t *testing.T) {
+	const height = 4096
+	a := NewImage(64, height)
+	b := NewImage(64, height)
+	eng := &countingEngine{}
+	if _, _, err := DiffImageWith(a, b, eng, 2); err == nil {
+		t.Fatal("failing engine produced no error")
+	}
+	// Without the short-circuit every one of the 4096 rows reaches
+	// the engine; with it only the rows already in flight when the
+	// first failure lands do.
+	if n := eng.calls.Load(); n >= height/2 {
+		t.Errorf("engine saw %d rows after the first failure; distribution not short-circuited", n)
 	}
 }
