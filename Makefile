@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race ci cover bench experiments fuzz clean
+.PHONY: all build test vet race ci chaos cover bench experiments fuzz clean
 
 all: build vet test
 
@@ -14,6 +14,15 @@ ci:
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 15s ./internal/rle/
 	$(GO) test -fuzz FuzzReadText -fuzztime 15s ./internal/rle/
 	$(GO) test -fuzz FuzzReadPBM -fuzztime 15s ./internal/bitmap/
+	$(MAKE) chaos
+
+# The fault-tolerance suite under the race detector, repeated to
+# shake out timing-dependent interleavings (mirrors the ci.yml chaos
+# job).
+chaos:
+	$(GO) test -race -count=3 ./internal/fault/
+	$(GO) test -race -count=3 -run 'Chaos|Fault|Readyz|Retry|Quarantine|Hammer|Stuck|Panic|Verified' \
+		./internal/core/ ./internal/jobs/ ./internal/server/ ./internal/inspect/ ./cmd/sysdiffd/
 
 build:
 	$(GO) build ./...

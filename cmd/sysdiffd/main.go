@@ -18,6 +18,16 @@
 //	-job-workers 4           batch-inspection worker pool size
 //	-job-queue 256           queued scans across all jobs before 429 backpressure
 //	-job-retention 15m       how long finished jobs stay pollable
+//	-scan-timeout 0          per-scan deadline inside batch jobs (0 = none)
+//	-scan-retries 0          retries per failed scan before quarantine
+//	-fault-inject ""         chaos mode: inject engine faults per a seeded
+//	                         plan, e.g. "rate=0.05,seed=7,kinds=panic+slow";
+//	                         faults are detected and recovered by the
+//	                         verified engine (dev/test only)
+//
+// Liveness is GET /healthz; readiness is GET /readyz, which aggregates
+// worker-pool, job-queue, reference-cache and load-shed probes into a
+// per-probe JSON breakdown (503 while any probe fails).
 //
 //	curl -F image=@golden.pbm localhost:8422/v1/references          # → {"id": ...}
 //	curl -F b=@scan.pbm "localhost:8422/v1/diff?ref=<id>"           # no re-upload of the golden board
@@ -36,6 +46,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
@@ -44,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"sysrle/internal/fault"
 	"sysrle/internal/jobs"
 	"sysrle/internal/refstore"
 	"sysrle/internal/server"
@@ -65,6 +77,9 @@ type options struct {
 	jobWorkers     int
 	jobQueue       int
 	jobRetention   time.Duration
+	scanTimeout    time.Duration
+	scanRetries    int
+	faultInject    string
 }
 
 func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
@@ -92,6 +107,12 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 		"queued scans across all jobs before submissions get 429")
 	fs.DurationVar(&o.jobRetention, "job-retention", jobs.DefaultRetention,
 		"how long finished jobs stay pollable before collection")
+	fs.DurationVar(&o.scanTimeout, "scan-timeout", 0,
+		"per-scan deadline inside batch jobs (0 = none)")
+	fs.IntVar(&o.scanRetries, "scan-retries", 0,
+		"retries per failed batch scan before quarantine (0 = none)")
+	fs.StringVar(&o.faultInject, "fault-inject", "",
+		`chaos mode: seeded engine-fault plan, e.g. "rate=0.05,seed=7,kinds=panic+slow" (dev/test only)`)
 	err := fs.Parse(args)
 	return o, err
 }
@@ -108,6 +129,14 @@ func unlimited[T int | int64 | time.Duration](v T) T {
 // run serves until ctx is canceled, then drains gracefully. If ready
 // is non-nil, the bound listener address is sent once serving.
 func run(ctx context.Context, o options, log *slog.Logger, ready chan<- net.Addr) error {
+	var faultPlan *fault.Plan
+	if o.faultInject != "" {
+		plan, err := fault.ParsePlan(o.faultInject)
+		if err != nil {
+			return fmt.Errorf("-fault-inject: %w", err)
+		}
+		faultPlan = &plan
+	}
 	handler := server.NewWith(server.Config{
 		MaxUploadBytes: unlimited(o.maxUpload),
 		MaxInFlight:    unlimited(o.maxInFlight),
@@ -118,6 +147,9 @@ func run(ctx context.Context, o options, log *slog.Logger, ready chan<- net.Addr
 		JobWorkers:     o.jobWorkers,
 		JobQueueDepth:  o.jobQueue,
 		JobRetention:   o.jobRetention,
+		ScanTimeout:    o.scanTimeout,
+		ScanRetries:    o.scanRetries,
+		FaultPlan:      faultPlan,
 	})
 	defer handler.Close()
 	srv := &http.Server{

@@ -100,3 +100,72 @@ func TestUnlimitedMapping(t *testing.T) {
 		t.Errorf("unlimited(7) = %d, want 7", got)
 	}
 }
+
+func TestRobustnessFlags(t *testing.T) {
+	fs := flag.NewFlagSet("sysdiffd", flag.ContinueOnError)
+	o, err := parseFlags(fs, []string{
+		"-scan-timeout", "15s",
+		"-scan-retries", "3",
+		"-fault-inject", "rate=0.1,seed=9,kinds=slow",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.scanTimeout != 15*time.Second || o.scanRetries != 3 {
+		t.Errorf("scan knobs: %+v", o)
+	}
+	if o.faultInject != "rate=0.1,seed=9,kinds=slow" {
+		t.Errorf("fault plan: %q", o.faultInject)
+	}
+}
+
+// TestBadFaultPlanRejected: a malformed -fault-inject value must fail
+// startup loudly, not silently run without chaos.
+func TestBadFaultPlanRejected(t *testing.T) {
+	fs := flag.NewFlagSet("sysdiffd", flag.ContinueOnError)
+	o, err := parseFlags(fs, []string{"-addr", "127.0.0.1:0", "-fault-inject", "kinds=quantum"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), o, discard(), nil); err == nil ||
+		!strings.Contains(err.Error(), "-fault-inject") {
+		t.Fatalf("run err = %v, want -fault-inject parse failure", err)
+	}
+}
+
+// TestFaultInjectServes: a valid chaos plan still yields a healthy,
+// ready server (faults are recovered internally).
+func TestFaultInjectServes(t *testing.T) {
+	fs := flag.NewFlagSet("sysdiffd", flag.ContinueOnError)
+	o, err := parseFlags(fs, []string{
+		"-addr", "127.0.0.1:0", "-drain-timeout", "5s",
+		"-fault-inject", "rate=0.05,seed=3", "-scan-retries", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, o, discard(), ready) }()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	resp, err := http.Get("http://" + addr.String() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz under chaos plan: %d, want 200", resp.StatusCode)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+}

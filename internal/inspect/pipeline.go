@@ -1,6 +1,7 @@
 package inspect
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -75,6 +76,15 @@ type Inspector struct {
 // classified defect report. Rows are distributed over a worker pool —
 // the software analogue of one systolic array per scanline.
 func (ins *Inspector) Compare(ref, scan *rle.Image) (*Report, error) {
+	return ins.CompareContext(context.Background(), ref, scan)
+}
+
+// CompareContext is Compare with a deadline: cancellation is observed
+// between rows (cooperatively — a row already inside the engine
+// finishes), and the comparison fails with the context's error. A
+// panicking engine fails the row, and with it the comparison, instead
+// of the process.
+func (ins *Inspector) CompareContext(ctx context.Context, ref, scan *rle.Image) (*Report, error) {
 	if ref.Width != scan.Width || ref.Height != scan.Height {
 		return nil, fmt.Errorf("inspect: size mismatch %dx%d vs %dx%d", ref.Width, ref.Height, scan.Width, scan.Height)
 	}
@@ -101,6 +111,9 @@ func (ins *Inspector) Compare(ref, scan *rle.Image) (*Report, error) {
 		}
 		alignDX, alignDY = dx, dy
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("inspect: %w", err)
+	}
 	workers := ins.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -119,7 +132,10 @@ func (ins *Inspector) Compare(ref, scan *rle.Image) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for y := range next {
-				res, err := engine.XORRow(ref.Rows[y], scan.Rows[y])
+				if ctx.Err() != nil {
+					continue // drain without computing
+				}
+				res, err := xorRow(engine, ref.Rows[y], scan.Rows[y])
 				if err != nil {
 					rowErrs[y] = err
 					continue
@@ -129,11 +145,19 @@ func (ins *Inspector) Compare(ref, scan *rle.Image) (*Report, error) {
 			}
 		}()
 	}
+feed:
 	for y := 0; y < ref.Height; y++ {
-		next <- y
+		select {
+		case next <- y:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("inspect: %w", err)
+	}
 	for y, err := range rowErrs {
 		if err != nil {
 			return nil, fmt.Errorf("inspect: row %d: %w", y, err)
@@ -172,6 +196,18 @@ func (ins *Inspector) Compare(ref, scan *rle.Image) (*Report, error) {
 		return rep.Defects[i].X0 < rep.Defects[j].X0
 	})
 	return rep, nil
+}
+
+// xorRow runs one engine call, converting a panic into an error. The
+// row workers are plain goroutines: without this, one faulty engine
+// row would crash the whole process, not just the comparison.
+func xorRow(engine core.Engine, a, b rle.Row) (res core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("engine %s panicked: %v", engine.Name(), p)
+		}
+	}()
+	return engine.XORRow(a, b)
 }
 
 // classify decides a blob's polarity by majority vote of its pixels

@@ -1,0 +1,115 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultStuckAfter is how long a worker may sit on one scan before
+// the heartbeat registry reports it stuck, when Config leaves
+// StuckAfter zero.
+const DefaultStuckAfter = 2 * time.Minute
+
+// WorkerInfo is the heartbeat snapshot of one worker.
+type WorkerInfo struct {
+	// Worker is the worker's index in the pool.
+	Worker int `json:"worker"`
+	// Busy reports whether the worker is inside a scan right now.
+	Busy bool `json:"busy"`
+	// BusyFor is how long the current scan has been running.
+	BusyFor time.Duration `json:"busy_for,omitempty"`
+	// Stuck reports Busy for longer than the stuck threshold.
+	Stuck bool `json:"stuck"`
+	// Tasks is how many tasks the worker has started.
+	Tasks int64 `json:"tasks"`
+}
+
+// PoolHealth aggregates the worker heartbeats and queue state — the
+// input to the service's /readyz worker and queue probes.
+type PoolHealth struct {
+	// Workers is the configured pool size. Workers never die (every
+	// scan runs under recover), so this equals the live goroutine
+	// count; the chaos suite asserts it.
+	Workers int `json:"workers"`
+	// Busy and Stuck count workers currently in a scan / stuck in one.
+	Busy  int `json:"busy"`
+	Stuck int `json:"stuck"`
+	// QueueDepth and QueueCap describe the shared task queue.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// Detail is the per-worker breakdown.
+	Detail []WorkerInfo `json:"detail,omitempty"`
+}
+
+// poolHealth is the heartbeat registry: one beat record per worker,
+// updated at task start and end.
+type poolHealth struct {
+	stuckAfter time.Duration
+	now        func() time.Time
+	workers    []*workerBeat
+}
+
+type workerBeat struct {
+	mu        sync.Mutex
+	lastBeat  time.Time
+	busySince time.Time // zero while idle
+	tasks     int64
+}
+
+func newPoolHealth(workers int, stuckAfter time.Duration, now func() time.Time) *poolHealth {
+	h := &poolHealth{stuckAfter: stuckAfter, now: now, workers: make([]*workerBeat, workers)}
+	for i := range h.workers {
+		h.workers[i] = &workerBeat{}
+	}
+	return h
+}
+
+func (w *workerBeat) begin(t time.Time) {
+	w.mu.Lock()
+	w.lastBeat = t
+	w.busySince = t
+	w.tasks++
+	w.mu.Unlock()
+}
+
+func (w *workerBeat) end(t time.Time) {
+	w.mu.Lock()
+	w.lastBeat = t
+	w.busySince = time.Time{}
+	w.mu.Unlock()
+}
+
+// Health returns the heartbeat and queue snapshot. A worker is stuck
+// when one scan has held it longer than Config.StuckAfter — under
+// per-scan deadlines that indicates a hung engine or a lost worker,
+// and flips the service's readiness probe.
+func (m *Manager) Health() PoolHealth {
+	now := m.cfg.now()
+	h := PoolHealth{
+		Workers:    len(m.health.workers),
+		QueueDepth: len(m.tasks),
+		QueueCap:   cap(m.tasks),
+		Detail:     make([]WorkerInfo, len(m.health.workers)),
+	}
+	for i, w := range m.health.workers {
+		w.mu.Lock()
+		info := WorkerInfo{Worker: i, Tasks: w.tasks}
+		if !w.busySince.IsZero() {
+			info.Busy = true
+			info.BusyFor = now.Sub(w.busySince)
+			info.Stuck = info.BusyFor > m.health.stuckAfter
+		}
+		w.mu.Unlock()
+		if info.Busy {
+			h.Busy++
+		}
+		if info.Stuck {
+			h.Stuck++
+		}
+		h.Detail[i] = info
+	}
+	if m.workersStuckG != nil {
+		m.workersStuckG.Set(int64(h.Stuck))
+	}
+	return h
+}

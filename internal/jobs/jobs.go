@@ -17,17 +17,37 @@
 // Finished jobs are garbage-collected a retention window after they
 // finish, by a janitor goroutine; Close stops the pool.
 //
+// # Fault tolerance
+//
+// Every scan runs under recover, so a panicking engine fails the scan
+// — never the worker; the pool size is an invariant (Health reports
+// it). Each scan attempt is bounded by Config.ScanTimeout, retried up
+// to Config.ScanRetries times with capped exponential backoff and
+// deterministic jitter, and quarantined (marked in the ScanResult,
+// counted in telemetry) when every attempt fails. A heartbeat
+// registry (Health) tracks per-worker liveness and flags workers
+// stuck on one scan longer than Config.StuckAfter. Retries in
+// progress are abandoned during Close and recorded as failures.
+//
 // Telemetry (when a registry is configured):
 //
 //	sysrle_jobs_submitted_total / completed_total{state=...}
-//	sysrle_jobs_scans_total     scans processed
-//	sysrle_jobs_queue_depth     tasks waiting (gauge)
-//	sysrle_jobs_active          jobs not yet terminal (gauge)
+//	sysrle_jobs_scans_total             scans processed
+//	sysrle_jobs_scan_panics_total       scan attempts that panicked
+//	sysrle_jobs_scan_retries_total      retry attempts started
+//	sysrle_jobs_scans_quarantined_total scans that exhausted retries
+//	sysrle_jobs_queue_depth             tasks waiting (gauge)
+//	sysrle_jobs_active                  jobs not yet terminal (gauge)
+//	sysrle_jobs_workers                 configured pool size (gauge)
+//	sysrle_jobs_workers_busy            workers inside a scan (gauge)
+//	sysrle_jobs_workers_stuck           stuck workers, set by Health (gauge)
 package jobs
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -50,9 +70,10 @@ var (
 
 // Defaults for Config zero values.
 const (
-	DefaultWorkers    = 4
-	DefaultQueueDepth = 256
-	DefaultRetention  = 15 * time.Minute
+	DefaultWorkers      = 4
+	DefaultQueueDepth   = 256
+	DefaultRetention    = 15 * time.Minute
+	DefaultRetryBackoff = 50 * time.Millisecond
 )
 
 // State is a job lifecycle state.
@@ -89,6 +110,26 @@ type Config struct {
 	// Registry receives telemetry; nil records nothing.
 	Registry *telemetry.Registry
 
+	// ScanTimeout bounds one scan attempt end to end; the deadline is
+	// observed between rows (a row already inside the engine
+	// finishes). 0 disables the deadline.
+	ScanTimeout time.Duration
+	// ScanRetries is how many extra attempts a failed scan gets before
+	// being quarantined. 0 disables retries (a failure is final).
+	ScanRetries int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt (capped at 32×) with up to 50% seeded jitter. 0 means
+	// DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// StuckAfter is how long one scan may hold a worker before Health
+	// reports the worker stuck. 0 means DefaultStuckAfter.
+	StuckAfter time.Duration
+	// WrapEngine, when non-nil, wraps every engine a worker constructs
+	// — the hook fault injection (chaos mode) and verification use.
+	// Applied per worker, so stateful engines stay single-threaded.
+	// Returning nil keeps the unwrapped engine.
+	WrapEngine func(core.Engine) core.Engine
+
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -120,6 +161,11 @@ type ScanResult struct {
 	DiffRuns   int    `json:"diff_runs"`
 	Iterations int    `json:"iterations"`
 	Error      string `json:"error,omitempty"`
+	// Attempts is how many times the scan ran (1 = no retry needed).
+	Attempts int `json:"attempts,omitempty"`
+	// Quarantined marks a poison scan: every configured attempt
+	// failed, so it was given up on rather than retried forever.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // Status is a point-in-time snapshot of a job.
@@ -172,9 +218,18 @@ type Manager struct {
 	wg    sync.WaitGroup
 	stop  chan struct{}
 
+	health *poolHealth
+
+	rngMu sync.Mutex // guards rng (backoff jitter)
+	rng   *rand.Rand
+
 	submitted, scans    *telemetry.Counter
+	panicsC, retriedC   *telemetry.Counter
+	quarantinedC        *telemetry.Counter
 	completedBy         func(State) *telemetry.Counter
 	queueDepth, activeG *telemetry.Gauge
+	workersBusyG        *telemetry.Gauge
+	workersStuckG       *telemetry.Gauge
 }
 
 // New starts the worker pool and janitor.
@@ -188,6 +243,12 @@ func New(cfg Config) *Manager {
 	if cfg.Retention == 0 {
 		cfg.Retention = DefaultRetention
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.StuckAfter <= 0 {
+		cfg.StuckAfter = DefaultStuckAfter
+	}
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
@@ -196,21 +257,31 @@ func New(cfg Config) *Manager {
 		jobs:  make(map[string]*job),
 		tasks: make(chan task, cfg.QueueDepth),
 		stop:  make(chan struct{}),
+		rng:   rand.New(rand.NewSource(1)), // jitter only; determinism aids replay
 	}
+	m.health = newPoolHealth(cfg.Workers, cfg.StuckAfter, cfg.now)
 	if reg := cfg.Registry; reg != nil {
 		reg.Help("sysrle_jobs_submitted_total", "Batch jobs accepted.")
 		reg.Help("sysrle_jobs_queue_depth", "Scan tasks waiting in the job queue.")
+		reg.Help("sysrle_jobs_scan_panics_total", "Scan attempts that panicked (recovered, worker kept).")
+		reg.Help("sysrle_jobs_scans_quarantined_total", "Scans that failed every configured attempt.")
 		m.submitted = reg.Counter("sysrle_jobs_submitted_total")
 		m.scans = reg.Counter("sysrle_jobs_scans_total")
+		m.panicsC = reg.Counter("sysrle_jobs_scan_panics_total")
+		m.retriedC = reg.Counter("sysrle_jobs_scan_retries_total")
+		m.quarantinedC = reg.Counter("sysrle_jobs_scans_quarantined_total")
 		m.completedBy = func(s State) *telemetry.Counter {
 			return reg.Counter("sysrle_jobs_completed_total", telemetry.L("state", string(s)))
 		}
 		m.queueDepth = reg.Gauge("sysrle_jobs_queue_depth")
 		m.activeG = reg.Gauge("sysrle_jobs_active")
+		m.workersBusyG = reg.Gauge("sysrle_jobs_workers_busy")
+		m.workersStuckG = reg.Gauge("sysrle_jobs_workers_stuck")
+		reg.Gauge("sysrle_jobs_workers").Set(int64(cfg.Workers))
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
-		go m.worker()
+		go m.worker(i)
 	}
 	m.wg.Add(1)
 	go m.janitor()
@@ -383,10 +454,12 @@ func (m *Manager) Delete(id string) error {
 	return nil
 }
 
-// worker drains the queue. Each worker constructs the job's engine
-// itself, so stream engines (mutable buffers) are never shared.
-func (m *Manager) worker() {
+// worker drains the queue, beating the heartbeat registry around
+// every task. Each worker constructs the job's engine itself, so
+// stream engines (mutable buffers) are never shared.
+func (m *Manager) worker(id int) {
 	defer m.wg.Done()
+	beat := m.health.workers[id]
 	// Engines are cached per job spec name; the common "" case means
 	// one stream reused across every task this worker ever runs.
 	engines := map[string]core.Engine{}
@@ -394,48 +467,160 @@ func (m *Manager) worker() {
 		if m.queueDepth != nil {
 			m.queueDepth.Set(int64(len(m.tasks)))
 		}
-		j := t.job
-		j.mu.Lock()
-		if j.state == StateQueued && !j.canceled {
-			j.state = StateRunning
-			j.started = m.cfg.now()
+		beat.begin(m.cfg.now())
+		if m.workersBusyG != nil {
+			m.workersBusyG.Inc()
 		}
-		skip := j.canceled
-		j.mu.Unlock()
-		if skip {
-			m.record(j, ScanResult{Index: t.scan, Error: "canceled"}, true)
-			continue
+		m.runTask(t, engines)
+		beat.end(m.cfg.now())
+		if m.workersBusyG != nil {
+			m.workersBusyG.Dec()
 		}
-		eng, ok := engines[j.spec.Engine]
-		if !ok {
-			eng, _ = engineFor(j.spec.Engine) // validated at Submit
-			engines[j.spec.Engine] = eng
+	}
+}
+
+// runTask executes one scan task end to end: state transition,
+// engine resolution, the retry loop, and recording. Nothing in here
+// may kill the worker — scan attempts run under recover.
+func (m *Manager) runTask(t task, engines map[string]core.Engine) {
+	j := t.job
+	j.mu.Lock()
+	if j.state == StateQueued && !j.canceled {
+		j.state = StateRunning
+		j.started = m.cfg.now()
+	}
+	skip := j.canceled
+	j.mu.Unlock()
+	if skip {
+		m.record(j, ScanResult{Index: t.scan, Error: "canceled"}, true)
+		return
+	}
+	eng, ok := engines[j.spec.Engine]
+	if !ok {
+		var err error
+		eng, err = engineFor(j.spec.Engine)
+		// Submit validated the name, but never hand a nil engine to
+		// the inspector: fail the scan, not the worker.
+		if err == nil && eng == nil {
+			err = fmt.Errorf("jobs: engine %q resolved to nil", j.spec.Engine)
 		}
-		ins := &inspect.Inspector{
-			Engine: eng,
-			// Scans are the unit of parallelism; one row worker per
-			// scan keeps the pool's CPU use at Workers and keeps the
-			// per-worker stream engine single-threaded.
-			Workers:       1,
-			MinDefectArea: j.spec.MinDefectArea,
-			MaxAlignShift: j.spec.MaxAlignShift,
-		}
-		res := ScanResult{Index: t.scan}
-		rep, err := ins.Compare(j.ref, j.spec.Scans[t.scan])
 		if err != nil {
-			res.Error = err.Error()
-		} else {
+			m.record(j, ScanResult{Index: t.scan, Error: err.Error()}, false)
+			return
+		}
+		if m.cfg.WrapEngine != nil {
+			if wrapped := m.cfg.WrapEngine(eng); wrapped != nil {
+				eng = wrapped
+			}
+		}
+		engines[j.spec.Engine] = eng
+	}
+	res := m.runScan(j, eng, t.scan)
+	if m.scans != nil {
+		m.scans.Inc()
+	}
+	m.record(j, res, false)
+}
+
+// runScan runs one scan with the retry policy: up to 1+ScanRetries
+// attempts, capped exponential backoff with jitter between them, and
+// quarantine when every attempt fails.
+func (m *Manager) runScan(j *job, eng core.Engine, scan int) ScanResult {
+	res := ScanResult{Index: scan}
+	attempts := 1 + m.cfg.ScanRetries
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if m.retriedC != nil {
+				m.retriedC.Inc()
+			}
+			if !m.backoff(attempt-1) || m.jobCanceled(j) {
+				// Shutdown or cancellation mid-retry: give up cleanly.
+				res.Attempts = attempt - 1
+				res.Error = lastErr.Error()
+				return res
+			}
+		}
+		rep, err := m.attemptScan(j, eng, scan)
+		if err == nil {
+			res.Attempts = attempt
 			res.Clean = rep.Clean()
 			res.Defects = len(rep.Defects)
 			res.DiffPixels = rep.DiffArea
 			res.DiffRuns = rep.DiffRuns
 			res.Iterations = rep.TotalIterations
+			return res
 		}
-		if m.scans != nil {
-			m.scans.Inc()
-		}
-		m.record(j, res, false)
+		lastErr = err
 	}
+	res.Attempts = attempts
+	res.Error = lastErr.Error()
+	if m.cfg.ScanRetries > 0 {
+		// A poison scan: it failed every attempt it was entitled to.
+		res.Quarantined = true
+		if m.quarantinedC != nil {
+			m.quarantinedC.Inc()
+		}
+	}
+	return res
+}
+
+// attemptScan runs a single attempt under recover and the per-scan
+// deadline. A panic anywhere in the compare pipeline becomes an
+// error; the worker goroutine is never lost.
+func (m *Manager) attemptScan(j *job, eng core.Engine, scan int) (rep *inspect.Report, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if m.panicsC != nil {
+				m.panicsC.Inc()
+			}
+			err = fmt.Errorf("scan panicked: %v", p)
+		}
+	}()
+	ctx := context.Background()
+	if m.cfg.ScanTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.ScanTimeout)
+		defer cancel()
+	}
+	ins := &inspect.Inspector{
+		Engine: eng,
+		// Scans are the unit of parallelism; one row worker per
+		// scan keeps the pool's CPU use at Workers and keeps the
+		// per-worker stream engine single-threaded.
+		Workers:       1,
+		MinDefectArea: j.spec.MinDefectArea,
+		MaxAlignShift: j.spec.MaxAlignShift,
+	}
+	return ins.CompareContext(ctx, j.ref, j.spec.Scans[scan])
+}
+
+// backoff sleeps before retry n (1-based): RetryBackoff doubled per
+// retry, capped at 32×, plus up to 50% jitter from the seeded rng.
+// Returns false when the manager is shutting down.
+func (m *Manager) backoff(n int) bool {
+	shift := n - 1
+	if shift > 5 {
+		shift = 5
+	}
+	d := m.cfg.RetryBackoff << shift
+	m.rngMu.Lock()
+	d += time.Duration(m.rng.Int63n(int64(d)/2 + 1))
+	m.rngMu.Unlock()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-m.stop:
+		return false
+	}
+}
+
+func (m *Manager) jobCanceled(j *job) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
 }
 
 // record stores one scan result and finalizes the job when it was the

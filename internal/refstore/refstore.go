@@ -289,6 +289,16 @@ func (s *Store) ResidentBytes() int64 {
 	return s.resident
 }
 
+// CacheBudget returns the decoded-cache byte budget (≤ 0 when decoded
+// caching is disabled) — the denominator of the service's cache
+// pressure probe.
+func (s *Store) CacheBudget() int64 {
+	if s.cfg.CacheBytes < 0 {
+		return 0
+	}
+	return s.cfg.CacheBytes
+}
+
 // Sweep evicts expired references now (they are otherwise collected
 // lazily on access); it returns the number removed.
 func (s *Store) Sweep() int {

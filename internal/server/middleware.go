@@ -142,7 +142,7 @@ func (cb *countingBody) Close() error { return cb.rc.Close() }
 // cardinality stays bounded no matter what paths clients probe.
 func endpointLabel(path string) string {
 	switch path {
-	case "/healthz", "/metrics", "/debug/vars", "/v1/diff", "/v1/inspect", "/v1/align",
+	case "/healthz", "/readyz", "/metrics", "/debug/vars", "/v1/diff", "/v1/inspect", "/v1/align",
 		"/v1/references", "/v1/jobs":
 		return path
 	default:
@@ -209,15 +209,19 @@ func (s *Server) withObserve(next http.Handler) http.Handler {
 }
 
 // withLimit sheds load once MaxInFlight requests are already being
-// served, with 429 + Retry-After. /healthz and /metrics bypass the
-// limiter (and the timeout, see wrap) so the service stays observable
-// while saturated.
+// served, with 429 + Retry-After. /healthz, /readyz and /metrics
+// bypass the limiter (and the timeout, see wrap) so the service stays
+// observable while saturated — a shed /readyz would hide exactly the
+// state it exists to report.
 func (s *Server) withLimit(next http.Handler) http.Handler {
 	if s.cfg.MaxInFlight <= 0 {
 		return next
 	}
 	sem := make(chan struct{}, s.cfg.MaxInFlight)
-	inFlight := s.reg.Gauge("sysrle_http_in_flight")
+	if s.inFlight == nil { // tests build Server without NewWith
+		s.inFlight = s.reg.Gauge("sysrle_http_in_flight")
+	}
+	inFlight := s.inFlight // shared with the /readyz load-shed probe
 	throttled := s.reg.Counter("sysrle_http_throttled_total")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
@@ -242,7 +246,7 @@ func (s *Server) withLimit(next http.Handler) http.Handler {
 func exempt(mid, direct http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
-		case "/healthz", "/metrics", "/debug/vars":
+		case "/healthz", "/readyz", "/metrics", "/debug/vars":
 			direct.ServeHTTP(w, r)
 		default:
 			mid.ServeHTTP(w, r)

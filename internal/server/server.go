@@ -5,7 +5,13 @@
 //
 // Endpoints:
 //
-//	GET  /healthz             → 200 "ok"
+//	GET  /healthz             → 200 "ok" (liveness: the process serves)
+//	GET  /readyz              → readiness probes as JSON: worker-pool
+//	                            liveness (no stuck workers), job-queue
+//	                            saturation, reference-cache budget
+//	                            pressure and load-shed state. 200 when
+//	                            every probe passes, 503 with the same
+//	                            per-probe breakdown when any fails.
 //	GET  /metrics             → telemetry registry in Prometheus text
 //	                            exposition format: request counts and
 //	                            status classes, per-endpoint latency
@@ -76,10 +82,11 @@
 // Uploaded images may be PBM (P1/P4), PGM (P2/P5), PNG, RLET or RLEB;
 // the format is sniffed. Uploads over the configured size limit get
 // 413; when MaxInFlight requests are already being served, further
-// ones get 429 with Retry-After (except /healthz, /metrics and
-// /debug/vars, which bypass the limiter and the per-request timeout so
-// the service stays observable under saturation). Every response
-// carries an X-Request-Id, also attached to the access log lines.
+// ones get 429 with Retry-After (except /healthz, /readyz, /metrics
+// and /debug/vars, which bypass the limiter and the per-request
+// timeout so the service stays observable under saturation). Every
+// response carries an X-Request-Id, also attached to the access log
+// lines.
 package server
 
 import (
@@ -90,9 +97,12 @@ import (
 	"mime/multipart"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"sysrle"
+	"sysrle/internal/core"
+	"sysrle/internal/fault"
 	"sysrle/internal/imageio"
 	"sysrle/internal/inspect"
 	"sysrle/internal/jobs"
@@ -141,6 +151,23 @@ type Config struct {
 	// JobRetention keeps finished jobs pollable; 0 means
 	// jobs.DefaultRetention, negative retains forever.
 	JobRetention time.Duration
+
+	// ScanTimeout bounds one batch-scan attempt; 0 disables.
+	ScanTimeout time.Duration
+	// ScanRetries retries failed batch scans this many times with
+	// capped exponential backoff before quarantining them; 0 disables.
+	ScanRetries int
+	// StuckAfter is how long one scan may hold a jobs worker before
+	// the /readyz worker probe reports it stuck; 0 means
+	// jobs.DefaultStuckAfter.
+	StuckAfter time.Duration
+	// FaultPlan, when non-nil, enables chaos mode: every batch-scan
+	// engine is wrapped with seeded fault injection per the plan plus
+	// the detect-and-recover verified engine, so injected faults are
+	// caught, counted (sysrle_fault_injected_total,
+	// sysrle_fault_recovered_total) and recomputed on the sequential
+	// baseline. Dev/test only — it roughly doubles scan cost.
+	FaultPlan *fault.Plan
 }
 
 // Default limits for Config zero values.
@@ -160,6 +187,11 @@ type Server struct {
 	refs    *refstore.Store
 	jobs    *jobs.Manager
 	handler http.Handler
+
+	probeMu   sync.Mutex
+	probes    []probe
+	inFlight  *telemetry.Gauge
+	notReadyC *telemetry.Counter
 }
 
 // ServeHTTP dispatches through the middleware stack.
@@ -197,23 +229,31 @@ func NewWith(cfg Config) *Server {
 	if s.reg == nil {
 		s.reg = telemetry.NewRegistry()
 	}
+	s.inFlight = s.reg.Gauge("sysrle_http_in_flight")
+	s.notReadyC = s.reg.Counter("sysrle_http_not_ready_total")
 	s.refs = refstore.New(refstore.Config{
 		CacheBytes: cfg.RefCacheBytes,
 		TTL:        cfg.RefTTL,
 		Registry:   s.reg,
 	})
 	s.jobs = jobs.New(jobs.Config{
-		Workers:    cfg.JobWorkers,
-		QueueDepth: cfg.JobQueueDepth,
-		Retention:  cfg.JobRetention,
-		Store:      s.refs,
-		Registry:   s.reg,
+		Workers:     cfg.JobWorkers,
+		QueueDepth:  cfg.JobQueueDepth,
+		Retention:   cfg.JobRetention,
+		Store:       s.refs,
+		Registry:    s.reg,
+		ScanTimeout: cfg.ScanTimeout,
+		ScanRetries: cfg.ScanRetries,
+		StuckAfter:  cfg.StuckAfter,
+		WrapEngine:  s.engineWrapper(),
 	})
+	s.registerBuiltinProbes()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.reg.WritePrometheus(w)
@@ -235,6 +275,26 @@ func NewWith(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	s.handler = s.wrap(mux)
 	return s
+}
+
+// engineWrapper builds the jobs engine hook for chaos mode: inject
+// faults per the configured plan, then detect and recover through the
+// verified engine, so the service converges to correct results while
+// telemetry shows every injected and recovered fault. Returns nil
+// (no wrapping) when no fault plan is configured.
+func (s *Server) engineWrapper() func(core.Engine) core.Engine {
+	if s.cfg.FaultPlan == nil {
+		return nil
+	}
+	injector := fault.NewInjector(*s.cfg.FaultPlan, s.reg)
+	s.reg.Help("sysrle_fault_recovered_total", "Faults detected by the verified engine and recovered by recompute.")
+	recovered := s.reg.Counter("sysrle_fault_recovered_total")
+	s.log.Warn("fault injection enabled (chaos mode)", "plan", s.cfg.FaultPlan.String())
+	return func(eng core.Engine) core.Engine {
+		v := core.NewVerified(fault.Wrap(eng, injector))
+		v.OnFault = func(error) { recovered.Inc() }
+		return v
+	}
 }
 
 // recordEngine feeds one engine run's facade stats into telemetry.
