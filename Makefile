@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race ci chaos cover bench experiments fuzz clean
+.PHONY: all build test vet race ci chaos cover bench bench-json perf-smoke experiments fuzz clean
 
 all: build vet test
 
@@ -41,6 +41,17 @@ cover:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Regenerate the committed machine-readable benchmark report (the
+# engine × workload matrix of internal/perf; see EXPERIMENTS.md).
+bench-json:
+	$(GO) run ./cmd/benchtab -bench -bench-out BENCH_PR4.json
+	@echo wrote BENCH_PR4.json
+
+# The allocation regression gate: deterministic allocs/op assertions
+# over the hot path (mirrors the ci.yml perf-smoke job).
+perf-smoke:
+	$(GO) test -run 'AllocReduction|ZeroAllocs' -v ./internal/perf/ ./internal/core/
 
 # Regenerate every paper table and figure (see EXPERIMENTS.md).
 experiments:

@@ -175,12 +175,23 @@ func BenchmarkImageDiff(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := DiffImageWith(ref, scan, nil, workers); err != nil {
+				if _, _, err := DiffImage(ref, scan, WithWorkers(workers)); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
+	// The allocate-per-row path, for comparison with the buffer-reuse
+	// default above (the structured version of this comparison is
+	// internal/perf and the committed BENCH_PR4.json).
+	b.Run("workers=GOMAXPROCS/no-reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := DiffImage(ref, scan, WithBufferReuse(false)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPCBInspection measures the full motivating pipeline:

@@ -6,12 +6,20 @@
 //	benchtab -table1           # Table 1: systolic vs. sequential
 //	benchtab -ablation         # §6 broadcast-bus ablation
 //	benchtab -all              # everything
+//	benchtab -bench            # allocation/latency matrix as JSON
 //
 // Output is text tables; -csv switches tabular experiments to CSV.
 // -trials and -seed control averaging and reproducibility.
+//
+// -bench runs the internal/perf harness — the fixed engine × workload
+// matrix behind the committed BENCH_PR4.json — and writes the JSON
+// report to stdout or to the -bench-out file (`make bench-json`
+// regenerates the committed report this way). -bench-width,
+// -bench-height and -seed size the generated workloads.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +27,7 @@ import (
 
 	"sysrle/internal/experiments"
 	"sysrle/internal/metrics"
+	"sysrle/internal/perf"
 )
 
 // run executes one benchtab invocation against explicit streams, so
@@ -42,9 +51,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		trials    = fs.Int("trials", experiments.DefaultConfig().Trials, "random trials per data point")
 		seed      = fs.Int64("seed", experiments.DefaultConfig().Seed, "workload RNG seed")
 		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
+
+		bench       = fs.Bool("bench", false, "run the allocation/latency benchmark matrix, emit JSON")
+		benchOut    = fs.String("bench-out", "", "write the -bench JSON report to this file (default stdout)")
+		benchWidth  = fs.Int("bench-width", perf.DefaultOptions().Width, "-bench image width")
+		benchHeight = fs.Int("bench-height", perf.DefaultOptions().Height, "-bench image height")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *bench {
+		return runBench(stdout, perf.Options{
+			Width:  *benchWidth,
+			Height: *benchHeight,
+			Seed:   *seed,
+		}, *benchOut)
 	}
 	if *all {
 		*fig2, *fig3, *fig4, *fig5, *table1, *ablation = true, true, true, true, true, true
@@ -153,6 +174,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		emit(experiments.DeploymentTable(points))
 	}
 	return emitErr
+}
+
+// runBench executes the perf harness and writes the indented JSON
+// report — the format of the committed BENCH_PR4.json.
+func runBench(stdout io.Writer, opts perf.Options, outPath string) error {
+	rep, err := perf.Run(opts)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func main() {

@@ -4,7 +4,7 @@
 // the systolic RLE difference engine, and prints the defect report.
 //
 //	pcbinspect [-width 800] [-height 600] [-defects 8] [-seed 1]
-//	           [-engine lockstep|channel|sequential|bus]
+//	           [-engine lockstep|channel|sequential|sparse|stream|bus|verified]
 //	           [-save-ref ref.pbm] [-save-scan scan.pbm]
 package main
 
@@ -14,10 +14,10 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 
 	"sysrle"
 	"sysrle/internal/bitmap"
-	"sysrle/internal/core"
 	"sysrle/internal/inspect"
 )
 
@@ -31,7 +31,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		height   = fs.Int("height", 600, "board height in pixels")
 		defects  = fs.Int("defects", 8, "defects to inject")
 		seed     = fs.Int64("seed", 1, "RNG seed")
-		engine   = fs.String("engine", "lockstep", "diff engine: lockstep, channel, sequential, bus")
+		engine   = fs.String("engine", "lockstep", "diff engine: "+strings.Join(sysrle.EngineNames(), ", "))
 		saveRef  = fs.String("save-ref", "", "write the reference artwork as PBM")
 		saveScan = fs.String("save-scan", "", "write the defective scan as PBM")
 		misalign = fs.Int("misalign", 0, "shift the scan by this many pixels to exercise auto-registration")
@@ -40,18 +40,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	var eng sysrle.Engine
-	switch *engine {
-	case "lockstep":
-		eng = core.Lockstep{}
-	case "channel":
-		eng = core.Channel{}
-	case "sequential":
-		eng = core.Sequential{}
-	case "bus":
-		eng = sysrle.NewBus(0)
-	default:
-		return fmt.Errorf("unknown engine %q", *engine)
+	eng, err := sysrle.NewEngineByName(*engine)
+	if err != nil {
+		return err
 	}
 
 	rng := rand.New(rand.NewSource(*seed))

@@ -1,7 +1,7 @@
 // Command sysdiff computes the difference (XOR) of two binary images
 // in the compressed domain:
 //
-//	sysdiff [-engine lockstep|channel|sequential|bus] \
+//	sysdiff [-engine lockstep|channel|sequential|sparse|stream|bus|verified] \
 //	        [-o out.pbm] [-format pbm|pbm-plain|png|rlet|rleb] \
 //	        [-stats] a.pbm b.pbm
 //
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sysrle"
 	"sysrle/internal/imageio"
@@ -33,7 +34,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sysdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		engineName = fs.String("engine", "lockstep", "diff engine: lockstep, channel, sequential, bus")
+		engineName = fs.String("engine", "lockstep", "diff engine: "+strings.Join(sysrle.EngineNames(), ", "))
 		output     = fs.String("o", "", "output file (default stdout)")
 		format     = fs.String("format", "pbm", fmt.Sprintf("output format: %v", imageio.Formats()))
 		stats      = fs.Bool("stats", false, "print engine statistics to stderr")
@@ -47,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("expected two image arguments, got %d", fs.NArg())
 	}
 
-	engine, err := pickEngine(*engineName)
+	engine, err := sysrle.NewEngineByName(*engineName)
 	if err != nil {
 		return err
 	}
@@ -60,15 +61,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	diff, st, err := sysrle.DiffImageWith(a, b, engine, *workers)
+	diff, st, err := sysrle.DiffImage(a, b,
+		sysrle.WithEngine(engine),
+		sysrle.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}
 	if *stats {
 		fmt.Fprintf(stderr, "engine=%s rows=%d differing=%d diff-runs=%d diff-pixels=%d\n",
 			engine.Name(), diff.Height, st.RowsDiffering, diff.RunCount(), diff.Area())
-		fmt.Fprintf(stderr, "iterations: total=%d max-per-row=%d\n",
-			st.TotalIterations, st.MaxRowIterations)
+		fmt.Fprintf(stderr, "iterations: total=%d max-per-row=%d cells: total=%d max-per-row=%d\n",
+			st.TotalIterations, st.MaxRowIterations, st.TotalCells, st.MaxRowCells)
 	}
 	w := stdout
 	if *output != "" {
@@ -80,19 +83,4 @@ func run(args []string, stdout, stderr io.Writer) error {
 		w = f
 	}
 	return imageio.Write(w, *format, diff)
-}
-
-func pickEngine(name string) (sysrle.Engine, error) {
-	switch name {
-	case "lockstep":
-		return sysrle.NewLockstep(), nil
-	case "channel":
-		return sysrle.NewChannel(), nil
-	case "sequential":
-		return sysrle.NewSequential(), nil
-	case "bus":
-		return sysrle.NewBus(0), nil
-	default:
-		return nil, fmt.Errorf("unknown engine %q", name)
-	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"sysrle"
 	"sysrle/internal/imageio"
 	"sysrle/internal/rle"
 )
@@ -18,15 +19,15 @@ func TestPickEngine(t *testing.T) {
 		"sequential": "sequential",
 		"bus":        "systolic-bus",
 	} {
-		e, err := pickEngine(name)
+		e, err := sysrle.NewEngineByName(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if e.Name() != want {
-			t.Errorf("pickEngine(%q).Name() = %q, want %q", name, e.Name(), want)
+			t.Errorf("NewEngineByName(%q).Name() = %q, want %q", name, e.Name(), want)
 		}
 	}
-	if _, err := pickEngine("warp-drive"); err == nil {
+	if _, err := sysrle.NewEngineByName("warp-drive"); err == nil {
 		t.Error("unknown engine accepted")
 	}
 }

@@ -23,6 +23,9 @@ type ChannelArray struct {
 	feed    chan Reg
 	reports chan arrayReport
 	closed  bool
+	// snap is the cell-state snapshot buffer, reused across rows (the
+	// array is one machine, so calls are serial by contract).
+	snap []Cell
 }
 
 // ErrTooWide reports a row pair exceeding the array's capacity.
@@ -117,15 +120,42 @@ func (a *ChannelArray) broadcast(c arrayCmd) {
 
 // XORRow implements Engine on the fixed array.
 func (a *ChannelArray) XORRow(rowA, rowB rle.Row) (Result, error) {
+	iterations, err := a.runRow(rowA, rowB)
+	if err != nil {
+		return Result{}, err
+	}
+	row, err := Gather(a.snap)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Row: row, Iterations: iterations, Cells: a.n}, nil
+}
+
+// XORRowAppend implements AppendEngine on the fixed array.
+func (a *ChannelArray) XORRowAppend(dst rle.Row, rowA, rowB rle.Row) (Result, error) {
+	iterations, err := a.runRow(rowA, rowB)
+	if err != nil {
+		return Result{}, err
+	}
+	row, err := GatherAppend(a.snap, dst)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Row: row, Iterations: iterations, Cells: a.n}, nil
+}
+
+// runRow streams one row pair through the machine, leaving the final
+// cell states in a.snap, and returns the iteration count.
+func (a *ChannelArray) runRow(rowA, rowB rle.Row) (int, error) {
 	if a.closed {
-		return Result{}, fmt.Errorf("core: array is closed")
+		return 0, fmt.Errorf("core: array is closed")
 	}
 	if err := validateInputs(rowA, rowB); err != nil {
-		return Result{}, err
+		return 0, err
 	}
 	need := len(rowA) + len(rowB) + 1
 	if need > a.n {
-		return Result{}, fmt.Errorf("%w: need %d cells, have %d", ErrTooWide, need, a.n)
+		return 0, fmt.Errorf("%w: need %d cells, have %d", ErrTooWide, need, a.n)
 	}
 	// Load phase.
 	for i := 0; i < a.n; i++ {
@@ -138,7 +168,10 @@ func (a *ChannelArray) XORRow(rowA, rowB rle.Row) (Result, error) {
 		}
 		a.cmds[i] <- arrayCmd{op: opLoad, state: c}
 	}
-	snapshot := make([]Cell, a.n)
+	if a.snap == nil {
+		a.snap = make([]Cell, a.n)
+	}
+	snapshot := a.snap
 	collect := func() {
 		for i := 0; i < a.n; i++ {
 			r := <-a.reports
@@ -162,25 +195,21 @@ func (a *ChannelArray) XORRow(rowA, rowB rle.Row) (Result, error) {
 			a.broadcast(arrayCmd{op: opStep})
 			collect()
 			if out := <-a.right[a.n-1]; out.Full {
-				return Result{}, fmt.Errorf("core: %v", errOverflowArray)
+				return 0, fmt.Errorf("core: %v", errOverflowArray)
 			}
 			iterations++
 			if quiet() {
 				break
 			}
 			if iterations >= maxIter {
-				return Result{}, fmt.Errorf("core: array failed to converge in %d iterations", maxIter)
+				return 0, fmt.Errorf("core: array failed to converge in %d iterations", maxIter)
 			}
 		}
 	} else {
 		a.broadcast(arrayCmd{op: opRead})
 		collect()
 	}
-	row, err := Gather(snapshot)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{Row: row, Iterations: iterations, Cells: a.n}, nil
+	return iterations, nil
 }
 
 var errOverflowArray = fmt.Errorf("non-empty run shifted out of the fixed array (capacity exceeded mid-run)")

@@ -34,6 +34,36 @@ type Engine interface {
 	XORRow(a, b rle.Row) (Result, error)
 }
 
+// AppendEngine is an Engine with an allocation-free result path:
+// XORRowAppend writes the difference after dst's existing runs,
+// reusing dst's capacity, and the appended runs are already canonical
+// (no separate Canonicalize pass needed). Callers that sweep one
+// scratch row over many row pairs — the whole-image loops in the
+// facade, internal/inspect and ArrayPool — go through this interface
+// via the XORRowAppend helper.
+type AppendEngine interface {
+	Engine
+	// XORRowAppend computes the image difference of a and b and
+	// appends it, canonical, to dst. The returned Result's Row is the
+	// extended dst (reallocated only if capacity ran out).
+	XORRowAppend(dst rle.Row, a, b rle.Row) (Result, error)
+}
+
+// XORRowAppend runs e's append path when it implements AppendEngine
+// and otherwise adapts XORRow, canonicalizing the fresh result into
+// dst. Either way the appended runs are canonical.
+func XORRowAppend(e Engine, dst rle.Row, a, b rle.Row) (Result, error) {
+	if ae, ok := e.(AppendEngine); ok {
+		return ae.XORRowAppend(dst, a, b)
+	}
+	res, err := e.XORRow(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Row = rle.AppendCanonical(dst, res.Row)
+	return res, nil
+}
+
 // Program returns the paper's cell program in framework form. The
 // shifted value is RegBig; a cell is quiet when its RegBig is empty
 // (the C output).
@@ -90,6 +120,37 @@ func Gather(cells []Cell) (rle.Row, error) {
 		row = append(row, r)
 	}
 	return row, nil
+}
+
+// GatherAppend is Gather writing into dst: it collects the result
+// runs left to right, verifies the Theorem-2 ordering, and merges
+// adjacent runs as it goes, so the appended segment is canonical —
+// the paper's "additional pass at the end" folded into the gather
+// itself. Runs already in dst are never merged with.
+func GatherAppend(cells []Cell, dst rle.Row) (rle.Row, error) {
+	base := len(dst)
+	for i := range cells {
+		c := &cells[i]
+		if c.Big.Full {
+			return dst, fmt.Errorf("core: cell %d still holds a RegBig run %v", i, c.Big)
+		}
+		if !c.Small.Full {
+			continue
+		}
+		if n := len(dst); n > base {
+			prev := dst[n-1]
+			if prev.End() >= c.Small.Start {
+				return dst, fmt.Errorf("core: result not ordered at cell %d: %v after %v",
+					i, rle.Span(c.Small.Start, c.Small.End), prev)
+			}
+			if prev.End()+1 == c.Small.Start {
+				dst[n-1].Length = c.Small.End - prev.Start + 1
+				continue
+			}
+		}
+		dst = append(dst, rle.Span(c.Small.Start, c.Small.End))
+	}
+	return dst, nil
 }
 
 func validateInputs(a, b rle.Row) error {
@@ -156,6 +217,38 @@ func (e Lockstep) XORRow(a, b rle.Row) (Result, error) {
 		return Result{}, invErr
 	}
 	row, err := Gather(cells)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Row: row, Iterations: iters, Cells: len(cells)}, nil
+}
+
+// XORRowAppend implements AppendEngine. Without observers or
+// invariant checking it draws its cell array and shift buffer from a
+// package pool, so a warm steady state performs no per-row
+// allocations beyond growing dst.
+func (e Lockstep) XORRowAppend(dst rle.Row, a, b rle.Row) (Result, error) {
+	if e.CheckInvariants || e.Observer != nil {
+		// Observed runs take the reference path; the pooled fast path
+		// exists for production sweeps, not instrumented ones.
+		res, err := e.XORRow(a, b)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Row = rle.AppendCanonical(dst, res.Row)
+		return res, nil
+	}
+	if err := validateInputs(a, b); err != nil {
+		return Result{}, err
+	}
+	s := lockstepPool.Get().(*lockstepScratch)
+	defer lockstepPool.Put(s)
+	cells := s.load(a, b)
+	iters, err := systolic.RunLockstepBuffered(Program(), cells, systolic.Options[Cell]{}, &s.buf)
+	if err != nil {
+		return Result{}, err
+	}
+	row, err := GatherAppend(cells, dst)
 	if err != nil {
 		return Result{}, err
 	}

@@ -60,17 +60,24 @@ func (p *ArrayPool) XORImage(a, b *rle.Image) (*rle.Image, *PoolStats, error) {
 		wg.Add(1)
 		go func(arr *ChannelArray) {
 			defer wg.Done()
+			// Each worker owns one scratch row and one arena: rows
+			// are gathered, canonical, into the scratch and persisted
+			// as exact-size arena slices, instead of allocating a raw
+			// row plus a canonical copy per scanline.
+			arena := rle.NewArena(0)
+			var scratch rle.Row
 			for y := range rows {
 				if failed.Load() {
 					continue
 				}
-				res, err := arr.XORRow(a.Rows[y], b.Rows[y])
+				res, err := arr.XORRowAppend(scratch[:0], a.Rows[y], b.Rows[y])
 				if err != nil {
 					errs[y] = err
 					failed.Store(true)
 					continue
 				}
-				out.Rows[y] = res.Row.Canonicalize()
+				scratch = res.Row
+				out.Rows[y] = arena.Persist(scratch)
 				iters[y] = res.Iterations
 			}
 		}(arr)
@@ -116,7 +123,9 @@ func XORImageFlat(a, b *rle.Image, engine Engine) (*rle.Image, Result, error) {
 	if engine == nil {
 		engine = Lockstep{}
 	}
-	res, err := engine.XORRow(rle.Flatten(a), rle.Flatten(b))
+	// The append dispatcher reaches the engine's pooled scratch path
+	// when it has one, and hands Unflatten an already canonical row.
+	res, err := XORRowAppend(engine, nil, rle.Flatten(a), rle.Flatten(b))
 	if err != nil {
 		return nil, Result{}, err
 	}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"sync"
+
+	"sysrle/internal/rle"
+	"sysrle/internal/systolic"
+)
+
+// Pooled scratch space for the stateless engines' append paths. The
+// value engines (Lockstep, Sparse, Sequential) are shared freely
+// across goroutines, so they cannot carry arenas in their own fields;
+// instead each XORRowAppend call borrows a scratch set from a
+// sync.Pool, which converts the per-call cell-array and shift-buffer
+// allocations into pool hits once the pool is warm.
+
+// lockstepScratch is the reusable state of one lockstep sweep: the
+// cell array and the shift carry buffer.
+type lockstepScratch struct {
+	cells []Cell
+	buf   systolic.LockstepBuffers[Reg]
+}
+
+var lockstepPool = sync.Pool{New: func() any { return new(lockstepScratch) }}
+
+// load clears and sizes the scratch cell array for one row pair and
+// loads the operands exactly as BuildCells does.
+func (s *lockstepScratch) load(a, b rle.Row) []Cell {
+	n := len(a) + len(b) + 1
+	if cap(s.cells) < n {
+		s.cells = make([]Cell, n)
+	}
+	cells := s.cells[:n]
+	for i := range cells {
+		cells[i] = Cell{}
+	}
+	for i, r := range a {
+		cells[i].Small = MakeReg(r.Start, r.End())
+	}
+	for i, r := range b {
+		cells[i].Big = MakeReg(r.Start, r.End())
+	}
+	return cells
+}
+
+// sparseScratch is the reusable state of one sparse sweep: the cell
+// array plus the active-cell index lists.
+type sparseScratch struct {
+	lockstepScratch
+	active []int
+	next   []int
+}
+
+var sparsePool = sync.Pool{New: func() any { return new(sparseScratch) }}

@@ -24,12 +24,48 @@ func (Sequential) XORRow(a, b rle.Row) (Result, error) {
 	return Result{Row: row, Iterations: steps}, nil
 }
 
+// XORRowAppend implements AppendEngine: the same merge writing its
+// output, canonical, after dst's existing runs.
+func (Sequential) XORRowAppend(dst rle.Row, a, b rle.Row) (Result, error) {
+	if err := validateInputs(a, b); err != nil {
+		return Result{}, err
+	}
+	row, steps := AppendSequentialXOR(dst, a, b)
+	return Result{Row: row, Iterations: steps}, nil
+}
+
 // SequentialXOR merges two RLE rows into their XOR and returns the
 // number of merge steps taken. The output is ordered and
 // non-overlapping; like the systolic output it may contain adjacent
 // runs (callers canonicalize if they need maximal compression).
 func SequentialXOR(a, b rle.Row) (rle.Row, int) {
 	var out rle.Row
+	steps := sequentialXOR(a, b, func(start, end int) {
+		out = append(out, rle.Span(start, end))
+	})
+	return out, steps
+}
+
+// AppendSequentialXOR is SequentialXOR appending its output to dst in
+// canonical form (adjacent fragments merged as they are emitted),
+// reusing dst's capacity. The merge-step count is identical to
+// SequentialXOR's — emission does not affect the paper's accounting.
+func AppendSequentialXOR(dst rle.Row, a, b rle.Row) (rle.Row, int) {
+	base := len(dst)
+	steps := sequentialXOR(a, b, func(start, end int) {
+		if n := len(dst); n > base && dst[n-1].End()+1 >= start {
+			dst[n-1].Length = end - dst[n-1].Start + 1
+			return
+		}
+		dst = append(dst, rle.Span(start, end))
+	})
+	return dst, steps
+}
+
+// sequentialXOR is the §2 merge with emission abstracted out; emit
+// receives the inclusive bounds of each output run in increasing
+// order.
+func sequentialXOR(a, b rle.Row, emit func(start, end int)) int {
 	steps := 0
 	var ha, hb Reg // current head fragments of each list
 	ia, ib := 0, 0
@@ -44,9 +80,6 @@ func SequentialXOR(a, b rle.Row) (rle.Row, int) {
 			hb = MakeReg(b[ib].Start, b[ib].End())
 			ib++
 		}
-	}
-	emit := func(start, end int) {
-		out = append(out, rle.Span(start, end))
 	}
 	loadA()
 	loadB()
@@ -105,5 +138,5 @@ func SequentialXOR(a, b rle.Row) (rle.Row, int) {
 		hb = Reg{}
 		loadB()
 	}
-	return out, steps
+	return steps
 }

@@ -27,7 +27,7 @@ func (Sparse) XORRow(a, b rle.Row) (Result, error) {
 		return Result{}, err
 	}
 	cells := BuildCells(a, b)
-	iters, err := runSparse(cells)
+	iters, err := runSparse(cells, nil)
 	if err != nil {
 		return Result{}, err
 	}
@@ -38,11 +38,38 @@ func (Sparse) XORRow(a, b rle.Row) (Result, error) {
 	return Result{Row: row, Iterations: iters, Cells: len(cells)}, nil
 }
 
+// XORRowAppend implements AppendEngine, drawing the cell array and
+// the active-cell lists from a package pool.
+func (Sparse) XORRowAppend(dst rle.Row, a, b rle.Row) (Result, error) {
+	if err := validateInputs(a, b); err != nil {
+		return Result{}, err
+	}
+	s := sparsePool.Get().(*sparseScratch)
+	defer sparsePool.Put(s)
+	cells := s.load(a, b)
+	iters, err := runSparse(cells, s)
+	if err != nil {
+		return Result{}, err
+	}
+	row, err := GatherAppend(cells, dst)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Row: row, Iterations: iters, Cells: len(cells)}, nil
+}
+
 // runSparse executes the machine to quiescence, mutating cells, and
-// returns the iteration count (identical to RunLockstep's).
-func runSparse(cells []Cell) (int, error) {
+// returns the iteration count (identical to RunLockstep's). A non-nil
+// scratch donates (and keeps) the active-index lists.
+func runSparse(cells []Cell, s *sparseScratch) (int, error) {
 	// Active cells: indices holding a RegBig run, ascending.
-	active := make([]int, 0, len(cells))
+	var active, next []int
+	if s != nil {
+		active, next = s.active[:0], s.next[:0]
+		defer func() { s.active, s.next = active, next }()
+	} else {
+		active = make([]int, 0, len(cells))
+	}
 	for i := range cells {
 		if cells[i].Big.Full {
 			active = append(active, i)
@@ -52,7 +79,9 @@ func runSparse(cells []Cell) (int, error) {
 		return 0, nil
 	}
 	maxIter := systolic.DefaultMaxIterations(len(cells))
-	next := make([]int, 0, len(active))
+	if next == nil {
+		next = make([]int, 0, len(active))
+	}
 	for iter := 1; iter <= maxIter; iter++ {
 		// Compute phase on active cells only.
 		for _, i := range active {

@@ -47,7 +47,7 @@ func TestSparseFinalCellsMatchLockstep(t *testing.T) {
 			t.Fatal(err)
 		}
 		sparseCells := BuildCells(a, b)
-		if _, err := runSparse(sparseCells); err != nil {
+		if _, err := runSparse(sparseCells, nil); err != nil {
 			t.Fatal(err)
 		}
 		for i := range lockCells {
@@ -93,7 +93,7 @@ func TestSparseOverflowGuard(t *testing.T) {
 	// Hand-build a state that would run off the end: a single cell
 	// whose Big must move right with no room.
 	cells := []Cell{{Small: MakeReg(0, 1), Big: MakeReg(5, 6)}}
-	_, err := runSparse(cells)
+	_, err := runSparse(cells, nil)
 	if !errors.Is(err, systolic.ErrOverflow) {
 		t.Errorf("err = %v, want overflow", err)
 	}

@@ -6,17 +6,17 @@ import (
 )
 
 // Stream is a lockstep engine that reuses its cell array and scratch
-// buffers across calls — the shape a production inspection pipeline
-// wants when pushing every scanline of a large board through one
-// engine ("acquisition and processing of gigabytes of binary image
-// data in a matter of seconds", §1). Not safe for concurrent use;
-// give each worker goroutine its own Stream.
+// buffers across calls — the per-engine arena a production inspection
+// pipeline wants when pushing every scanline of a large board through
+// one engine ("acquisition and processing of gigabytes of binary
+// image data in a matter of seconds", §1). Not safe for concurrent
+// use; give each worker goroutine its own Stream.
 //
-// Results reference freshly allocated rows, so they remain valid
-// after subsequent calls.
+// XORRow returns freshly allocated rows, which remain valid after
+// subsequent calls; XORRowAppend writes into the caller's buffer and
+// allocates nothing once the arena is warm.
 type Stream struct {
-	cells []Cell
-	buf   systolic.LockstepBuffers[Reg]
+	scratch lockstepScratch
 }
 
 // NewStream returns a reusable lockstep engine.
@@ -30,21 +30,8 @@ func (s *Stream) XORRow(a, b rle.Row) (Result, error) {
 	if err := validateInputs(a, b); err != nil {
 		return Result{}, err
 	}
-	n := len(a) + len(b) + 1
-	if cap(s.cells) < n {
-		s.cells = make([]Cell, n)
-	}
-	cells := s.cells[:n]
-	for i := range cells {
-		cells[i] = Cell{}
-	}
-	for i, r := range a {
-		cells[i].Small = MakeReg(r.Start, r.End())
-	}
-	for i, r := range b {
-		cells[i].Big = MakeReg(r.Start, r.End())
-	}
-	iters, err := systolic.RunLockstepBuffered(Program(), cells, systolic.Options[Cell]{}, &s.buf)
+	cells := s.scratch.load(a, b)
+	iters, err := systolic.RunLockstepBuffered(Program(), cells, systolic.Options[Cell]{}, &s.scratch.buf)
 	if err != nil {
 		return Result{}, err
 	}
@@ -52,5 +39,24 @@ func (s *Stream) XORRow(a, b rle.Row) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Row: row, Iterations: iters, Cells: n}, nil
+	return Result{Row: row, Iterations: iters, Cells: len(cells)}, nil
+}
+
+// XORRowAppend implements AppendEngine: the same sweep with the
+// result appended, canonical, to dst. Combined with Stream's arena
+// this is the zero-allocation per-row hot path.
+func (s *Stream) XORRowAppend(dst rle.Row, a, b rle.Row) (Result, error) {
+	if err := validateInputs(a, b); err != nil {
+		return Result{}, err
+	}
+	cells := s.scratch.load(a, b)
+	iters, err := systolic.RunLockstepBuffered(Program(), cells, systolic.Options[Cell]{}, &s.scratch.buf)
+	if err != nil {
+		return Result{}, err
+	}
+	row, err := GatherAppend(cells, dst)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Row: row, Iterations: iters, Cells: len(cells)}, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sysrle/internal/rle"
 )
@@ -28,6 +29,10 @@ type Verified struct {
 	// OnFault, when non-nil, observes every detected fault before the
 	// recovery recompute (telemetry hooks).
 	OnFault func(err error)
+
+	// recovered counts faults detected and recovered over the
+	// engine's lifetime; see Recovered.
+	recovered atomic.Int64
 }
 
 // NewVerified returns a Verified engine over primary with
@@ -39,6 +44,13 @@ func NewVerified(primary Engine) *Verified {
 
 // Name implements Engine.
 func (v *Verified) Name() string { return "verified(" + v.Primary.Name() + ")" }
+
+// Recovered returns the number of rows whose Primary result was
+// rejected (invariant violation, cross-check mismatch, error or
+// panic) and recomputed on the reference engine since the Verified
+// was created. Safe to read concurrently; callers tracking one
+// operation take a before/after difference.
+func (v *Verified) Recovered() int64 { return v.recovered.Load() }
 
 // reference returns the recovery engine.
 func (v *Verified) reference() Engine {
@@ -67,10 +79,51 @@ func (v *Verified) XORRow(a, b rle.Row) (Result, error) {
 	if err == nil {
 		return res, nil
 	}
+	v.recovered.Add(1)
 	if v.OnFault != nil {
 		v.OnFault(err)
 	}
 	return v.reference().XORRow(a, b)
+}
+
+// XORRowAppend implements AppendEngine: Primary runs through its own
+// append path into dst, the appended segment is checked, and on any
+// fault dst is rewound and the reference engine recomputes into it.
+func (v *Verified) XORRowAppend(dst rle.Row, a, b rle.Row) (Result, error) {
+	if err := validateInputs(a, b); err != nil {
+		return Result{}, err
+	}
+	base := len(dst)
+	res, err := v.primaryRowAppend(dst, a, b)
+	if err == nil {
+		err = CheckXORResult(a, b, res.Row[base:])
+	}
+	if err == nil && v.CrossCheck {
+		if want, _ := SequentialXOR(a, b); !res.Row[base:].EqualBits(want) {
+			err = fmt.Errorf("core: %s result mismatch: got %v want %v", v.Primary.Name(), res.Row[base:], want)
+		}
+	}
+	if err == nil {
+		return res, nil
+	}
+	v.recovered.Add(1)
+	if v.OnFault != nil {
+		v.OnFault(err)
+	}
+	// A faulty Primary may have appended garbage (or grown dst);
+	// recompute from the caller's original prefix.
+	return XORRowAppend(v.reference(), dst[:base], a, b)
+}
+
+// primaryRowAppend runs Primary's append path, converting a panic
+// into an error.
+func (v *Verified) primaryRowAppend(dst rle.Row, a, b rle.Row) (res Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("core: %s panicked: %v", v.Primary.Name(), p)
+		}
+	}()
+	return XORRowAppend(v.Primary, dst, a, b)
 }
 
 // primaryRow runs Primary, converting a panic into an error so a

@@ -121,6 +121,12 @@ func (ins *Inspector) CompareContext(ctx context.Context, ref, scan *rle.Image) 
 	if workers > ref.Height && ref.Height > 0 {
 		workers = ref.Height
 	}
+	switch engine.(type) {
+	case *core.Stream, *core.ChannelArray:
+		// One machine each — sharing one across row workers would race
+		// on its buffers, so these engines always run single-worker.
+		workers = 1
+	}
 
 	diff := rle.NewImage(ref.Width, ref.Height)
 	iterations := make([]int, ref.Height)
@@ -131,16 +137,23 @@ func (ins *Inspector) CompareContext(ctx context.Context, ref, scan *rle.Image) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch row and arena: the engine gathers each
+			// row, already canonical, into the reused scratch, and only
+			// the exact-size persisted copy survives — the same
+			// zero-allocation hot path as sysrle.DiffImage.
+			arena := rle.NewArena(0)
+			var scratch rle.Row
 			for y := range next {
 				if ctx.Err() != nil {
 					continue // drain without computing
 				}
-				res, err := xorRow(engine, ref.Rows[y], scan.Rows[y])
+				res, err := xorRowAppend(engine, scratch[:0], ref.Rows[y], scan.Rows[y])
 				if err != nil {
 					rowErrs[y] = err
 					continue
 				}
-				diff.Rows[y] = res.Row.Canonicalize()
+				scratch = res.Row
+				diff.Rows[y] = arena.Persist(scratch)
 				iterations[y] = res.Iterations
 			}
 		}()
@@ -198,16 +211,17 @@ feed:
 	return rep, nil
 }
 
-// xorRow runs one engine call, converting a panic into an error. The
-// row workers are plain goroutines: without this, one faulty engine
-// row would crash the whole process, not just the comparison.
-func xorRow(engine core.Engine, a, b rle.Row) (res core.Result, err error) {
+// xorRowAppend runs one engine call on the append path, converting a
+// panic into an error. The row workers are plain goroutines: without
+// this, one faulty engine row would crash the whole process, not just
+// the comparison.
+func xorRowAppend(engine core.Engine, dst, a, b rle.Row) (res core.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("engine %s panicked: %v", engine.Name(), p)
 		}
 	}()
-	return engine.XORRow(a, b)
+	return core.XORRowAppend(engine, dst, a, b)
 }
 
 // classify decides a blob's polarity by majority vote of its pixels

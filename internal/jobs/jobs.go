@@ -52,7 +52,7 @@ import (
 	"sync"
 	"time"
 
-	"sysrle/internal/broadcast"
+	"sysrle"
 	"sysrle/internal/core"
 	"sysrle/internal/inspect"
 	"sysrle/internal/refstore"
@@ -143,9 +143,9 @@ type Spec struct {
 	// Scans are compared against the reference in index order of
 	// submission (completion order is unspecified).
 	Scans []*rle.Image
-	// Engine selects the row-difference engine by name: "" or
-	// "stream" for the per-worker buffer-reusing lockstep stream,
-	// else lockstep|channel|sequential|sparse|bus.
+	// Engine selects the row-difference engine by registry name
+	// (sysrle.EngineNames); "" means "stream", the per-worker
+	// buffer-reusing lockstep stream.
 	Engine string
 	// MinDefectArea and MaxAlignShift forward to inspect.Inspector.
 	MinDefectArea int
@@ -304,26 +304,20 @@ func (m *Manager) Close() {
 	m.wg.Wait()
 }
 
-// engineFor builds the engine one worker uses for one job. The
-// default stream engine is per-call state, so each worker constructs
-// its own; named engines are stateless and shared freely.
+// engineFor builds the engine one worker uses for one job. Named
+// engines resolve through the facade registry (the single source of
+// engine names shared with the HTTP service and the CLI tools); the
+// job default is the buffer-reusing stream engine, constructed fresh
+// per worker because its state is per-call.
 func engineFor(name string) (core.Engine, error) {
-	switch name {
-	case "", "stream":
-		return core.NewStream(), nil
-	case "lockstep":
-		return core.Lockstep{}, nil
-	case "channel":
-		return core.Channel{}, nil
-	case "sequential":
-		return core.Sequential{}, nil
-	case "sparse":
-		return core.Sparse{}, nil
-	case "bus":
-		return broadcast.Bus{}, nil
-	default:
-		return nil, fmt.Errorf("jobs: unknown engine %q", name)
+	if name == "" {
+		name = "stream"
 	}
+	eng, err := sysrle.NewEngineByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	return eng, nil
 }
 
 // Submit validates the spec, resolves the reference, and enqueues one

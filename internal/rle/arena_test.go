@@ -1,0 +1,89 @@
+package rle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArenaPersistCopies(t *testing.T) {
+	a := NewArena(8)
+	src := Row{{0, 2}, {5, 3}}
+	got := a.Persist(src)
+	if !got.Equal(src) {
+		t.Fatalf("Persist = %v, want %v", got, src)
+	}
+	src[0] = Run{Start: 100, Length: 1}
+	if got[0].Start == 100 {
+		t.Fatal("Persist did not copy: mutation of the source leaked through")
+	}
+}
+
+func TestArenaPersistEmpty(t *testing.T) {
+	var a Arena // zero value must work
+	if got := a.Persist(nil); got != nil {
+		t.Fatalf("Persist(nil) = %v, want nil", got)
+	}
+	if got := a.Persist(Row{}); got != nil {
+		t.Fatalf("Persist(empty) = %v, want nil", got)
+	}
+}
+
+func TestArenaRowsIsolated(t *testing.T) {
+	// Appending to one persisted row must never clobber the next row
+	// carved from the same chunk.
+	a := NewArena(64)
+	r1 := a.Persist(Row{{0, 1}})
+	r2 := a.Persist(Row{{10, 1}})
+	r1 = append(r1, Run{Start: 99, Length: 1})
+	if r2[0].Start != 10 {
+		t.Fatalf("appending to row 1 clobbered row 2: %v", r2)
+	}
+	_ = r1
+}
+
+func TestArenaLargeRowExactAllocation(t *testing.T) {
+	a := NewArena(8)
+	big := make(Row, 16)
+	for i := range big {
+		big[i] = Run{Start: 3 * i, Length: 1}
+	}
+	got := a.Persist(big)
+	if !got.Equal(big) {
+		t.Fatalf("large Persist = %v, want %v", got, big)
+	}
+	if cap(got) != len(got) {
+		t.Fatalf("large row not exact-size: cap %d len %d", cap(got), len(got))
+	}
+}
+
+func TestArenaManyRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := NewArena(32)
+	srcs := make([]Row, 200)
+	kept := make([]Row, 200)
+	for i := range srcs {
+		srcs[i] = randomRow(rng, 1+rng.Intn(128))
+		kept[i] = a.Persist(srcs[i])
+	}
+	for i := range srcs {
+		if !kept[i].Equal(srcs[i]) {
+			t.Fatalf("row %d corrupted: %v want %v", i, kept[i], srcs[i])
+		}
+	}
+}
+
+func BenchmarkArenaPersist(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	rows := make([]Row, 64)
+	for i := range rows {
+		rows[i] = randomRow(rng, 512)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewArena(0)
+		for _, w := range rows {
+			a.Persist(w)
+		}
+	}
+}

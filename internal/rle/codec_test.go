@@ -191,9 +191,9 @@ func TestReadBinaryRejectsOverflowingRuns(t *testing.T) {
 func TestReadTextForgedHeader(t *testing.T) {
 	start := time.Now()
 	cases := []string{
-		"RLET 64 1073741824\n",      // over the cell budget
-		"RLET 1073741824 2\n",       // budget again, wide
-		"RLET 1 1073741824\n",       // inside budget but body is truncated
+		"RLET 64 1073741824\n",         // over the cell budget
+		"RLET 1073741824 2\n",          // budget again, wide
+		"RLET 1 1073741824\n",          // inside budget but body is truncated
 		"RLET 2000000000 2000000000\n", // over the per-side cap
 	}
 	for _, in := range cases {

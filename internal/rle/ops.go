@@ -18,7 +18,15 @@ import "sort"
 // is a function of the membership pair only (which all boolean ops
 // are): output intervals on a shared boundary merge by construction.
 func combine(a, b Row, keep func(inA, inB bool) bool) Row {
-	var out Row
+	return appendCombine(nil, a, b, keep)
+}
+
+// appendCombine is combine writing its output after dst's existing
+// runs, reusing dst's capacity — the allocation-free form of the
+// boundary sweep for callers that keep a scratch row across many
+// calls. Existing runs in dst are never touched or merged with.
+func appendCombine(dst Row, a, b Row, keep func(inA, inB bool) bool) Row {
+	out := dst
 	ia, ib := 0, 0
 	inA, inB := false, false
 	pos := 0 // next boundary position under consideration
@@ -98,6 +106,43 @@ func combine(a, b Row, keep func(inA, inB bool) bool) Row {
 // pixel, difference[i] = a[i] ⊕ b[i]). The result is canonical.
 func XOR(a, b Row) Row {
 	return combine(a, b, func(x, y bool) bool { return x != y })
+}
+
+// AppendXOR appends the image difference of a and b to dst and
+// returns the extended slice, reusing dst's capacity — the hot-path
+// form of XOR for callers that sweep a scratch row over many row
+// pairs. The appended runs are canonical among themselves; existing
+// runs already in dst are left untouched and never merged with.
+func AppendXOR(dst Row, a, b Row) Row {
+	return appendCombine(dst, a, b, func(x, y bool) bool { return x != y })
+}
+
+// XORInto computes the image difference of a and b into dst's
+// storage (dst's length is ignored, its capacity reused) and returns
+// the result, which is canonical. It is the in-place variant of XOR:
+//
+//	scratch = rle.XORInto(scratch, a, b) // no allocation once scratch is big enough
+func XORInto(dst Row, a, b Row) Row {
+	return AppendXOR(dst[:0], a, b)
+}
+
+// AppendCanonical appends w's runs to dst in canonical form — merging
+// adjacent and overlapping runs as Canonicalize does — reusing dst's
+// capacity. Runs already in dst are never modified or merged with
+// (the shared contract of every append-path operation); only the runs
+// of w are canonicalized among themselves. w must be sorted by start.
+func AppendCanonical(dst Row, w Row) Row {
+	base := len(dst)
+	for _, r := range w {
+		if n := len(dst); n > base && r.Start <= dst[n-1].End()+1 {
+			if e := r.End(); e > dst[n-1].End() {
+				dst[n-1].Length = e - dst[n-1].Start + 1
+			}
+			continue
+		}
+		dst = append(dst, r)
+	}
+	return dst
 }
 
 // AND returns the pixelwise conjunction of two rows.

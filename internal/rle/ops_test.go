@@ -57,6 +57,102 @@ func TestOpsAgainstBitReference(t *testing.T) {
 	}
 }
 
+func TestAppendXORMatchesXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var scratch Row
+	for trial := 0; trial < 500; trial++ {
+		width := 1 + rng.Intn(512)
+		a, b := randomRow(rng, width), randomRow(rng, width)
+		want := XOR(a, b)
+		scratch = XORInto(scratch, a, b)
+		if !scratch.Equal(want) {
+			t.Fatalf("XORInto(%v, %v) = %v, want %v", a, b, scratch, want)
+		}
+		if !scratch.Canonical() && len(scratch) > 0 {
+			t.Fatalf("XORInto output %v not canonical", scratch)
+		}
+	}
+}
+
+func TestAppendXORPreservesPrefix(t *testing.T) {
+	prefix := Row{{0, 2}, {4, 1}}
+	dst := append(Row{}, prefix...)
+	a, b := Row{{10, 4}}, Row{{12, 4}}
+	got := AppendXOR(dst, a, b)
+	want := append(append(Row{}, prefix...), XOR(a, b)...)
+	if !got.Equal(want) {
+		t.Fatalf("AppendXOR = %v, want %v", got, want)
+	}
+}
+
+func TestXORIntoReusesCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a, b := randomRow(rng, 2048), randomRow(rng, 2048)
+	scratch := XORInto(nil, a, b) // size the scratch once
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = XORInto(scratch, a, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("XORInto with warm scratch allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestAppendCanonicalMatchesCanonicalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 300; trial++ {
+		// Build a sorted but possibly adjacent/overlapping run list,
+		// the shape engine gathers produce.
+		var w Row
+		pos := 0
+		for len(w) < 1+rng.Intn(10) {
+			pos += rng.Intn(4) // 0 → overlapping/adjacent starts
+			w = append(w, Run{Start: pos, Length: 1 + rng.Intn(5)})
+			pos += rng.Intn(3)
+		}
+		want := w.Canonicalize()
+		got := AppendCanonical(nil, w)
+		if !got.Equal(want) {
+			t.Fatalf("AppendCanonical(%v) = %v, want %v", w, got, want)
+		}
+		// A pre-existing prefix must come through untouched, never
+		// merged with, even when w starts adjacent to it.
+		prefix := Row{{Start: 0, Length: w[0].Start + 1}}
+		if w[0].Start == 0 {
+			prefix = Row{{Start: 0, Length: 1}}
+		}
+		got = AppendCanonical(append(Row{}, prefix...), w)
+		if len(got) < 1 || got[0] != prefix[0] {
+			t.Fatalf("AppendCanonical modified the prefix: %v", got)
+		}
+		if !got[len(prefix):].Equal(want) {
+			t.Fatalf("AppendCanonical after prefix = %v, want %v", got[len(prefix):], want)
+		}
+	}
+}
+
+// FuzzAppendXOR cross-checks the append-path XOR against the
+// allocating sweep and the bit-level reference on fuzz-chosen rows.
+func FuzzAppendXOR(f *testing.F) {
+	f.Add(int64(1), 64)
+	f.Add(int64(99), 1)
+	f.Add(int64(7), 4096)
+	f.Fuzz(func(t *testing.T, seed int64, width int) {
+		if width < 1 || width > 1<<16 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomRow(rng, width), randomRow(rng, width)
+		want := XOR(a, b)
+		got := XORInto(make(Row, 0, 4), a, b)
+		if !got.Equal(want) {
+			t.Fatalf("XORInto = %v, want %v", got, want)
+		}
+		if !got.Equal(bitOp(a, b, width, func(x, y bool) bool { return x != y })) {
+			t.Fatalf("XORInto disagrees with bit reference on %v ^ %v", a, b)
+		}
+	})
+}
+
 func TestOpsOnNonCanonicalInputs(t *testing.T) {
 	// Inputs with adjacent runs are valid per the paper; ops must
 	// still be correct.

@@ -19,7 +19,10 @@
 //	                            gauge, per-engine iteration totals.
 //	GET  /debug/vars          → the same registry as expvar-style JSON.
 //	POST /v1/diff             → multipart form, files "a" and "b";
-//	                            query: engine=lockstep|channel|sequential|bus,
+//	                            query: engine=<name> (any registry
+//	                            engine, see sysrle.EngineNames:
+//	                            lockstep|channel|sequential|sparse|
+//	                            stream|bus|verified),
 //	                            format=pbm|pbm-plain|png|rlet|rleb.
 //	                            Response body is the encoded difference image;
 //	                            X-Sysrle-* headers carry engine statistics.
@@ -306,19 +309,13 @@ func (s *Server) recordEngine(engine string, totalIterations, rowsDiffering int)
 	s.reg.Counter("sysrle_engine_runs_total", eng).Inc()
 }
 
+// engineFromQuery resolves the engine= query parameter through the
+// facade registry — the single source of engine names shared with the
+// job runner and the CLI tools. Each request gets a fresh engine, so
+// stateful engines (stream, verified) are never shared across
+// requests.
 func engineFromQuery(r *http.Request) (sysrle.Engine, error) {
-	switch name := r.URL.Query().Get("engine"); name {
-	case "", "lockstep":
-		return sysrle.NewLockstep(), nil
-	case "channel":
-		return sysrle.NewChannel(), nil
-	case "sequential":
-		return sysrle.NewSequential(), nil
-	case "bus":
-		return sysrle.NewBus(0), nil
-	default:
-		return nil, fmt.Errorf("unknown engine %q", name)
-	}
+	return sysrle.NewEngineByName(r.URL.Query().Get("engine"))
 }
 
 func formImage(r *http.Request, field string) (*rle.Image, error) {
@@ -423,7 +420,9 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	diff, stats, err := sysrle.DiffImageWith(a, b, engine, 0)
+	diff, stats, err := sysrle.DiffImage(a, b,
+		sysrle.WithEngine(engine),
+		sysrle.WithContext(r.Context()))
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -434,6 +433,11 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Sysrle-Rows-Differing", strconv.Itoa(stats.RowsDiffering))
 	w.Header().Set("X-Sysrle-Iterations-Total", strconv.Itoa(stats.TotalIterations))
 	w.Header().Set("X-Sysrle-Iterations-Max-Row", strconv.Itoa(stats.MaxRowIterations))
+	w.Header().Set("X-Sysrle-Cells-Total", strconv.Itoa(stats.TotalCells))
+	w.Header().Set("X-Sysrle-Cells-Max-Row", strconv.Itoa(stats.MaxRowCells))
+	if stats.FaultsRecovered > 0 {
+		w.Header().Set("X-Sysrle-Faults-Recovered", strconv.Itoa(stats.FaultsRecovered))
+	}
 	w.Header().Set("X-Sysrle-Diff-Pixels", strconv.Itoa(diff.Area()))
 	// The format was validated up front, so a write error here can
 	// only be a broken connection; nothing useful remains to send.

@@ -1,0 +1,190 @@
+package sysrle
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sysrle/internal/core"
+	"sysrle/internal/rle"
+)
+
+// Option configures an image operation such as DiffImage. The zero
+// configuration is the production default: lockstep semantics via
+// per-worker buffer-reusing stream engines, GOMAXPROCS workers,
+// buffer reuse on, no deadline.
+type Option func(*config)
+
+type config struct {
+	engine  Engine
+	workers int
+	ctx     context.Context
+	reuse   bool
+}
+
+func defaultConfig() config {
+	return config{ctx: context.Background(), reuse: true}
+}
+
+// WithEngine selects the row-difference engine. nil (the default)
+// means a per-worker buffer-reusing lockstep stream — identical
+// semantics to the lockstep engine with the fewest allocations. A
+// non-nil engine is shared by every worker, so it must be safe for
+// concurrent use; all engines this package constructs are, and the
+// single-machine ones (NewStream, NewFixedArray) are automatically
+// run with one worker.
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithWorkers bounds the row-level parallelism; n ≤ 0 (the default)
+// means GOMAXPROCS.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithContext attaches a cancellation context: cancellation is
+// observed between rows (a row already inside the engine finishes)
+// and the operation fails with the context's error.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
+
+// WithBufferReuse toggles the zero-allocation row path (default on):
+// workers gather each row, already canonical, into a reused scratch
+// buffer and persist exact-size copies through a per-worker arena.
+// Disabling it restores the allocate-per-row path — useful only for
+// benchmarking the difference (see internal/perf).
+func WithBufferReuse(enabled bool) Option { return func(c *config) { c.reuse = enabled } }
+
+// DiffImage computes the per-row difference of two equally sized
+// images, fanning rows across a worker pool — the software analogue
+// of the paper's one-systolic-array-per-scanline deployment. Rows of
+// the result are canonical. With no options it uses per-worker
+// lockstep stream engines and GOMAXPROCS workers:
+//
+//	diff, stats, err := sysrle.DiffImage(a, b)
+//	diff, stats, err := sysrle.DiffImage(a, b,
+//		sysrle.WithEngine(sysrle.NewSparse()),
+//		sysrle.WithWorkers(4),
+//		sysrle.WithContext(ctx))
+func DiffImage(a, b *Image, opts ...Option) (*Image, *ImageStats, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if a.Width != b.Width || a.Height != b.Height {
+		return nil, nil, fmt.Errorf("sysrle: size mismatch %dx%d vs %dx%d", a.Width, a.Height, b.Width, b.Height)
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.Height && a.Height > 0 {
+		workers = a.Height
+	}
+	switch cfg.engine.(type) {
+	case *core.Stream, *core.ChannelArray:
+		// These engines are one machine each — sharing one across
+		// workers would race on its buffers. One worker keeps the
+		// semantics; callers wanting row parallelism pass nil (per-
+		// worker streams) or a stateless engine.
+		workers = 1
+	}
+	// When the shared engine is a Verified, the recovered-fault count
+	// over this image is the counter's growth during the run.
+	var verified *core.Verified
+	var recoveredBase int64
+	if v, ok := cfg.engine.(*core.Verified); ok {
+		verified = v
+		recoveredBase = v.Recovered()
+	}
+	out := rle.NewImage(a.Width, a.Height)
+	iters := make([]int, a.Height)
+	cells := make([]int, a.Height)
+	errs := make([]error, a.Height)
+	rows := make(chan int)
+	// One bad row fails the whole diff, so the first failure stops
+	// row distribution instead of paying engine time for the rest of
+	// a bad image; already-queued rows are skipped.
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The default engine is a per-worker buffer-reusing
+			// lockstep stream (identical semantics, fewer
+			// allocations).
+			eng := cfg.engine
+			if eng == nil {
+				eng = core.NewStream()
+			}
+			arena := rle.NewArena(0)
+			var scratch rle.Row
+			for y := range rows {
+				if failed.Load() || cfg.ctx.Err() != nil {
+					continue
+				}
+				var res core.Result
+				var err error
+				if cfg.reuse {
+					res, err = core.XORRowAppend(eng, scratch[:0], a.Rows[y], b.Rows[y])
+				} else {
+					res, err = eng.XORRow(a.Rows[y], b.Rows[y])
+				}
+				if err != nil {
+					errs[y] = err
+					failed.Store(true)
+					continue
+				}
+				if cfg.reuse {
+					scratch = res.Row
+					out.Rows[y] = arena.Persist(scratch)
+				} else {
+					out.Rows[y] = res.Row.Canonicalize()
+				}
+				iters[y] = res.Iterations
+				cells[y] = res.Cells
+			}
+		}()
+	}
+feed:
+	for y := 0; y < a.Height && !failed.Load(); y++ {
+		select {
+		case rows <- y:
+		case <-cfg.ctx.Done():
+			break feed
+		}
+	}
+	close(rows)
+	wg.Wait()
+	if err := cfg.ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("sysrle: %w", err)
+	}
+	for y, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("sysrle: row %d: %w", y, err)
+		}
+	}
+	stats := &ImageStats{}
+	for y, n := range iters {
+		stats.TotalIterations += n
+		if n > stats.MaxRowIterations {
+			stats.MaxRowIterations = n
+		}
+		stats.TotalCells += cells[y]
+		if cells[y] > stats.MaxRowCells {
+			stats.MaxRowCells = cells[y]
+		}
+		if len(out.Rows[y]) > 0 {
+			stats.RowsDiffering++
+		}
+	}
+	if verified != nil {
+		stats.FaultsRecovered = int(verified.Recovered() - recoveredBase)
+	}
+	return out, stats, nil
+}

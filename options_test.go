@@ -1,0 +1,249 @@
+package sysrle
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sysrle/internal/core"
+	"sysrle/internal/workload"
+)
+
+// testImagePair builds a generated image and a perturbed copy — the
+// inspection workload the options API is exercised against.
+func testImagePair(t *testing.T, seed int64) (*Image, *Image) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a, err := workload.GenerateImage(rng, workload.PaperRow(500, 0.3), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Clone()
+	for y := 0; y < b.Height; y += 2 {
+		mask, err := workload.ErrorMask(rng, 500, workload.PaperErrors(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Rows[y] = XOR(b.Rows[y], mask)
+	}
+	return a, b
+}
+
+func TestDiffImageOptionsMatchDeprecatedSignature(t *testing.T) {
+	a, b := testImagePair(t, 7)
+	oldDiff, oldStats, err := DiffImageWith(a, b, NewSparse(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDiff, newStats, err := DiffImage(a, b, WithEngine(NewSparse()), WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !newDiff.Equal(oldDiff) {
+		t.Error("options path and deprecated path disagree on pixels")
+	}
+	if *newStats != *oldStats {
+		t.Errorf("stats disagree: %+v vs %+v", newStats, oldStats)
+	}
+}
+
+func TestDiffImageBufferReuseEquivalence(t *testing.T) {
+	a, b := testImagePair(t, 11)
+	for _, name := range EngineNames() {
+		eng, err := NewEngineByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reuse, reuseStats, err := DiffImage(a, b, WithEngine(eng))
+		if err != nil {
+			t.Fatalf("%s reuse: %v", name, err)
+		}
+		eng2, _ := NewEngineByName(name)
+		plain, plainStats, err := DiffImage(a, b, WithEngine(eng2), WithBufferReuse(false))
+		if err != nil {
+			t.Fatalf("%s no-reuse: %v", name, err)
+		}
+		if !reuse.Equal(plain) {
+			t.Errorf("%s: buffer reuse changed the pixels", name)
+		}
+		if reuseStats.TotalIterations != plainStats.TotalIterations ||
+			reuseStats.RowsDiffering != plainStats.RowsDiffering ||
+			reuseStats.TotalCells != plainStats.TotalCells {
+			t.Errorf("%s: buffer reuse changed the stats: %+v vs %+v", name, reuseStats, plainStats)
+		}
+	}
+}
+
+func TestDiffImageCellStats(t *testing.T) {
+	a, b := testImagePair(t, 13)
+	_, stats, err := DiffImage(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxRowCells == 0 || stats.TotalCells < stats.MaxRowCells {
+		t.Errorf("cell stats inconsistent: %+v", stats)
+	}
+	// The sequential baseline has no cell array; the stats must say so
+	// rather than report a stale or invented size.
+	_, seqStats, err := DiffImage(a, b, WithEngine(NewSequential()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqStats.TotalCells != 0 || seqStats.MaxRowCells != 0 {
+		t.Errorf("sequential engine reported cells: %+v", seqStats)
+	}
+}
+
+func TestDiffImageContextCancellation(t *testing.T) {
+	a, b := testImagePair(t, 17)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := DiffImage(a, b, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context: err = %v", err)
+	}
+	// A nil context is treated as the default background context.
+	if _, _, err := DiffImage(a, b, WithContext(nil)); err != nil {
+		t.Errorf("nil context: %v", err)
+	}
+}
+
+func TestDiffImageFaultsRecovered(t *testing.T) {
+	a, b := testImagePair(t, 19)
+	v := core.NewVerified(core.Lockstep{})
+	_, stats, err := DiffImage(a, b, WithEngine(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FaultsRecovered != 0 {
+		t.Errorf("healthy engine recovered %d faults", stats.FaultsRecovered)
+	}
+	// A primary that miscomputes every row forces one recovery per row,
+	// and the per-image stat must report the delta for this image only
+	// even though the engine's counter is cumulative.
+	broken := core.NewVerified(flakyEngine{})
+	for round := 1; round <= 2; round++ {
+		_, stats, err = DiffImage(a, b, WithEngine(broken), WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.FaultsRecovered != a.Height {
+			t.Errorf("round %d: FaultsRecovered = %d, want %d", round, stats.FaultsRecovered, a.Height)
+		}
+	}
+}
+
+// flakyEngine computes XOR but always reports a wrong first run,
+// tripping Verified's result check on every row.
+type flakyEngine struct{}
+
+func (flakyEngine) Name() string { return "flaky" }
+
+func (flakyEngine) XORRow(a, b Row) (Result, error) {
+	res, err := core.Lockstep{}.XORRow(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	out := append(Row{{Start: 0, Length: 1}}, res.Row.Canonicalize()...)
+	res.Row = out
+	return res, nil
+}
+
+func TestDiffImageSingleMachineEnginesClamped(t *testing.T) {
+	a, b := testImagePair(t, 23)
+	// Stream and FixedArray are one machine each; DiffImage must not
+	// race many workers over them even when asked to.
+	stream := NewStream()
+	got, _, err := DiffImage(a, b, WithEngine(stream), WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := DiffImage(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("stream engine result differs")
+	}
+	arr := NewFixedArray(700)
+	defer arr.Close()
+	got, _, err = DiffImage(a, b, WithEngine(arr), WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("fixed array result differs")
+	}
+}
+
+func TestEngineRegistry(t *testing.T) {
+	names := EngineNames()
+	if len(names) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[string]bool{}
+	for _, info := range Engines() {
+		if seen[info.Name] {
+			t.Errorf("duplicate engine name %q", info.Name)
+		}
+		seen[info.Name] = true
+		if info.Description == "" {
+			t.Errorf("%s: empty description", info.Name)
+		}
+		eng, err := NewEngineByName(info.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", info.Name, err)
+		}
+		if eng == nil {
+			t.Fatalf("%s: nil engine", info.Name)
+		}
+		if c, ok := eng.(interface{ Close() }); ok {
+			defer c.Close()
+		}
+	}
+	for _, want := range []string{"lockstep", "channel", "sequential", "sparse", "stream", "bus", "verified"} {
+		if !seen[want] {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+	// Stateful engines must be fresh per call, not shared.
+	s1, _ := NewEngineByName("stream")
+	s2, _ := NewEngineByName("stream")
+	if s1 == s2 {
+		t.Error("NewEngineByName returned a shared stream")
+	}
+	// The default: empty name means lockstep.
+	def, err := NewEngineByName("")
+	if err != nil || def.Name() != (core.Lockstep{}).Name() {
+		t.Errorf("default engine = %v, %v", def, err)
+	}
+	// Unknown names fail loudly and list the valid ones.
+	_, err = NewEngineByName("quantum")
+	if err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if !strings.Contains(err.Error(), "quantum") || !strings.Contains(err.Error(), "lockstep") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestRegistryEnginesAgreeOnPaperRow(t *testing.T) {
+	a, b, want := paperRows()
+	for _, name := range EngineNames() {
+		eng, err := NewEngineByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.XORRow(a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Row.EqualBits(want) {
+			t.Errorf("%s: %v", name, res.Row)
+		}
+		if c, ok := eng.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
+}

@@ -35,11 +35,6 @@
 package sysrle
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"sysrle/internal/broadcast"
 	"sysrle/internal/core"
 	"sysrle/internal/rle"
@@ -126,7 +121,9 @@ func AND(a, b Row) Row    { return rle.AND(a, b) }
 func OR(a, b Row) Row     { return rle.OR(a, b) }
 func AndNot(a, b Row) Row { return rle.AndNot(a, b) }
 
-// ImageStats aggregates per-row engine costs over an image diff.
+// ImageStats aggregates per-row engine costs over an image diff —
+// the whole-image form of the per-row Result, losing none of the
+// engine detail (iterations, array sizes, recovered faults).
 type ImageStats struct {
 	// TotalIterations sums the per-row iteration counts.
 	TotalIterations int
@@ -135,85 +132,25 @@ type ImageStats struct {
 	MaxRowIterations int
 	// RowsDiffering counts scanlines with a non-empty difference.
 	RowsDiffering int
+	// TotalCells sums the per-row array sizes (0 for engines without
+	// a cell array, e.g. the sequential baseline) — the total
+	// hardware footprint of a one-array-per-row deployment.
+	TotalCells int
+	// MaxRowCells is the largest per-row array used — the cell
+	// capacity a fixed array would need for this image.
+	MaxRowCells int
+	// FaultsRecovered counts rows whose primary result was rejected
+	// and recomputed when the engine is a Verified (NewVerified);
+	// always 0 otherwise.
+	FaultsRecovered int
 }
 
-// DiffImage computes the per-row difference of two equally sized
-// images with the lockstep engine, fanning rows across GOMAXPROCS
-// workers. Rows of the result are canonical.
-func DiffImage(a, b *Image) (*Image, *ImageStats, error) {
-	return DiffImageWith(a, b, nil, 0)
-}
-
-// DiffImageWith is DiffImage with an explicit engine (nil = lockstep)
-// and worker count (≤0 = GOMAXPROCS).
+// DiffImageWith is DiffImage with a positional engine (nil =
+// lockstep) and worker count (≤ 0 = GOMAXPROCS).
+//
+// Deprecated: use DiffImage with WithEngine and WithWorkers options.
 func DiffImageWith(a, b *Image, engine Engine, workers int) (*Image, *ImageStats, error) {
-	if a.Width != b.Width || a.Height != b.Height {
-		return nil, nil, fmt.Errorf("sysrle: size mismatch %dx%d vs %dx%d", a.Width, a.Height, b.Width, b.Height)
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > a.Height && a.Height > 0 {
-		workers = a.Height
-	}
-	out := rle.NewImage(a.Width, a.Height)
-	iters := make([]int, a.Height)
-	errs := make([]error, a.Height)
-	rows := make(chan int)
-	// One bad row fails the whole diff, so the first failure stops
-	// row distribution instead of paying engine time for the rest of
-	// a bad image; already-queued rows are skipped.
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// The default engine is a per-worker buffer-reusing
-			// lockstep stream (identical semantics, fewer
-			// allocations). A caller-supplied engine is shared, so
-			// it must be safe for concurrent use — all the package's
-			// engines are.
-			eng := engine
-			if eng == nil {
-				eng = core.NewStream()
-			}
-			for y := range rows {
-				if failed.Load() {
-					continue
-				}
-				res, err := eng.XORRow(a.Rows[y], b.Rows[y])
-				if err != nil {
-					errs[y] = err
-					failed.Store(true)
-					continue
-				}
-				out.Rows[y] = res.Row.Canonicalize()
-				iters[y] = res.Iterations
-			}
-		}()
-	}
-	for y := 0; y < a.Height && !failed.Load(); y++ {
-		rows <- y
-	}
-	close(rows)
-	wg.Wait()
-	for y, err := range errs {
-		if err != nil {
-			return nil, nil, fmt.Errorf("sysrle: row %d: %w", y, err)
-		}
-	}
-	stats := &ImageStats{}
-	for y, n := range iters {
-		stats.TotalIterations += n
-		if n > stats.MaxRowIterations {
-			stats.MaxRowIterations = n
-		}
-		if len(out.Rows[y]) > 0 {
-			stats.RowsDiffering++
-		}
-	}
-	return out, stats, nil
+	return DiffImage(a, b, WithEngine(engine), WithWorkers(workers))
 }
 
 // Similarity measures re-exported for workload characterization.
