@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race ci chaos cover bench bench-json perf-smoke experiments fuzz clean
+.PHONY: all build test vet race ci chaos oracle cover bench bench-json perf-smoke experiments fuzz clean
 
 all: build vet test
 
@@ -15,6 +15,7 @@ ci:
 	$(GO) test -fuzz FuzzReadText -fuzztime 15s ./internal/rle/
 	$(GO) test -fuzz FuzzReadPBM -fuzztime 15s ./internal/bitmap/
 	$(MAKE) chaos
+	$(MAKE) oracle
 
 # The fault-tolerance suite under the race detector, repeated to
 # shake out timing-dependent interleavings (mirrors the ci.yml chaos
@@ -23,6 +24,14 @@ chaos:
 	$(GO) test -race -count=3 ./internal/fault/
 	$(GO) test -race -count=3 -run 'Chaos|Fault|Readyz|Retry|Quarantine|Hammer|Stuck|Panic|Verified' \
 		./internal/core/ ./internal/jobs/ ./internal/server/ ./internal/inspect/ ./cmd/sysdiffd/
+
+# The cross-engine differential & metamorphic oracle on the pinned CI
+# seed: every registered engine against the sequential merge and a
+# pixel-level bitmap oracle, plus the metamorphic identity library
+# (mirrors the ci.yml oracle job). Non-zero exit on any discrepancy.
+# Rotate the corpus with `go run ./cmd/benchtab -oracle -oracle-seed N`.
+oracle:
+	$(GO) run ./cmd/benchtab -oracle
 
 build:
 	$(GO) build ./...

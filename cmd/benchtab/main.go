@@ -7,9 +7,18 @@
 //	benchtab -ablation         # §6 broadcast-bus ablation
 //	benchtab -all              # everything
 //	benchtab -bench            # allocation/latency matrix as JSON
+//	benchtab -oracle           # cross-engine differential & metamorphic oracle
 //
 // Output is text tables; -csv switches tabular experiments to CSV.
 // -trials and -seed control averaging and reproducibility.
+//
+// -oracle runs the internal/oracle correctness harness: every
+// registered engine against the sequential merge and a pixel-level
+// bitmap oracle over a deterministic corpus, plus the metamorphic
+// identity library. The corpus is seeded by -oracle-seed (CI pins
+// one seed; rotate it to sweep fresh corpora) and sized by
+// -oracle-pairs; the run fails with a non-zero exit when any
+// discrepancy is found, printing each minimized reproducer.
 //
 // -bench runs the internal/perf harness — the fixed engine × workload
 // matrix behind the committed BENCH_PR4.json — and writes the JSON
@@ -24,9 +33,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sysrle/internal/experiments"
 	"sysrle/internal/metrics"
+	"sysrle/internal/oracle"
 	"sysrle/internal/perf"
 )
 
@@ -56,9 +67,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		benchOut    = fs.String("bench-out", "", "write the -bench JSON report to this file (default stdout)")
 		benchWidth  = fs.Int("bench-width", perf.DefaultOptions().Width, "-bench image width")
 		benchHeight = fs.Int("bench-height", perf.DefaultOptions().Height, "-bench image height")
+
+		runOracle     = fs.Bool("oracle", false, "run the cross-engine differential & metamorphic oracle")
+		oracleSeed    = fs.Int64("oracle-seed", oracle.DefaultConfig().Seed, "-oracle corpus seed (rotate for fresh corpora)")
+		oraclePairs   = fs.Int("oracle-pairs", oracle.DefaultConfig().Pairs, "-oracle image pairs per generator")
+		oracleEngines = fs.String("oracle-engines", "", "-oracle comma-separated engine names (default all registered)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *runOracle {
+		cfg := oracle.DefaultConfig()
+		cfg.Seed = *oracleSeed
+		cfg.Pairs = *oraclePairs
+		if *oracleEngines != "" {
+			cfg.Engines = strings.Split(*oracleEngines, ",")
+		}
+		return runOracleHarness(stdout, cfg, *csv)
 	}
 	if *bench {
 		return runBench(stdout, perf.Options{
@@ -174,6 +199,48 @@ func run(args []string, stdout, stderr io.Writer) error {
 		emit(experiments.DeploymentTable(points))
 	}
 	return emitErr
+}
+
+// runOracleHarness runs the differential/metamorphic oracle and
+// renders the per-engine × per-check bucket table. Discrepancies are
+// printed with their minimized reproducers and turn into a non-zero
+// exit, so CI can gate on `benchtab -oracle`.
+func runOracleHarness(stdout io.Writer, cfg oracle.Config, csv bool) error {
+	rep, err := oracle.Run(cfg)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Oracle: differential & metamorphic checks (seed %d, %dx%d, %d pairs/generator, generators: %s)",
+			rep.Seed, rep.Width, rep.Height, rep.Pairs, strings.Join(rep.Generators, ", ")),
+		"engine", "check", "checks", "discrepancies")
+	for _, b := range rep.Buckets {
+		engine := b.Engine
+		if engine == "" {
+			engine = "-" // engine-independent metamorphic identity
+		}
+		t.Addf(engine, b.Check, b.Checks, b.Discrepancies)
+	}
+	if csv {
+		if t.Title != "" {
+			fmt.Fprintf(stdout, "# %s\n", t.Title)
+		}
+		if err := t.WriteCSV(stdout); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(stdout, t.Format())
+	}
+	fmt.Fprintf(stdout, "total: %d checks, %d discrepancies\n", rep.TotalChecks, rep.Discrepancies)
+	if rep.Clean() {
+		return nil
+	}
+	fmt.Fprintln(stdout, "\nminimized reproducers:")
+	for _, f := range rep.Failures {
+		fmt.Fprintf(stdout, "  %s\n", f)
+	}
+	return fmt.Errorf("oracle: %d discrepancies in %d checks (seed %d)",
+		rep.Discrepancies, rep.TotalChecks, rep.Seed)
 }
 
 // runBench executes the perf harness and writes the indented JSON

@@ -44,6 +44,52 @@ func TestRunCSVSmoke(t *testing.T) {
 	}
 }
 
+// TestRunOracleSmoke drives the differential/metamorphic oracle with
+// a reduced corpus: it must run clean on the default seed and report
+// the bucket table.
+func TestRunOracleSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-oracle", "-oracle-pairs", "1",
+		"-oracle-engines", "sequential,lockstep"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)\n%s", err, stderr.String(), stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"diff-pixel-oracle", "meta-xor-symmetry", "0 discrepancies"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("oracle output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "reproducers") {
+		t.Errorf("clean run printed reproducers:\n%s", out)
+	}
+}
+
+// TestRunOracleCSV: -csv switches the bucket table to CSV.
+func TestRunOracleCSV(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-oracle", "-oracle-pairs", "1",
+		"-oracle-engines", "sequential", "-csv"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "engine,check,checks,discrepancies") {
+		t.Errorf("no CSV header in %q", stdout.String())
+	}
+}
+
+// TestRunOracleErrors: configuration mistakes surface as errors, not
+// silent empty runs.
+func TestRunOracleErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-oracle", "-oracle-engines", "no-such-engine"}, &stdout, &stderr); err == nil {
+		t.Error("unknown oracle engine accepted")
+	}
+	if err := run([]string{"-oracle", "-oracle-pairs", "0"}, &stdout, &stderr); err == nil {
+		t.Error("zero pairs accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run(nil, &stdout, &stderr); err == nil {

@@ -53,14 +53,23 @@ func DilateRow(row rle.Row, r, width int) rle.Row {
 	return grown.Canonicalize().Clip(width)
 }
 
-// ErodeRow erodes one row by a horizontal radius: every run shrinks
-// by r on both sides; runs shorter than 2r+1 vanish.
+// ErodeRow erodes one row by a horizontal radius: every maximal
+// foreground stretch shrinks by r on both sides; stretches shorter
+// than 2r+1 vanish. Unlike dilation, erosion does not distribute
+// over a union of fragments, so a valid-but-non-canonical row
+// (adjacent runs, which the paper permits as inputs) must be merged
+// into maximal stretches before eroding — eroding the fragments
+// independently would make a long stretch encoded in short adjacent
+// pieces vanish entirely.
 func ErodeRow(row rle.Row, r int) rle.Row {
 	if r < 0 {
 		panic("morph: negative radius")
 	}
+	if len(row) == 0 {
+		return nil
+	}
 	var out rle.Row
-	for _, run := range row {
+	for _, run := range row.Canonicalize() {
 		if run.Length > 2*r {
 			out = append(out, rle.Run{Start: run.Start + r, Length: run.Length - 2*r})
 		}

@@ -211,3 +211,56 @@ func TestDilateRowPanicsOnNegativeRadius(t *testing.T) {
 	}()
 	DilateRow(nil, -1, 10)
 }
+
+// Regression, found by the cross-engine oracle's non-canonical
+// corpus: ErodeRow used to erode each run independently, so a
+// contiguous stretch encoded as adjacent fragments (a valid row per
+// the paper) vanished entirely — each fragment is shorter than the
+// SE — instead of eroding as one maximal stretch.
+func TestErodeRowMergesAdjacentFragments(t *testing.T) {
+	// [24,33] as three adjacent fragments; erosion by r=2 must give
+	// [26,31], exactly as for the canonical encoding.
+	fragments := rle.Row{{Start: 24, Length: 4}, {Start: 28, Length: 4}, {Start: 32, Length: 2}}
+	want := rle.Row{{Start: 26, Length: 6}}
+	if got := ErodeRow(fragments, 2); !got.Equal(want) {
+		t.Fatalf("ErodeRow(fragments, 2) = %v, want %v", got, want)
+	}
+	if got := ErodeRow(fragments.Canonicalize(), 2); !got.Equal(want) {
+		t.Fatalf("ErodeRow(canonical, 2) = %v, want %v", got, want)
+	}
+	// The minimized oracle finding: two adjacent single-pixel runs
+	// survive erosion by r=0 untouched but must not be double-eroded
+	// or dropped at r=1 boundaries.
+	pairRow := rle.Row{{Start: 105, Length: 1}, {Start: 106, Length: 1}}
+	if got := ErodeRow(pairRow, 0); got.Area() != 2 {
+		t.Fatalf("ErodeRow(adjacent pair, 0) = %v, want area 2", got)
+	}
+	if got := ErodeRow(pairRow, 1); len(got) != 0 {
+		t.Fatalf("ErodeRow(adjacent pair, 1) = %v, want empty", got)
+	}
+}
+
+// Whole-image erosion and the erode/dilate duality on non-canonical
+// encodings must match the canonical encoding's result.
+func TestErodeNonCanonicalImage(t *testing.T) {
+	img := rle.NewImage(16, 3)
+	for y := 0; y < 3; y++ {
+		img.Rows[y] = rle.Row{{Start: 2, Length: 3}, {Start: 5, Length: 3}, {Start: 8, Length: 4}}
+	}
+	canonical := img.Clone().Canonicalize()
+	se := SE{Rx: 2, Ry: 1}
+	got, err := Erode(img, se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Erode(canonical, se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("Erode(non-canonical) = %v, want %v", got.Rows, want.Rows)
+	}
+	if got.Area() == 0 {
+		t.Fatal("erosion of a 10-pixel stretch by Rx=2 must not vanish")
+	}
+}

@@ -1,0 +1,172 @@
+package oracle
+
+import (
+	"math/rand"
+
+	"sysrle/internal/rle"
+	"sysrle/internal/workload"
+)
+
+// A generator draws one corpus pair. All generators are deterministic
+// functions of the rng stream, which Run derives from the seed and
+// the generator name.
+type generator struct {
+	name string
+	gen  func(rng *rand.Rand, cfg Config, i int) pair
+	// minPairs floors the pair count regardless of Config.Pairs, so
+	// a generator that cycles through discrete shapes always covers
+	// all of them.
+	minPairs int
+}
+
+// generators is the corpus: the §5 workload regimes the experiments
+// already use, plus the adversarial shapes the paper's definitions
+// permit but the generated workloads never produce.
+var generators = []generator{
+	{name: "paper-similar", gen: genPaperSimilar},
+	{name: "independent-random", gen: genIndependentRandom},
+	{name: "worst-alternating", gen: genWorstAlternating},
+	{name: "adversarial-edges", gen: genAdversarialEdges, minPairs: 6},
+	{name: "non-canonical", gen: genNonCanonical},
+}
+
+// mustImage panics on workload generation errors: the oracle owns
+// its parameters, so a failure here is a harness bug, not a finding.
+func mustImage(img *rle.Image, err error) *rle.Image {
+	if err != nil {
+		panic("oracle: workload generation failed: " + err.Error())
+	}
+	return img
+}
+
+// genPaperSimilar is the paper's §5 regime: a base image and a scan
+// differing by a few short error runs per row.
+func genPaperSimilar(rng *rand.Rand, cfg Config, _ int) pair {
+	params := workload.PaperRow(cfg.Width, 0.30)
+	a := mustImage(workload.GenerateImage(rng, params, cfg.Height))
+	b := a.Clone()
+	ep := workload.PaperErrors(2)
+	for y := range b.Rows {
+		mask, err := workload.ErrorMask(rng, cfg.Width, ep)
+		if err != nil {
+			panic("oracle: error mask: " + err.Error())
+		}
+		b.Rows[y] = rle.XOR(b.Rows[y], mask)
+	}
+	return pair{A: a, B: b}
+}
+
+// genIndependentRandom draws two unrelated images — no similarity
+// for the systolic engines to exploit.
+func genIndependentRandom(rng *rand.Rand, cfg Config, _ int) pair {
+	params := workload.PaperRow(cfg.Width, 0.30)
+	return pair{
+		A: mustImage(workload.GenerateImage(rng, params, cfg.Height)),
+		B: mustImage(workload.GenerateImage(rng, params, cfg.Height)),
+	}
+}
+
+// genWorstAlternating is the adversarial run-count regime: short
+// alternating runs with the second image phase-shifted so (almost)
+// every pixel differs. Pair 0 is the exact worst case — single-pixel
+// runs, the maximal run count for the width; later pairs widen the
+// runs by the pair index to vary the interaction pattern.
+func genWorstAlternating(_ *rand.Rand, cfg Config, i int) pair {
+	runLen := 1 + i
+	a := rle.NewImage(cfg.Width, cfg.Height)
+	b := rle.NewImage(cfg.Width, cfg.Height)
+	for y := 0; y < cfg.Height; y++ {
+		var ra, rb rle.Row
+		for x := 0; x < cfg.Width; x += 2 * runLen {
+			ra = appendClipped(ra, x, runLen, cfg.Width)
+			rb = appendClipped(rb, x+runLen, runLen, cfg.Width)
+		}
+		a.Rows[y], b.Rows[y] = ra, rb
+	}
+	return pair{A: a, B: b}
+}
+
+// appendClipped appends the run [start, start+length) clipped to the
+// width, skipping it entirely when nothing remains.
+func appendClipped(row rle.Row, start, length, width int) rle.Row {
+	if start >= width {
+		return row
+	}
+	if start+length > width {
+		length = width - start
+	}
+	return append(row, rle.Run{Start: start, Length: length})
+}
+
+// genAdversarialEdges cycles through the boundary shapes: zero-width
+// and zero-height images, 1×1, single-pixel rows, full rows, empty
+// against full. The differential checks must hold (vacuously where
+// there are no pixels) and, above all, nothing may panic.
+func genAdversarialEdges(rng *rand.Rand, cfg Config, i int) pair {
+	switch i % 6 {
+	case 0: // zero-width
+		return pair{A: rle.NewImage(0, cfg.Height), B: rle.NewImage(0, cfg.Height)}
+	case 1: // zero-height
+		return pair{A: rle.NewImage(cfg.Width, 0), B: rle.NewImage(cfg.Width, 0)}
+	case 2: // 1×1, all four pixel combinations over the rows drawn
+		a, b := rle.NewImage(1, 1), rle.NewImage(1, 1)
+		if rng.Intn(2) == 0 {
+			a.Rows[0] = rle.Row{{Start: 0, Length: 1}}
+		}
+		if rng.Intn(2) == 0 {
+			b.Rows[0] = rle.Row{{Start: 0, Length: 1}}
+		}
+		return pair{A: a, B: b}
+	case 3: // single-pixel rows at random columns
+		a, b := rle.NewImage(cfg.Width, cfg.Height), rle.NewImage(cfg.Width, cfg.Height)
+		for y := 0; y < cfg.Height; y++ {
+			a.Rows[y] = rle.Row{{Start: rng.Intn(cfg.Width), Length: 1}}
+			b.Rows[y] = rle.Row{{Start: rng.Intn(cfg.Width), Length: 1}}
+		}
+		return pair{A: a, B: b}
+	case 4: // full rows against themselves shifted by one run boundary
+		a, b := rle.NewImage(cfg.Width, cfg.Height), rle.NewImage(cfg.Width, cfg.Height)
+		for y := 0; y < cfg.Height; y++ {
+			a.Rows[y] = rle.Row{{Start: 0, Length: cfg.Width}}
+			if y%2 == 0 {
+				b.Rows[y] = rle.Row{{Start: 0, Length: cfg.Width}}
+			}
+		}
+		return pair{A: a, B: b}
+	default: // empty vs full
+		b := rle.NewImage(cfg.Width, cfg.Height)
+		for y := 0; y < cfg.Height; y++ {
+			b.Rows[y] = rle.Row{{Start: 0, Length: cfg.Width}}
+		}
+		return pair{A: rle.NewImage(cfg.Width, cfg.Height), B: b}
+	}
+}
+
+// genNonCanonical takes a §5 similar pair and re-encodes both images
+// with runs split into adjacent fragments — valid inputs per the
+// paper ("an additional pass can be made at the end" implies outputs,
+// and therefore inputs, may carry adjacent runs) that every engine
+// and every append path must accept.
+func genNonCanonical(rng *rand.Rand, cfg Config, i int) pair {
+	p := genPaperSimilar(rng, cfg, i)
+	for y := range p.A.Rows {
+		p.A.Rows[y] = fragmentRow(rng, p.A.Rows[y])
+		p.B.Rows[y] = fragmentRow(rng, p.B.Rows[y])
+	}
+	return p
+}
+
+// fragmentRow splits runs into adjacent pieces: the same bitstring,
+// a non-canonical encoding.
+func fragmentRow(rng *rand.Rand, row rle.Row) rle.Row {
+	var out rle.Row
+	for _, r := range row {
+		for r.Length > 1 && rng.Intn(2) == 0 {
+			cut := 1 + rng.Intn(r.Length-1)
+			out = append(out, rle.Run{Start: r.Start, Length: cut})
+			r = rle.Run{Start: r.Start + cut, Length: r.Length - cut}
+		}
+		out = append(out, r)
+	}
+	return out
+}

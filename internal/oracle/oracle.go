@@ -1,0 +1,260 @@
+// Package oracle is the cross-engine differential and metamorphic
+// correctness harness. It pits every registered engine against the
+// paper's §2 sequential merge and a pixel-level bitmap oracle across
+// a deterministic, seedable corpus — the §5 workload generators plus
+// adversarial shapes (zero-width and zero-height images, single-pixel
+// rows, full rows, and valid-but-non-canonical encodings with
+// adjacent runs, which the paper explicitly permits as inputs) — and
+// checks a library of metamorphic identities in the compressed
+// domain (XOR symmetry and self-annihilation, commutation with the
+// geometric transforms, transpose/rotation involutions, OR-pooling
+// downsampling, morphological duality and idempotence).
+//
+// Theorems 1–3 are what every check ultimately enforces: the
+// surviving runs are the exact XOR, ordered and non-overlapping. The
+// §4 invariant checkers already used by the Verified engine
+// (ordering, area parity, support bounds) run against every engine
+// result.
+//
+// The harness is wired into `benchtab -oracle` and `make oracle`; CI
+// runs it with a pinned seed. Every discrepancy is counted
+// per-engine and per-check, reported through internal/telemetry when
+// a registry is supplied, and recorded with a minimized reproducer.
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sysrle"
+	"sysrle/internal/rle"
+	"sysrle/internal/telemetry"
+)
+
+// Config sizes one oracle run. The zero value is not runnable; start
+// from DefaultConfig.
+type Config struct {
+	// Seed drives all corpus generation. Runs with equal seeds check
+	// identical inputs; CI pins one seed, and -oracle-seed rotates it.
+	Seed int64
+	// Width and Height bound the generated workload images.
+	Width, Height int
+	// Pairs is the number of image pairs drawn per generator.
+	Pairs int
+	// Engines lists registry engine names to check; nil means every
+	// registered engine.
+	Engines []string
+	// MaxFailures caps the recorded (minimized) failures per
+	// engine × check bucket so a systemic breakage stays readable;
+	// counts are always exact. ≤ 0 means 3.
+	MaxFailures int
+	// Metrics, when non-nil, receives oracle_checks_total and
+	// oracle_discrepancies_total counters labelled by engine and
+	// check.
+	Metrics *telemetry.Registry
+}
+
+// DefaultConfig is the CI configuration: large enough to exercise
+// multi-run interactions and every adversarial shape, small enough
+// that all seven engines finish in seconds.
+func DefaultConfig() Config {
+	return Config{Seed: 1999, Width: 192, Height: 24, Pairs: 3}
+}
+
+// Failure is one recorded discrepancy, minimized where the check is
+// row-level.
+type Failure struct {
+	// Check is the identity or differential check that failed.
+	Check string `json:"check"`
+	// Engine is the registry engine under test; empty for
+	// engine-independent identities.
+	Engine string `json:"engine,omitempty"`
+	// Generator and Pair locate the corpus input.
+	Generator string `json:"generator"`
+	Pair      int    `json:"pair"`
+	// Row is the scanline for row-level checks, -1 for whole-image
+	// identities.
+	Row int `json:"row"`
+	// A and B are the (minimized, for row-level checks) inputs.
+	A string `json:"a"`
+	B string `json:"b"`
+	// Detail describes the mismatch.
+	Detail string `json:"detail"`
+}
+
+func (f Failure) String() string {
+	who := f.Check
+	if f.Engine != "" {
+		who = f.Engine + "/" + f.Check
+	}
+	at := fmt.Sprintf("%s[%d]", f.Generator, f.Pair)
+	if f.Row >= 0 {
+		at += fmt.Sprintf(" row %d", f.Row)
+	}
+	return fmt.Sprintf("%s at %s: %s (a=%s b=%s)", who, at, f.Detail, f.A, f.B)
+}
+
+// Bucket aggregates one engine × check (or identity) cell.
+type Bucket struct {
+	Engine        string `json:"engine,omitempty"`
+	Check         string `json:"check"`
+	Checks        int    `json:"checks"`
+	Discrepancies int    `json:"discrepancies"`
+}
+
+// Report is one full oracle run.
+type Report struct {
+	Seed          int64     `json:"seed"`
+	Width         int       `json:"width"`
+	Height        int       `json:"height"`
+	Pairs         int       `json:"pairs"`
+	Generators    []string  `json:"generators"`
+	Buckets       []Bucket  `json:"buckets"`
+	Failures      []Failure `json:"failures,omitempty"`
+	TotalChecks   int       `json:"total_checks"`
+	Discrepancies int       `json:"discrepancies"`
+}
+
+// Clean reports whether the run found no discrepancies.
+func (r *Report) Clean() bool { return r.Discrepancies == 0 }
+
+// pair is one corpus input.
+type pair struct {
+	A, B *rle.Image
+}
+
+// run carries the mutable state of one oracle execution.
+type run struct {
+	cfg      Config
+	buckets  map[[2]string]*Bucket
+	failures []Failure
+	report   *Report
+}
+
+// Run executes the harness and returns the report. The only error
+// paths are configuration mistakes (unknown engine name, unusable
+// dimensions); discrepancies are reported, not returned as errors.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Width < 0 || cfg.Height < 0 {
+		return nil, fmt.Errorf("oracle: negative dimensions %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.Width == 0 || cfg.Height == 0 || cfg.Pairs <= 0 {
+		return nil, fmt.Errorf("oracle: unusable corpus sizing %dx%d × %d pairs", cfg.Width, cfg.Height, cfg.Pairs)
+	}
+	if cfg.MaxFailures <= 0 {
+		cfg.MaxFailures = 3
+	}
+	names := cfg.Engines
+	if len(names) == 0 {
+		names = sysrle.EngineNames()
+	}
+	engines := make([]sysrle.Engine, 0, len(names))
+	for _, name := range names {
+		eng, err := sysrle.NewEngineByName(name)
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, eng)
+	}
+
+	r := &run{
+		cfg:     cfg,
+		buckets: make(map[[2]string]*Bucket),
+		report: &Report{
+			Seed:   cfg.Seed,
+			Width:  cfg.Width,
+			Height: cfg.Height,
+			Pairs:  cfg.Pairs,
+		},
+	}
+	for _, gen := range generators {
+		r.report.Generators = append(r.report.Generators, gen.name)
+		// One RNG per generator, seeded from the run seed and the
+		// generator name, so adding a generator never perturbs the
+		// corpus of the others.
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(hashName(gen.name))))
+		pairs := cfg.Pairs
+		if pairs < gen.minPairs {
+			pairs = gen.minPairs
+		}
+		for i := 0; i < pairs; i++ {
+			p := gen.gen(rng, cfg, i)
+			at := location{generator: gen.name, pair: i}
+			for ei, eng := range engines {
+				r.differential(names[ei], eng, p, at)
+			}
+			r.identities(p, at)
+		}
+	}
+
+	keys := make([][2]string, 0, len(r.buckets))
+	for k := range r.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		b := *r.buckets[k]
+		r.report.Buckets = append(r.report.Buckets, b)
+		r.report.TotalChecks += b.Checks
+		r.report.Discrepancies += b.Discrepancies
+	}
+	r.report.Failures = r.failures
+	return r.report, nil
+}
+
+// location names where in the corpus a check ran.
+type location struct {
+	generator string
+	pair      int
+	row       int // -1 for whole-image checks
+}
+
+// check records one executed check; ok=false counts a discrepancy
+// and records the failure (minimized upstream where possible).
+func (r *run) check(engine, name string, at location, ok bool, a, b string, detail string) {
+	key := [2]string{engine, name}
+	bkt := r.buckets[key]
+	if bkt == nil {
+		bkt = &Bucket{Engine: engine, Check: name}
+		r.buckets[key] = bkt
+	}
+	bkt.Checks++
+	if m := r.cfg.Metrics; m != nil {
+		labels := []telemetry.Label{telemetry.L("check", name)}
+		if engine != "" {
+			labels = append(labels, telemetry.L("engine", engine))
+		}
+		m.Counter("oracle_checks_total", labels...).Inc()
+		if !ok {
+			m.Counter("oracle_discrepancies_total", labels...).Inc()
+		}
+	}
+	if ok {
+		return
+	}
+	bkt.Discrepancies++
+	if bkt.Discrepancies <= r.cfg.MaxFailures {
+		r.failures = append(r.failures, Failure{
+			Check: name, Engine: engine,
+			Generator: at.generator, Pair: at.pair, Row: at.row,
+			A: a, B: b, Detail: detail,
+		})
+	}
+}
+
+// hashName is a tiny FNV-1a so each generator gets a distinct,
+// stable RNG stream from the run seed.
+func hashName(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,231 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sysrle"
+	"sysrle/internal/core"
+	"sysrle/internal/rle"
+	"sysrle/internal/telemetry"
+)
+
+// TestRunCleanOnPinnedSeed is the acceptance gate: all registered
+// engines × all generators × the identity library, zero
+// discrepancies on the CI seed.
+func TestRunCleanOnPinnedSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	if testing.Short() {
+		cfg.Pairs = 2
+		cfg.Height = 8
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		for _, f := range rep.Failures {
+			t.Errorf("discrepancy: %s", f)
+		}
+		t.Fatalf("%d discrepancies in %d checks", rep.Discrepancies, rep.TotalChecks)
+	}
+	if rep.TotalChecks == 0 {
+		t.Fatal("oracle ran zero checks")
+	}
+	if len(rep.Generators) < 4 {
+		t.Fatalf("only %d generators ran: %v", len(rep.Generators), rep.Generators)
+	}
+	// Every registered engine must appear in the buckets.
+	seen := map[string]bool{}
+	for _, b := range rep.Buckets {
+		if b.Engine != "" {
+			seen[b.Engine] = true
+		}
+	}
+	for _, name := range sysrle.EngineNames() {
+		if !seen[name] {
+			t.Errorf("engine %s ran no checks", name)
+		}
+	}
+}
+
+// TestRunSeedRotation: different seeds draw different corpora but
+// identical seeds reproduce bit-identical reports.
+func TestRunSeedRotation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pairs = 1
+	cfg.Height = 4
+	cfg.Engines = []string{"lockstep"}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(r1) != fmt.Sprint(r2) {
+		t.Error("same seed produced different reports")
+	}
+	cfg.Seed = 7777
+	r3, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Clean() {
+		t.Errorf("rotated seed found discrepancies: %v", r3.Failures)
+	}
+}
+
+// brokenEngine corrupts every non-empty result by stretching the
+// last run one pixel — a classic stuck-register fault. The oracle
+// must attribute discrepancies to it and to no other engine.
+type brokenEngine struct{ core.Sequential }
+
+func (brokenEngine) Name() string { return "broken" }
+
+func (e brokenEngine) XORRow(a, b rle.Row) (core.Result, error) {
+	res, err := e.Sequential.XORRow(a, b)
+	if err != nil || len(res.Row) == 0 {
+		return res, err
+	}
+	res.Row = res.Row.Clone()
+	res.Row[len(res.Row)-1].Length++
+	return res, nil
+}
+
+// TestOracleDetectsBrokenEngine is the sensitivity check: a seeded
+// fault must be caught, counted and minimized.
+func TestOracleDetectsBrokenEngine(t *testing.T) {
+	r := &run{
+		cfg:     Config{Seed: 1, Width: 64, Height: 4, Pairs: 1, MaxFailures: 2},
+		buckets: make(map[[2]string]*Bucket),
+		report:  &Report{},
+	}
+	rng := rand.New(rand.NewSource(42))
+	p := genPaperSimilar(rng, Config{Width: 64, Height: 4}, 0)
+	r.differential("broken", brokenEngine{}, p, location{generator: "paper-similar"})
+
+	disc := 0
+	for _, b := range r.buckets {
+		disc += b.Discrepancies
+	}
+	if disc == 0 {
+		t.Fatal("oracle missed a corrupted engine")
+	}
+	if len(r.failures) == 0 {
+		t.Fatal("no failures recorded")
+	}
+	// The recorded failure must be minimized: no more than a couple
+	// of runs per side survive for a last-run-stretch fault.
+	f := r.failures[0]
+	if strings.Count(f.A, "(")+strings.Count(f.B, "(") > 3 {
+		t.Errorf("failure not minimized: a=%s b=%s", f.A, f.B)
+	}
+}
+
+// TestOracleTelemetry: counters flow into the supplied registry.
+func TestOracleTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Pairs = 1
+	cfg.Height = 2
+	cfg.Width = 32
+	cfg.Engines = []string{"sequential"}
+	cfg.Metrics = reg
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if len(snap["oracle_checks_total"]) == 0 {
+		t.Fatalf("no oracle_checks_total counters: %v", snap)
+	}
+	for _, v := range snap["oracle_discrepancies_total"] {
+		if v.(int64) != 0 {
+			t.Errorf("unexpected discrepancies counted: %v", snap)
+		}
+	}
+}
+
+// TestRunConfigErrors: unusable sizings and unknown engines fail
+// fast instead of silently checking nothing.
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := Run(Config{Width: 10, Height: 10, Pairs: 0, Seed: 1}); err == nil {
+		t.Error("zero pairs accepted")
+	}
+	if _, err := Run(Config{Width: 0, Height: 10, Pairs: 1, Seed: 1}); err == nil {
+		t.Error("zero width accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Engines = []string{"no-such-engine"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+// TestMinimizePair shrinks a synthetic failure to its minimal core.
+func TestMinimizePair(t *testing.T) {
+	a := rle.Row{{Start: 0, Length: 8}, {Start: 20, Length: 4}, {Start: 40, Length: 2}}
+	b := rle.Row{{Start: 5, Length: 8}, {Start: 30, Length: 4}}
+	// Failure depends only on b containing a run starting at 30.
+	fails := func(_, b rle.Row) bool {
+		for _, r := range b {
+			if r.Start == 30 {
+				return true
+			}
+		}
+		return false
+	}
+	ma, mb := minimizePair(a, b, fails)
+	if len(ma) != 0 {
+		t.Errorf("a not fully shrunk: %v", ma)
+	}
+	if len(mb) != 1 || mb[0].Start != 30 || mb[0].Length != 1 {
+		t.Errorf("b not minimized: %v", mb)
+	}
+	if !fails(ma, mb) {
+		t.Error("minimized pair no longer fails")
+	}
+}
+
+// TestGeneratorsShapes: the adversarial generator really produces
+// the promised boundary shapes and the non-canonical generator
+// really produces adjacent runs.
+func TestGeneratorsShapes(t *testing.T) {
+	cfg := Config{Width: 48, Height: 6}
+	rng := rand.New(rand.NewSource(9))
+	zeroW := genAdversarialEdges(rng, cfg, 0)
+	if zeroW.A.Width != 0 {
+		t.Errorf("pair 0: width %d, want 0", zeroW.A.Width)
+	}
+	zeroH := genAdversarialEdges(rng, cfg, 1)
+	if zeroH.A.Height != 0 {
+		t.Errorf("pair 1: height %d, want 0", zeroH.A.Height)
+	}
+	for i := 0; i < 6; i++ {
+		p := genAdversarialEdges(rng, cfg, i)
+		if err := p.A.Validate(); err != nil {
+			t.Errorf("pair %d A: %v", i, err)
+		}
+		if err := p.B.Validate(); err != nil {
+			t.Errorf("pair %d B: %v", i, err)
+		}
+	}
+	adjacent := false
+	for trial := 0; trial < 20 && !adjacent; trial++ {
+		p := genNonCanonical(rng, cfg, trial)
+		for _, row := range append(append([]rle.Row{}, p.A.Rows...), p.B.Rows...) {
+			if row.Validate(-1) != nil {
+				t.Fatalf("non-canonical generator produced invalid row %v", row)
+			}
+			if !row.Canonical() {
+				adjacent = true
+			}
+		}
+	}
+	if !adjacent {
+		t.Error("non-canonical generator never produced adjacent runs")
+	}
+}

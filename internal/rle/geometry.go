@@ -60,6 +60,13 @@ func Paste(dst *Image, src *Image, x0, y0 int) {
 		if coverEnd >= dst.Width {
 			coverEnd = dst.Width - 1
 		}
+		if coverEnd < coverStart {
+			// The clamped cover is empty — a zero-width source, or a
+			// zero-width destination reached via a negative x0. Nothing
+			// is overwritten and a zero-width source has no pixels to
+			// contribute, so the row is untouched.
+			continue
+		}
 		cover := Row{Span(coverStart, coverEnd)}
 		cleared := AndNot(dst.Rows[dy], cover)
 		shifted := src.Rows[sy].Shift(x0).Clip(dst.Width)

@@ -1,0 +1,211 @@
+package rle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Regression: Paste used to build Span(x0, x0-1) for a zero-width
+// source pasted at x0 ≥ 1 — Span panics on empty intervals — and the
+// symmetric empty cover for a zero-width destination reached through
+// a negative x0. Both are reachable from the exported sysrle.Paste.
+func TestPasteZeroWidthSourceDoesNotPanic(t *testing.T) {
+	dst := NewImage(8, 4)
+	dst.Rows[1] = Row{{Start: 2, Length: 3}}
+	before := dst.Clone()
+	src := NewImage(0, 4)
+	for _, x0 := range []int{-3, 0, 1, 2, 7, 8, 100} {
+		Paste(dst, src, x0, 0)
+		if !dst.Equal(before) {
+			t.Fatalf("x0=%d: zero-width paste changed dst: %v", x0, dst.Rows)
+		}
+	}
+}
+
+func TestPasteZeroWidthDestinationDoesNotPanic(t *testing.T) {
+	dst := NewImage(0, 4)
+	src := NewImage(3, 4)
+	src.Rows[0] = Row{{Start: 0, Length: 3}}
+	for _, x0 := range []int{-4, -1, 0, 1} {
+		Paste(dst, src, x0, 0)
+		if err := dst.Validate(); err != nil {
+			t.Fatalf("x0=%d: %v", x0, err)
+		}
+	}
+}
+
+func TestPasteZeroHeightSource(t *testing.T) {
+	dst := NewImage(8, 4)
+	dst.Rows[2] = Row{{Start: 1, Length: 2}}
+	before := dst.Clone()
+	Paste(dst, NewImage(5, 0), 1, 1)
+	if !dst.Equal(before) {
+		t.Fatalf("zero-height paste changed dst: %v", dst.Rows)
+	}
+}
+
+// pasteReference recomputes Paste pixel by pixel: the covered
+// rectangle is overwritten with src's pixels, everything else keeps
+// dst's.
+func pasteReference(dst, src *Image, x0, y0 int) *Image {
+	out := NewImage(dst.Width, dst.Height)
+	for y := 0; y < dst.Height; y++ {
+		bits := make([]bool, dst.Width)
+		for x := 0; x < dst.Width; x++ {
+			sx, sy := x-x0, y-y0
+			if sx >= 0 && sx < src.Width && sy >= 0 && sy < src.Height {
+				bits[x] = src.Get(sx, sy)
+			} else {
+				bits[x] = dst.Get(x, y)
+			}
+		}
+		out.Rows[y] = FromBits(bits)
+	}
+	return out
+}
+
+// TestGeometryZeroDimensionsAndExtremeOffsets pushes zero-width,
+// zero-height and 0×0 images, plus offsets far outside the frame,
+// through every geometric transform: none may panic, and where a
+// pixel-level reference exists the output must match it.
+func TestGeometryZeroDimensionsAndExtremeOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	shapes := []struct{ w, h int }{
+		{0, 0}, {0, 5}, {5, 0}, {1, 1}, {7, 3},
+	}
+	offsets := []int{-1_000_000_000, -17, -1, 0, 1, 17, 1_000_000_000}
+	for _, shape := range shapes {
+		img := randomImage(rng, shape.w, shape.h)
+		for _, d := range offsets {
+			got := Translate(img, d, d)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("Translate(%dx%d, %d, %d): %v", shape.w, shape.h, d, d, err)
+			}
+			// Far-out offsets shift everything off the frame.
+			if (d < -img.Width || d > img.Width) && got.Area() != 0 {
+				t.Fatalf("Translate(%dx%d, %d, %d): area %d after off-frame shift",
+					shape.w, shape.h, d, d, got.Area())
+			}
+		}
+		for _, d := range offsets {
+			cropped, err := Crop(img, d, d, shape.w, shape.h)
+			if err != nil {
+				t.Fatalf("Crop(%dx%d, %d, %d): %v", shape.w, shape.h, d, d, err)
+			}
+			if err := cropped.Validate(); err != nil {
+				t.Fatalf("Crop(%dx%d, %d, %d): invalid: %v", shape.w, shape.h, d, d, err)
+			}
+		}
+		if _, err := Crop(img, 0, 0, 0, 0); err != nil {
+			t.Fatalf("zero Crop(%dx%d): %v", shape.w, shape.h, err)
+		}
+		for _, d := range offsets {
+			dst := randomImage(rng, 9, 4)
+			want := pasteReference(dst, img, d, d)
+			Paste(dst, img, d, d)
+			imagesPixelEqual(t, dst, want, "Paste")
+		}
+		tr := Transpose(img)
+		if tr.Width != img.Height || tr.Height != img.Width {
+			t.Fatalf("Transpose(%dx%d): got %dx%d", shape.w, shape.h, tr.Width, tr.Height)
+		}
+		imagesPixelEqual(t, Transpose(tr), img, "Transpose∘Transpose")
+		for _, f := range []int{1, 2, 100} {
+			down, err := Downsample(img, f)
+			if err != nil {
+				t.Fatalf("Downsample(%dx%d, %d): %v", shape.w, shape.h, f, err)
+			}
+			if err := down.Validate(); err != nil {
+				t.Fatalf("Downsample(%dx%d, %d): invalid: %v", shape.w, shape.h, f, err)
+			}
+		}
+		for _, op := range []struct {
+			name string
+			fn   func(*Image) *Image
+		}{
+			{"FlipH", FlipH}, {"FlipV", FlipV},
+			{"Rotate90", Rotate90}, {"Rotate180", Rotate180}, {"Rotate270", Rotate270},
+		} {
+			out := op.fn(img)
+			if err := out.Validate(); err != nil {
+				t.Fatalf("%s(%dx%d): %v", op.name, shape.w, shape.h, err)
+			}
+			if out.Area() != img.Area() {
+				t.Fatalf("%s(%dx%d): area %d, want %d", op.name, shape.w, shape.h, out.Area(), img.Area())
+			}
+		}
+	}
+}
+
+// TestSpanCallSiteGuards is the audit of the Span(...) call sites
+// that looked like they could build an empty interval (the pattern
+// behind the Paste panic). Each case drives one call site with the
+// inputs that would minimize the interval and asserts the operation
+// neither panics nor emits malformed runs.
+func TestSpanCallSiteGuards(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() interface{ Validate(int) error }
+	}{
+		// geometry.go FlipH: Span(W-1-End, W-1-Start) is non-empty
+		// because End ≥ Start for every valid run, including
+		// single-pixel runs at both borders.
+		{"FlipH single-pixel borders", func() interface{ Validate(int) error } {
+			img := NewImage(3, 1)
+			img.Rows[0] = Row{{Start: 0, Length: 1}, {Start: 2, Length: 1}}
+			return FlipH(img).Rows[0]
+		}},
+		// geometry.go Downsample: Span(Start/f, End/f) is non-empty
+		// because Start ≤ End survives integer division; a factor
+		// larger than the width collapses everything to pixel 0.
+		{"Downsample factor exceeds width", func() interface{ Validate(int) error } {
+			img := NewImage(5, 1)
+			img.Rows[0] = Row{{Start: 1, Length: 1}, {Start: 4, Length: 1}}
+			out, err := Downsample(img, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out.Rows[0]
+		}},
+		// ops.go combine: Span(openAt, pos-1) closes an interval
+		// opened at a strictly earlier boundary; adjacent runs in the
+		// operands exercise the multi-transition-per-boundary path.
+		{"XOR adjacent-run operands", func() interface{ Validate(int) error } {
+			a := Row{{Start: 0, Length: 2}, {Start: 2, Length: 2}}
+			b := Row{{Start: 0, Length: 4}}
+			return XOR(a, b)
+		}},
+		// ops.go Not: both emissions are guarded; a run starting at 0
+		// and one ending at width-1 minimize each interval.
+		{"Not with runs at both borders", func() interface{ Validate(int) error } {
+			return Not(Row{{Start: 0, Length: 1}, {Start: 4, Length: 1}}, 5)
+		}},
+		{"Not of full row", func() interface{ Validate(int) error } {
+			return Not(Row{{Start: 0, Length: 5}}, 5)
+		}},
+		{"Not zero width", func() interface{ Validate(int) error } {
+			return Not(nil, 0)
+		}},
+		// ops.go thresholdSweep: same closing pattern as combine, via
+		// colliding single-pixel windows.
+		{"ORMany colliding single pixels", func() interface{ Validate(int) error } {
+			return ORMany([]Row{{{Start: 3, Length: 1}}, {{Start: 3, Length: 1}}, {{Start: 4, Length: 1}}})
+		}},
+		// row.go Clip: clamped endpoints stay ordered because runs
+		// overlapping the frame keep at least one in-frame pixel.
+		{"Clip runs straddling both borders", func() interface{ Validate(int) error } {
+			return Row{{Start: -4, Length: 5}, {Start: 3, Length: 9}}.Clip(5)
+		}},
+		{"Clip to zero width", func() interface{ Validate(int) error } {
+			return Row{{Start: 0, Length: 3}}.Clip(0)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			row := tc.run()
+			if err := row.Validate(-1); err != nil {
+				t.Fatalf("malformed output: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,108 @@
+package sysrle
+
+import (
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/core"
+	"sysrle/internal/rle"
+)
+
+// Regression for the Paste panic through the exported facade: a
+// zero-width source pasted at x0 ≥ 1 used to build the empty cover
+// Span(x0, x0-1) in internal/rle and panic.
+func TestPasteZeroWidthSourceExported(t *testing.T) {
+	dst := NewImage(8, 4)
+	dst.Rows[0] = Row{{Start: 1, Length: 4}}
+	before := dst.Clone()
+	Paste(dst, NewImage(0, 4), 3, 0)
+	if !dst.Equal(before) {
+		t.Fatalf("zero-width paste changed dst: %v", dst.Rows)
+	}
+}
+
+// fragment splits a canonical row into a valid-but-non-canonical
+// encoding of the same bitstring by cutting runs into adjacent
+// pieces — the inputs the paper explicitly permits ("a valid row may
+// contain adjacent runs").
+func fragment(rng *rand.Rand, row Row) Row {
+	var out Row
+	for _, r := range row {
+		for r.Length > 1 && rng.Intn(2) == 0 {
+			cut := 1 + rng.Intn(r.Length-1)
+			out = append(out, Run{Start: r.Start, Length: cut})
+			r = Run{Start: r.Start + cut, Length: r.Length - cut}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestEnginesAcceptNonCanonicalRows is the satellite property test:
+// every registered engine must accept valid-but-non-canonical rows
+// (adjacent runs) on both the allocating and the append path, return
+// the bit-exact XOR, and — on the append path — leave dst's prefix
+// untouched with the appended segment canonical.
+func TestEnginesAcceptNonCanonicalRows(t *testing.T) {
+	for _, info := range Engines() {
+		t.Run(info.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(411))
+			eng := info.New()
+			for trial := 0; trial < 40; trial++ {
+				width := 1 + rng.Intn(160)
+				a := fragment(rng, randomCanonicalRow(rng, width))
+				b := fragment(rng, randomCanonicalRow(rng, width))
+				want := rle.XOR(a, b) // reference boundary sweep, canonical
+				if got := want.Canonicalize(); !want.Equal(got) {
+					t.Fatalf("reference XOR not canonical: %v", want)
+				}
+
+				res, err := eng.XORRow(a, b)
+				if err != nil {
+					t.Fatalf("trial %d: XORRow(%v, %v): %v", trial, a, b, err)
+				}
+				if err := res.Row.Validate(-1); err != nil {
+					t.Fatalf("trial %d: XORRow result %v violates ordering: %v", trial, res.Row, err)
+				}
+				if !res.Row.EqualBits(want) {
+					t.Fatalf("trial %d: XORRow(%v, %v) = %v, want bits %v", trial, a, b, res.Row, want)
+				}
+
+				prefix := Row{{Start: 0, Length: 1}}
+				dst := append(Row{}, prefix...)
+				resApp, err := core.XORRowAppend(eng, dst, a, b)
+				if err != nil {
+					t.Fatalf("trial %d: XORRowAppend(%v, %v): %v", trial, a, b, err)
+				}
+				if len(resApp.Row) < 1 || resApp.Row[0] != prefix[0] {
+					t.Fatalf("trial %d: append path disturbed the prefix: %v", trial, resApp.Row)
+				}
+				appended := resApp.Row[1:]
+				if !appended.Canonical() {
+					t.Fatalf("trial %d: appended segment not canonical: %v (inputs %v, %v)",
+						trial, appended, a, b)
+				}
+				if !appended.Equal(want) {
+					t.Fatalf("trial %d: append path = %v, want %v (inputs %v, %v)",
+						trial, appended, want, a, b)
+				}
+			}
+		})
+	}
+}
+
+// randomCanonicalRow draws a canonical row of the given width with
+// mixed run and gap lengths, including single-pixel runs.
+func randomCanonicalRow(rng *rand.Rand, width int) Row {
+	var row Row
+	pos := rng.Intn(3)
+	for pos < width {
+		length := 1 + rng.Intn(6)
+		if pos+length > width {
+			length = width - pos
+		}
+		row = append(row, Run{Start: pos, Length: length})
+		pos += length + 2 + rng.Intn(5)
+	}
+	return row
+}
