@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race ci chaos oracle cover bench bench-json perf-smoke experiments fuzz clean
+.PHONY: all build test vet race ci chaos oracle cover bench bench-json calibrate perf-smoke experiments fuzz clean
 
 all: build vet test
 
@@ -52,15 +52,23 @@ bench:
 	$(GO) test -bench . -benchmem ./...
 
 # Regenerate the committed machine-readable benchmark report (the
-# engine × workload matrix of internal/perf; see EXPERIMENTS.md).
+# engine × workload matrix of internal/perf, including the density
+# sweep behind the planner crossover; see EXPERIMENTS.md).
 bench-json:
-	$(GO) run ./cmd/benchtab -bench -bench-out BENCH_PR4.json
-	@echo wrote BENCH_PR4.json
+	$(GO) run ./cmd/benchtab -bench -bench-out BENCH_PR6.json
+	@echo wrote BENCH_PR6.json
 
-# The allocation regression gate: deterministic allocs/op assertions
-# over the hot path (mirrors the ci.yml perf-smoke job).
+# Re-fit the planner's row cost model on this machine (paste the
+# output into core.DefaultRowCostModel; see EXPERIMENTS.md).
+calibrate:
+	$(GO) run ./cmd/benchtab -calibrate
+
+# The allocation regression gate plus the planner competitiveness
+# smoke: deterministic allocs/op assertions over the hot path, and the
+# sweep-endpoint wall-clock gate (mirrors the ci.yml perf-smoke job).
 perf-smoke:
-	$(GO) test -run 'AllocReduction|ZeroAllocs' -v ./internal/perf/ ./internal/core/
+	$(GO) test -run 'AllocReduction|ZeroAllocs|PlannerSmoke' -v \
+		./internal/perf/ ./internal/core/ ./internal/planner/
 
 # Regenerate every paper table and figure (see EXPERIMENTS.md).
 experiments:

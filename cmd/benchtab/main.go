@@ -7,6 +7,7 @@
 //	benchtab -ablation         # §6 broadcast-bus ablation
 //	benchtab -all              # everything
 //	benchtab -bench            # allocation/latency matrix as JSON
+//	benchtab -calibrate        # fit the planner's row cost model here
 //	benchtab -oracle           # cross-engine differential & metamorphic oracle
 //
 // Output is text tables; -csv switches tabular experiments to CSV.
@@ -21,10 +22,16 @@
 // discrepancy is found, printing each minimized reproducer.
 //
 // -bench runs the internal/perf harness — the fixed engine × workload
-// matrix behind the committed BENCH_PR4.json — and writes the JSON
+// matrix behind the committed BENCH_PR6.json — and writes the JSON
 // report to stdout or to the -bench-out file (`make bench-json`
 // regenerates the committed report this way). -bench-width,
 // -bench-height and -seed size the generated workloads.
+//
+// -calibrate measures the sequential merge and the packed-word XOR on
+// this machine and prints core.RowCostModel constants ready to paste
+// into DefaultRowCostModel — the procedure behind the committed
+// calibration (see EXPERIMENTS.md, "Reproducing the crossover").
+// -bench-width sets the row width the fit is anchored at.
 package main
 
 import (
@@ -64,9 +71,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
 
 		bench       = fs.Bool("bench", false, "run the allocation/latency benchmark matrix, emit JSON")
+		calibrate   = fs.Bool("calibrate", false, "fit the planner's per-row cost model on this machine")
 		benchOut    = fs.String("bench-out", "", "write the -bench JSON report to this file (default stdout)")
 		benchWidth  = fs.Int("bench-width", perf.DefaultOptions().Width, "-bench image width")
 		benchHeight = fs.Int("bench-height", perf.DefaultOptions().Height, "-bench image height")
+		benchRounds = fs.Int("bench-rounds", perf.DefaultOptions().Rounds, "-bench runs per cell (fastest kept)")
 
 		runOracle     = fs.Bool("oracle", false, "run the cross-engine differential & metamorphic oracle")
 		oracleSeed    = fs.Int64("oracle-seed", oracle.DefaultConfig().Seed, "-oracle corpus seed (rotate for fresh corpora)")
@@ -85,11 +94,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return runOracleHarness(stdout, cfg, *csv)
 	}
+	if *calibrate {
+		return runCalibrate(stdout, *benchWidth)
+	}
 	if *bench {
 		return runBench(stdout, perf.Options{
 			Width:  *benchWidth,
 			Height: *benchHeight,
 			Seed:   *seed,
+			Rounds: *benchRounds,
 		}, *benchOut)
 	}
 	if *all {
@@ -244,7 +257,7 @@ func runOracleHarness(stdout io.Writer, cfg oracle.Config, csv bool) error {
 }
 
 // runBench executes the perf harness and writes the indented JSON
-// report — the format of the committed BENCH_PR4.json.
+// report — the format of the committed BENCH_PR6.json.
 func runBench(stdout io.Writer, opts perf.Options, outPath string) error {
 	rep, err := perf.Run(opts)
 	if err != nil {
@@ -262,6 +275,24 @@ func runBench(stdout io.Writer, opts perf.Options, outPath string) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// runCalibrate fits the row cost model on this machine and prints the
+// constants as a Go literal, ready to paste into
+// core.DefaultRowCostModel.
+func runCalibrate(stdout io.Writer, width int) error {
+	m, err := perf.CalibrateRowCost(width)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "// Calibrated at width %d (crossover there: %d total input runs).\n", width, m.CrossoverRuns(width))
+	fmt.Fprintf(stdout, "RowCostModel{\n")
+	fmt.Fprintf(stdout, "\tMergePerRun:   %.1f,\n", m.MergePerRun)
+	fmt.Fprintf(stdout, "\tPackedPerWord: %.1f,\n", m.PackedPerWord)
+	fmt.Fprintf(stdout, "\tPackedPerRun:  %.1f,\n", m.PackedPerRun)
+	fmt.Fprintf(stdout, "\tPackedFixed:   %.1f,\n", m.PackedFixed)
+	fmt.Fprintf(stdout, "}\n")
+	return nil
 }
 
 func main() {

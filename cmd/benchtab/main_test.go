@@ -99,3 +99,22 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+// TestRunCalibrateSmoke fits the row cost model at a small width and
+// checks the pasteable literal shape; the constants themselves are
+// machine-dependent.
+func TestRunCalibrateSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-calibrate", "-bench-width", "512"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"RowCostModel{", "MergePerRun:", "PackedFixed:", "crossover"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("calibrate output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"-calibrate", "-bench-width", "16"}, &stdout, &stderr); err == nil {
+		t.Error("degenerate calibration width accepted")
+	}
+}

@@ -89,3 +89,134 @@ func TestFromRLEClipsWideRuns(t *testing.T) {
 		t.Errorf("clipped row = %v", got)
 	}
 }
+
+// randomFragmentedRow draws a valid-but-possibly-non-canonical row:
+// canonical random runs, some of which are split into adjacent
+// fragments (the encodings the paper explicitly permits as inputs).
+func randomFragmentedRow(rng *rand.Rand, width int) rle.Row {
+	var row rle.Row
+	x := rng.Intn(4)
+	for x < width {
+		l := 1 + rng.Intn(9)
+		if x+l > width {
+			l = width - x
+		}
+		if l >= 2 && rng.Intn(3) == 0 {
+			// Split into two adjacent fragments.
+			cut := 1 + rng.Intn(l-1)
+			row = append(row, rle.Run{Start: x, Length: cut},
+				rle.Run{Start: x + cut, Length: l - cut})
+		} else {
+			row = append(row, rle.Run{Start: x, Length: l})
+		}
+		x += l + 1 + rng.Intn(6)
+	}
+	return row
+}
+
+// TestSetRowRunsRoundTrip is the Set→RowRuns property test: painting
+// any row — including non-canonical adjacent fragments and runs that
+// straddle word boundaries — over an arbitrary dirty row must read
+// back as exactly the canonical form of what was painted.
+func TestSetRowRunsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 300; trial++ {
+		width := 1 + rng.Intn(260) // covers multi-word rows and partial tail words
+		b := Random(rng, width, 3, rng.Float64())
+		row := randomFragmentedRow(rng, width)
+		b.SetRowRuns(1, row)
+		if got, want := b.RowRuns(1), row.Canonicalize(); !got.Equal(want) {
+			t.Fatalf("width %d: RowRuns = %v, want %v (painted %v)", width, got, want, row)
+		}
+		// Neighbouring rows must be untouched — SetRowRuns clears only
+		// its own words.
+		for _, y := range []int{0, 2} {
+			if err := b.RowRuns(y).Validate(width); err != nil {
+				t.Fatalf("row %d corrupted: %v", y, err)
+			}
+		}
+	}
+}
+
+// TestSetRowRunsClearsDirtyPadding pins the residual-bit hardening:
+// even when a caller has dirtied the padding bits past the width,
+// SetRowRuns restores the row-scan invariant (RowRuns relies on clear
+// padding to terminate runs at the width).
+func TestSetRowRunsClearsDirtyPadding(t *testing.T) {
+	b := New(70, 1) // two words, 58 padding bits in the tail word
+	b.words[1] |= ^b.tailMask()
+	b.SetRowRuns(0, rle.Row{{Start: 60, Length: 10}})
+	if got := b.RowRuns(0); !got.Equal(rle.Row{{Start: 60, Length: 10}}) {
+		t.Errorf("RowRuns after dirty padding = %v, want [(60,10)]", got)
+	}
+	if b.words[1]&^b.tailMask() != 0 {
+		t.Error("padding bits survived SetRowRuns")
+	}
+}
+
+// TestRLERoundTripAdversarial covers the shapes the quick round trip
+// rarely draws: zero-width and zero-height images, full rows, runs
+// straddling word boundaries, exact multi-word widths, and
+// non-canonical adjacent fragments (ToRLE must canonicalize).
+func TestRLERoundTripAdversarial(t *testing.T) {
+	t.Run("zero-size", func(t *testing.T) {
+		for _, dims := range [][2]int{{0, 0}, {0, 5}, {5, 0}} {
+			img := rle.NewImage(dims[0], dims[1])
+			b := FromRLE(img)
+			if b.Width() != dims[0] || b.Height() != dims[1] {
+				t.Fatalf("dims %v: got %dx%d", dims, b.Width(), b.Height())
+			}
+			if !b.ToRLE().Equal(img) {
+				t.Fatalf("dims %v: round trip changed the image", dims)
+			}
+		}
+	})
+	t.Run("full-and-boundary-rows", func(t *testing.T) {
+		for _, width := range []int{1, 63, 64, 65, 127, 128, 129, 192} {
+			img := rle.NewImage(width, 4)
+			img.Rows[0] = rle.Row{{Start: 0, Length: width}} // full row
+			if width > 2 {
+				// Adjacent fragments across the whole row (non-canonical).
+				img.Rows[1] = rle.Row{{Start: 0, Length: width / 2}, {Start: width / 2, Length: width - width/2}}
+				// Single pixel at each end.
+				img.Rows[2] = rle.Row{{Start: 0, Length: 1}, {Start: width - 1, Length: 1}}
+			}
+			if width > 64 {
+				// Straddles the first word boundary, staying in range.
+				l := 4
+				if 62+l > width {
+					l = width - 62
+				}
+				img.Rows[3] = rle.Row{{Start: 62, Length: l}}
+			}
+			back := FromRLE(img).ToRLE()
+			if back.Width != width || back.Height != 4 {
+				t.Fatalf("width %d: wrong dims %dx%d", width, back.Width, back.Height)
+			}
+			for y := 0; y < 4; y++ {
+				if !back.Rows[y].Equal(img.Rows[y].Canonicalize()) {
+					t.Fatalf("width %d row %d: %v, want %v", width, y, back.Rows[y], img.Rows[y].Canonicalize())
+				}
+				if !back.Rows[y].Canonical() {
+					t.Fatalf("width %d row %d: ToRLE emitted non-canonical %v", width, y, back.Rows[y])
+				}
+			}
+		}
+	})
+	t.Run("fragmented-random", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(59))
+		for trial := 0; trial < 120; trial++ {
+			width, height := 1+rng.Intn(200), 1+rng.Intn(6)
+			img := rle.NewImage(width, height)
+			for y := 0; y < height; y++ {
+				img.Rows[y] = randomFragmentedRow(rng, width)
+			}
+			back := FromRLE(img).ToRLE()
+			for y := 0; y < height; y++ {
+				if !back.Rows[y].Equal(img.Rows[y].Canonicalize()) {
+					t.Fatalf("%dx%d row %d: %v, want %v", width, height, y, back.Rows[y], img.Rows[y].Canonicalize())
+				}
+			}
+		}
+	})
+}

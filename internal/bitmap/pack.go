@@ -1,0 +1,129 @@
+package bitmap
+
+import (
+	"math/bits"
+
+	"sysrle/internal/rle"
+)
+
+// Single-row packed-word primitives for the hybrid planner's
+// pack → word-XOR → repack path. They operate on bare word slices
+// (LSB-first within each 64-bit word, the Bitmap layout) so a caller
+// can keep two reusable buffers and diff rows without constructing
+// Bitmap values: on the zero-allocation append contract, a warm
+// caller performs no allocations per row.
+//
+// Packing cost is proportional to words + runs (runs are painted with
+// word masks, not bit by bit), the XOR to words, and the rescan to
+// words + output runs — the area-proportional cost the paper's §6
+// concedes to the uncompressed approach, made as cheap as 64-bit
+// words allow.
+
+// RowWords returns the number of 64-bit words that hold width pixels.
+func RowWords(width int) int { return (width + 63) / 64 }
+
+// PackRowInto paints row into a packed word slice of exactly
+// RowWords(width) words, reusing dst's capacity when it suffices.
+// Runs are clipped to [0, width); padding bits past the width are
+// always left clear. The zeroed-then-painted contract means dst's
+// previous contents never leak into the result.
+func PackRowInto(dst []uint64, row rle.Row, width int) []uint64 {
+	n := RowWords(width)
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	} else {
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for _, r := range row {
+		s, e := r.Start, r.End()
+		if e < 0 || s >= width || r.Length <= 0 {
+			continue
+		}
+		if s < 0 {
+			s = 0
+		}
+		if e >= width {
+			e = width - 1
+		}
+		w0, w1 := s/64, e/64
+		lowMask := ^uint64(0) << (uint(s) % 64)
+		highMask := ^uint64(0) >> (63 - uint(e)%64)
+		if w0 == w1 {
+			dst[w0] |= lowMask & highMask
+			continue
+		}
+		dst[w0] |= lowMask
+		for w := w0 + 1; w < w1; w++ {
+			dst[w] = ^uint64(0)
+		}
+		dst[w1] |= highMask
+	}
+	return dst
+}
+
+// XORWordsInto writes a[i] ^ b[i] into dst, which is resized (reusing
+// capacity) to len(a). The slices must be the same length; dst may
+// alias a or b.
+func XORWordsInto(dst, a, b []uint64) []uint64 {
+	if cap(dst) < len(a) {
+		dst = make([]uint64, len(a))
+	} else {
+		dst = dst[:len(a)]
+	}
+	for i := range a {
+		dst[i] = a[i] ^ b[i]
+	}
+	return dst
+}
+
+// AppendWordRuns scans a packed word slice holding width valid pixels
+// and appends its runs to dst — the repack half of the planner's
+// packed path. The appended segment is canonical by construction
+// (runs emitted by the scan are maximal), existing runs in dst are
+// never touched or merged with, and padding bits at or past the
+// width are masked off rather than trusted to be clear.
+func AppendWordRuns(dst rle.Row, words []uint64, width int) rle.Row {
+	if width <= 0 {
+		return dst
+	}
+	inRun := false
+	start := 0
+	for wi, w := range words {
+		base := wi * 64
+		if rem := width - base; rem <= 0 {
+			break
+		} else if rem < 64 {
+			w &= ^uint64(0) >> (64 - uint(rem))
+		}
+		x := 0
+		for x < 64 {
+			if inRun {
+				rest := ^w >> uint(x)
+				if rest == 0 {
+					break // run continues into the next word
+				}
+				zero := x + bits.TrailingZeros64(rest)
+				dst = append(dst, rle.Span(start, base+zero-1))
+				inRun = false
+				x = zero
+			} else {
+				rest := w >> uint(x)
+				if rest == 0 {
+					break
+				}
+				one := x + bits.TrailingZeros64(rest)
+				start = base + one
+				inRun = true
+				x = one
+			}
+		}
+	}
+	if inRun {
+		end := width - 1
+		dst = append(dst, rle.Span(start, end))
+	}
+	return dst
+}

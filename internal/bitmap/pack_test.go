@@ -1,0 +1,132 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/rle"
+)
+
+func TestRowWords(t *testing.T) {
+	for _, tc := range []struct{ width, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	} {
+		if got := RowWords(tc.width); got != tc.want {
+			t.Errorf("RowWords(%d) = %d, want %d", tc.width, got, tc.want)
+		}
+	}
+}
+
+// TestPackRepackRoundTrip: PackRowInto → AppendWordRuns is the
+// identity on canonical in-range rows and canonicalizes fragmented
+// or out-of-range ones, for widths around word boundaries.
+func TestPackRepackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var words []uint64
+	for trial := 0; trial < 400; trial++ {
+		width := 1 + rng.Intn(260)
+		row := randomFragmentedRow(rng, width+10) // may extend past width
+		words = PackRowInto(words, row, width)
+		if len(words) != RowWords(width) {
+			t.Fatalf("width %d: %d words, want %d", width, len(words), RowWords(width))
+		}
+		got := AppendWordRuns(nil, words, width)
+		want := row.Clip(width).Canonicalize()
+		if len(row.Clip(width)) == 0 {
+			want = nil
+		}
+		if !got.Equal(want) {
+			t.Fatalf("width %d: repack = %v, want %v (row %v)", width, got, want, row)
+		}
+		if !got.Canonical() {
+			t.Fatalf("width %d: repack not canonical: %v", width, got)
+		}
+	}
+}
+
+// TestPackRowIntoReusesBuffer: the zeroed-then-painted contract means
+// a dirty reused buffer never leaks old bits, and a warm buffer is
+// not reallocated.
+func TestPackRowIntoReusesBuffer(t *testing.T) {
+	words := PackRowInto(nil, rle.Row{{Start: 0, Length: 128}}, 128)
+	reused := PackRowInto(words, rle.Row{{Start: 3, Length: 2}}, 128)
+	if &reused[0] != &words[0] {
+		t.Error("warm buffer was reallocated")
+	}
+	if got := AppendWordRuns(nil, reused, 128); !got.Equal(rle.Row{{Start: 3, Length: 2}}) {
+		t.Errorf("dirty buffer leaked: %v", got)
+	}
+	// Shrinking widths reuse capacity too.
+	small := PackRowInto(reused, rle.Row{{Start: 1, Length: 1}}, 10)
+	if len(small) != 1 {
+		t.Errorf("len = %d, want 1", len(small))
+	}
+}
+
+// TestXORWordsAgainstPixelOracle: pack both rows, XOR the words,
+// repack — must equal the pixel-level XOR for any operands, with the
+// padding bits masked rather than trusted.
+func TestXORWordsAgainstPixelOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	var wa, wb, wx []uint64
+	for trial := 0; trial < 400; trial++ {
+		width := 1 + rng.Intn(300)
+		a := randomFragmentedRow(rng, width)
+		b := randomFragmentedRow(rng, width)
+		wa = PackRowInto(wa, a, width)
+		wb = PackRowInto(wb, b, width)
+		wx = XORWordsInto(wx, wa, wb)
+		got := AppendWordRuns(nil, wx, width)
+		want := rle.XOR(a, b)
+		if !got.EqualBits(want) {
+			t.Fatalf("width %d: packed XOR = %v, want %v\na=%v\nb=%v", width, got, want, a, b)
+		}
+	}
+}
+
+// TestAppendWordRunsContract: appends after an existing prefix
+// without touching it, never merges into it, and masks dirty padding.
+func TestAppendWordRunsContract(t *testing.T) {
+	words := PackRowInto(nil, rle.Row{{Start: 0, Length: 4}}, 70)
+	prefix := rle.Row{{Start: 100, Length: 2}}
+	out := AppendWordRuns(prefix, words, 70)
+	if len(out) != 2 || out[0] != prefix[0] {
+		t.Fatalf("prefix disturbed: %v", out)
+	}
+	if out[1] != (rle.Run{Start: 0, Length: 4}) {
+		t.Fatalf("appended = %v", out[1])
+	}
+	// Dirty padding past the width must not produce runs.
+	ones := ^uint64(0)
+	words[1] |= ones << 6 // width 70 → 6 valid bits in word 1
+	if got := AppendWordRuns(nil, words, 70); !got.Equal(rle.Row{{Start: 0, Length: 4}}) {
+		t.Errorf("padding leaked into runs: %v", got)
+	}
+	// A run reaching exactly the width terminates there.
+	words = PackRowInto(words, rle.Row{{Start: 60, Length: 10}}, 70)
+	if got := AppendWordRuns(nil, words, 70); !got.Equal(rle.Row{{Start: 60, Length: 10}}) {
+		t.Errorf("run at width = %v", got)
+	}
+	// Zero width: nothing appended.
+	if got := AppendWordRuns(prefix, nil, 0); len(got) != 1 {
+		t.Errorf("zero width appended runs: %v", got)
+	}
+}
+
+func BenchmarkPackXORRepack(b *testing.B) {
+	rng := rand.New(rand.NewSource(71))
+	width := 2000
+	a := randomFragmentedRow(rng, width)
+	bb := randomFragmentedRow(rng, width)
+	var wa, wb, wx []uint64
+	var out rle.Row
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wa = PackRowInto(wa, a, width)
+		wb = PackRowInto(wb, bb, width)
+		wx = XORWordsInto(wx, wa, wb)
+		out = AppendWordRuns(out[:0], wx, width)
+	}
+	_ = out
+}

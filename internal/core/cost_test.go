@@ -51,3 +51,140 @@ func TestCostAdvantageGrowsWithSparsity(t *testing.T) {
 		t.Error("sparser images should need relatively fewer cells")
 	}
 }
+
+func TestRowCostModelCrossover(t *testing.T) {
+	m := DefaultRowCostModel()
+	for _, width := range []int{64, 500, 2000, 10000} {
+		k := m.CrossoverRuns(width)
+		if k <= 0 {
+			t.Fatalf("width %d: implausible crossover %d", width, k)
+		}
+		// At the crossover the packed path prices at or below the
+		// merge; one run pair earlier it must not.
+		if m.PackedCost(k, 0, width) > m.MergeCost(k, 0) {
+			t.Errorf("width %d: packed still pricier at crossover k=%d", width, k)
+		}
+		if k >= 2 && m.PackedCost(k-2, 0, width) <= m.MergeCost(k-2, 0) {
+			t.Errorf("width %d: packed already cheaper below crossover k=%d", width, k)
+		}
+	}
+	// Wider rows move the crossover up: more words to pay for.
+	if DefaultRowCostModel().CrossoverRuns(64) >= DefaultRowCostModel().CrossoverRuns(64*64) {
+		t.Error("crossover not increasing in width")
+	}
+	// A model whose packed path never wins reports an effectively
+	// infinite crossover.
+	never := RowCostModel{MergePerRun: 1, PackedPerRun: 2, PackedPerWord: 1, PackedFixed: 1}
+	if never.CrossoverRuns(1000) < 1<<40 {
+		t.Error("packed-never model found a crossover")
+	}
+}
+
+func TestRouterHysteresis(t *testing.T) {
+	m := DefaultRowCostModel()
+	width := 2000
+	cross := m.CrossoverRuns(width)
+
+	// Without hysteresis the router flaps on alternating run counts
+	// straddling the crossover; with it, the incumbent holds.
+	lo, hi := cross-4, cross+4
+	if lo < 0 {
+		t.Fatalf("crossover %d too small for the test", cross)
+	}
+	flappy := Router{Model: m}
+	changes := 0
+	prev := flappy.Decide(lo, 0, width)
+	for i := 0; i < 20; i++ {
+		k := lo
+		if i%2 == 1 {
+			k = hi
+		}
+		cur := flappy.Decide(k, 0, width)
+		if cur != prev {
+			changes++
+		}
+		prev = cur
+	}
+	if changes == 0 {
+		t.Skip("corridor too narrow to flap; widen lo/hi")
+	}
+	steady := Router{Model: m, Hysteresis: 0.25}
+	changes = 0
+	prev = steady.Decide(lo, 0, width)
+	for i := 0; i < 20; i++ {
+		k := lo
+		if i%2 == 1 {
+			k = hi
+		}
+		cur := steady.Decide(k, 0, width)
+		if cur != prev {
+			changes++
+		}
+		prev = cur
+	}
+	if changes != 0 {
+		t.Errorf("hysteretic router changed paths %d times inside the corridor", changes)
+	}
+
+	// Far from the crossover the hysteretic router still switches.
+	r := Router{Model: m, Hysteresis: 0.25}
+	if got := r.Decide(2, 2, width); got != RouteRLE {
+		t.Fatalf("sparse row routed %v", got)
+	}
+	if got := r.Decide(800, 800, width); got != RoutePacked {
+		t.Fatalf("dense row routed %v", got)
+	}
+	if got := r.Decide(2, 2, width); got != RouteRLE {
+		t.Fatalf("sparse row after dense routed %v", got)
+	}
+}
+
+// TestRouterCrossoverStability: the decision far from the crossover
+// is insensitive to ±25% perturbation of any single constant — the
+// property that lets one committed calibration serve many machines.
+// (±25% is what the physics allows: the measured dense-end advantage
+// of the packed path is ~1.4×, so halving the merge slope genuinely
+// should flip a machine to RLE everywhere.)
+func TestRouterCrossoverStability(t *testing.T) {
+	base := DefaultRowCostModel()
+	width := 2000
+	perturb := []func(RowCostModel, float64) RowCostModel{
+		func(m RowCostModel, f float64) RowCostModel { m.MergePerRun *= f; return m },
+		func(m RowCostModel, f float64) RowCostModel { m.PackedPerWord *= f; return m },
+		func(m RowCostModel, f float64) RowCostModel { m.PackedPerRun *= f; return m },
+		func(m RowCostModel, f float64) RowCostModel { m.PackedFixed *= f; return m },
+	}
+	for pi, p := range perturb {
+		for _, f := range []float64{0.75, 1.25} {
+			m := p(base, f)
+			r := Router{Model: m}
+			if got := r.Decide(3, 3, width); got != RouteRLE {
+				t.Errorf("perturbation %d ×%.1f: sparse row routed %v", pi, f, got)
+			}
+			r = Router{Model: m}
+			if got := r.Decide(900, 900, width); got != RoutePacked {
+				t.Errorf("perturbation %d ×%.1f: dense row routed %v", pi, f, got)
+			}
+		}
+	}
+}
+
+func TestCostRatio(t *testing.T) {
+	m := DefaultRowCostModel()
+	if r := m.CostRatio(0, 0, 64); r != 1 && r >= 1 {
+		// Empty rows: merge prices 0, packed prices its fixed cost.
+		if r != 0 {
+			t.Errorf("empty-row ratio = %v, want 0 (merge free, packed fixed)", r)
+		}
+	}
+	if r := m.CostRatio(1000, 1000, 2000); r <= 1 {
+		t.Errorf("dense ratio = %v, want > 1", r)
+	}
+	if r := m.CostRatio(2, 2, 2000); r >= 1 {
+		t.Errorf("sparse ratio = %v, want < 1", r)
+	}
+	zero := RowCostModel{}
+	if r := zero.CostRatio(5, 5, 100); r != 1 {
+		t.Errorf("zero-model ratio = %v, want 1", r)
+	}
+}

@@ -163,6 +163,11 @@ func validateInputs(a, b rle.Row) error {
 	return nil
 }
 
+// ValidateRowPair checks both operands the way every engine in this
+// package does, with the same error wording — exported for engines
+// that live outside the package (the hybrid planner).
+func ValidateRowPair(a, b rle.Row) error { return validateInputs(a, b) }
+
 // Lockstep is the deterministic array-sweep engine — the reference
 // implementation and the one the benchmarks use.
 type Lockstep struct {

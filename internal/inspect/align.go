@@ -45,6 +45,9 @@ func Align(ref, scan *rle.Image, maxShift int) (dx, dy, area int) {
 func diffAreaShifted(ref, scan *rle.Image, dx, dy, limit int) int {
 	total := 0
 	for y := 0; y < ref.Height; y++ {
+		// ref rows are validated against ref.Width, so the window clip
+		// inside XORAreaShifted never truncates the first operand; the
+		// scan rows may be wider or shifted outside and are clipped.
 		total += rle.XORAreaShifted(ref.Rows[y], scan.Row(y-dy), dx, ref.Width)
 		if limit >= 0 && total > limit {
 			return total

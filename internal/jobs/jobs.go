@@ -308,14 +308,19 @@ func (m *Manager) Close() {
 // engines resolve through the facade registry (the single source of
 // engine names shared with the HTTP service and the CLI tools); the
 // job default is the buffer-reusing stream engine, constructed fresh
-// per worker because its state is per-call.
-func engineFor(name string) (core.Engine, error) {
+// per worker because its state is per-call. Engines that export
+// their own telemetry (the planner's per-decision route counters)
+// get reg attached when it is non-nil.
+func engineFor(name string, reg *telemetry.Registry) (core.Engine, error) {
 	if name == "" {
 		name = "stream"
 	}
 	eng, err := sysrle.NewEngineByName(name)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	if m, ok := eng.(interface{ AttachMetrics(*telemetry.Registry) }); ok && reg != nil {
+		m.AttachMetrics(reg)
 	}
 	return eng, nil
 }
@@ -329,7 +334,7 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	if len(spec.Scans) == 0 {
 		return "", ErrNoScans
 	}
-	if _, err := engineFor(spec.Engine); err != nil {
+	if _, err := engineFor(spec.Engine, nil); err != nil {
 		return "", err
 	}
 	if (spec.RefID == "") == (spec.Ref == nil) {
@@ -492,7 +497,7 @@ func (m *Manager) runTask(t task, engines map[string]core.Engine) {
 	eng, ok := engines[j.spec.Engine]
 	if !ok {
 		var err error
-		eng, err = engineFor(j.spec.Engine)
+		eng, err = engineFor(j.spec.Engine, m.cfg.Registry)
 		// Submit validated the name, but never hand a nil engine to
 		// the inspector: fail the scan, not the worker.
 		if err == nil && eng == nil {

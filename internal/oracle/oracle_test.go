@@ -229,3 +229,46 @@ func TestGeneratorsShapes(t *testing.T) {
 		t.Error("non-canonical generator never produced adjacent runs")
 	}
 }
+
+// TestHybridEnginesAreGated pins the PR-6 wiring: the hybrid planner
+// and the raw pack→XOR→repack path are registry engines, so the
+// differential/metamorphic harness (and with it the pinned-seed CI
+// oracle job) prices them against the sequential merge and the
+// pixel-level bitmap oracle like every other engine. A clean run
+// must show both engines executing every differential check.
+func TestHybridEnginesAreGated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pairs = 1
+	cfg.Height = 6
+	cfg.Engines = []string{"planner", "packed"}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		for _, f := range rep.Failures {
+			t.Errorf("discrepancy: %s", f)
+		}
+		t.Fatalf("%d discrepancies in %d checks", rep.Discrepancies, rep.TotalChecks)
+	}
+	wantChecks := map[string]bool{}
+	for _, check := range []string{
+		"diff-pixel-oracle", "diff-vs-sequential", "diff-sec4-invariants",
+		"diff-append-path", "meta-xor-symmetry", "meta-xor-self-annihilation",
+	} {
+		for _, eng := range cfg.Engines {
+			wantChecks[eng+"/"+check] = false
+		}
+	}
+	for _, b := range rep.Buckets {
+		key := b.Engine + "/" + b.Check
+		if _, ok := wantChecks[key]; ok && b.Checks > 0 {
+			wantChecks[key] = true
+		}
+	}
+	for key, ran := range wantChecks {
+		if !ran {
+			t.Errorf("check %s never ran", key)
+		}
+	}
+}

@@ -27,14 +27,27 @@ func Hamming(a, b Row) int { return XOR(a, b).Area() }
 
 // XORAreaShifted returns the number of differing pixels between a and
 // b translated by dx, evaluated within the window [0, width) —
-// equivalent to Hamming(a, b.Shift(dx).Clip(width)) for an operand a
-// already inside the window, but allocation-free. It is the inner
-// loop of scan registration, which evaluates hundreds of candidate
-// offsets per row.
+// equivalent to Hamming(a.Clip(width), b.Shift(dx).Clip(width)) for
+// any operands, but allocation-free. It is the inner loop of scan
+// registration, which evaluates hundreds of candidate offsets per row.
 func XORAreaShifted(a, b Row, dx, width int) int {
+	// Both operands are clipped to the window. An earlier version
+	// counted a's full length here, so an operand extending past the
+	// window silently contributed out-of-window pixels to the result
+	// instead of being evaluated within [0, width).
 	areaA := 0
 	for _, r := range a {
-		areaA += r.Length
+		s, e := r.Start, r.End()
+		if e < 0 || s >= width {
+			continue
+		}
+		if s < 0 {
+			s = 0
+		}
+		if e >= width {
+			e = width - 1
+		}
+		areaA += e - s + 1
 	}
 	areaB := 0
 	for _, r := range b {
@@ -50,7 +63,9 @@ func XORAreaShifted(a, b Row, dx, width int) int {
 		}
 		areaB += e - s + 1
 	}
-	// Two-pointer overlap scan.
+	// Two-pointer overlap scan. a's runs need no clipping here: b's
+	// runs are clipped into the window, so any overlap with them is
+	// already inside [0, width).
 	overlap := 0
 	ia, ib := 0, 0
 	for ia < len(a) && ib < len(b) {

@@ -99,6 +99,59 @@ func TestXORAreaShiftedAgainstMaterialized(t *testing.T) {
 	}
 }
 
+// TestXORAreaShiftedWindowSemantics is the oracle-style property
+// test: over a corpus that includes operands extending past the
+// window (the documented precondition an earlier version silently
+// depended on), the allocation-free scan must agree with the
+// materialized reference — both operands clipped to [0, width).
+func TestXORAreaShiftedWindowSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	randWide := func(span int) Row {
+		var row Row
+		x := rng.Intn(4)
+		for len(row) < 6 && x < span {
+			l := 1 + rng.Intn(5)
+			row = append(row, Run{Start: x, Length: l})
+			x += l + 1 + rng.Intn(5)
+		}
+		return row
+	}
+	for trial := 0; trial < 5000; trial++ {
+		width := 1 + rng.Intn(40)
+		// Operands may extend well past the window on the right.
+		a := randWide(width + 16)
+		b := randWide(width + 16)
+		dx := rng.Intn(2*width+33) - width - 16
+		got := XORAreaShifted(a, b, dx, width)
+		want := Hamming(a.Clip(width), b.Shift(dx).Clip(width))
+		if got != want {
+			t.Fatalf("XORAreaShifted(dx=%d, width=%d) = %d, want %d\na=%v\nb=%v",
+				dx, width, got, want, a, b)
+		}
+	}
+}
+
+// TestXORAreaShiftedClipsFirstOperand is the minimized regression for
+// the window-clipping bug: a run of a straddling the window edge used
+// to contribute its full (out-of-window) length.
+func TestXORAreaShiftedClipsFirstOperand(t *testing.T) {
+	a := Row{{Start: 3, Length: 2}} // pixels 3..4, window is [0,4)
+	if got := XORAreaShifted(a, nil, 0, 4); got != 1 {
+		t.Errorf("straddling a vs empty b: got %d, want 1 (only pixel 3 is in the window)", got)
+	}
+	// A run entirely past the window contributes nothing.
+	far := Row{{Start: 10, Length: 3}}
+	if got := XORAreaShifted(far, nil, 0, 4); got != 0 {
+		t.Errorf("out-of-window a: got %d, want 0", got)
+	}
+	// And the overlap accounting still cancels in-window pixels: b
+	// covers the in-window part of a exactly.
+	b := Row{{Start: 3, Length: 1}}
+	if got := XORAreaShifted(a, b, 0, 4); got != 0 {
+		t.Errorf("clipped a vs covering b: got %d, want 0", got)
+	}
+}
+
 func TestXORAreaShiftedEdges(t *testing.T) {
 	a := Row{{Start: 0, Length: 4}}
 	if got := XORAreaShifted(a, nil, 0, 8); got != 4 {

@@ -313,9 +313,17 @@ func (s *Server) recordEngine(engine string, totalIterations, rowsDiffering int)
 // facade registry — the single source of engine names shared with the
 // job runner and the CLI tools. Each request gets a fresh engine, so
 // stateful engines (stream, verified) are never shared across
-// requests.
-func engineFromQuery(r *http.Request) (sysrle.Engine, error) {
-	return sysrle.NewEngineByName(r.URL.Query().Get("engine"))
+// requests. Engines that export their own telemetry (the planner's
+// per-decision route counters) get the service registry attached.
+func (s *Server) engineFromQuery(r *http.Request) (sysrle.Engine, error) {
+	eng, err := sysrle.NewEngineByName(r.URL.Query().Get("engine"))
+	if err != nil {
+		return nil, err
+	}
+	if m, ok := eng.(interface{ AttachMetrics(*telemetry.Registry) }); ok {
+		m.AttachMetrics(s.reg)
+	}
+	return eng, nil
 }
 
 func formImage(r *http.Request, field string) (*rle.Image, error) {
@@ -403,7 +411,7 @@ func (s *Server) parseUploads(w http.ResponseWriter, r *http.Request, fieldA, fi
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	engine, err := engineFromQuery(r)
+	engine, err := s.engineFromQuery(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -469,7 +477,7 @@ type inspectResponse struct {
 }
 
 func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
-	engine, err := engineFromQuery(r)
+	engine, err := s.engineFromQuery(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return

@@ -459,3 +459,38 @@ func TestInspectBadAlign(t *testing.T) {
 		t.Errorf("status %d", resp.StatusCode)
 	}
 }
+
+// TestDiffPlannerExportsDecisionMetrics pins the AttachMetrics wiring:
+// a diff served by the hybrid planner must surface its per-row routing
+// counters in the service registry, not keep them private to the
+// request-scoped engine.
+func TestDiffPlannerExportsDecisionMetrics(t *testing.T) {
+	srv := httptest.NewServer(New())
+	defer srv.Close()
+	ref, scan, _ := testBoards(t)
+
+	body, ctype := multipartBody(t, "pbm", map[string]*rle.Image{"a": ref, "b": scan})
+	resp, err := http.Post(srv.URL+"/v1/diff?format=rleb&engine=planner", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(metrics), "planner_rows_rle_total") &&
+		!strings.Contains(string(metrics), "planner_rows_packed_total") {
+		t.Error("planner decision counters missing from /metrics after engine=planner diff")
+	}
+	if !strings.Contains(string(metrics), "planner_crossover_ratio_count") {
+		t.Error("planner crossover histogram missing from /metrics")
+	}
+}

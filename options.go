@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"sysrle/internal/core"
+	"sysrle/internal/planner"
 	"sysrle/internal/rle"
 )
 
@@ -86,11 +87,12 @@ func DiffImage(a, b *Image, opts ...Option) (*Image, *ImageStats, error) {
 		workers = a.Height
 	}
 	switch cfg.engine.(type) {
-	case *core.Stream, *core.ChannelArray:
+	case *core.Stream, *core.ChannelArray, *planner.Planner, *planner.Packed:
 		// These engines are one machine each — sharing one across
-		// workers would race on its buffers. One worker keeps the
-		// semantics; callers wanting row parallelism pass nil (per-
-		// worker streams) or a stateless engine.
+		// workers would race on its buffers (and, for the planner, its
+		// hysteresis state). One worker keeps the semantics; callers
+		// wanting row parallelism pass nil (per-worker streams) or a
+		// stateless engine.
 		workers = 1
 	}
 	// When the shared engine is a Verified, the recovered-fault count

@@ -202,7 +202,7 @@ func TestEngineRegistry(t *testing.T) {
 			defer c.Close()
 		}
 	}
-	for _, want := range []string{"lockstep", "channel", "sequential", "sparse", "stream", "bus", "verified"} {
+	for _, want := range []string{"lockstep", "channel", "sequential", "sparse", "stream", "bus", "verified", "packed", "planner"} {
 		if !seen[want] {
 			t.Errorf("registry missing %q", want)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"sysrle/internal/broadcast"
 	"sysrle/internal/core"
+	"sysrle/internal/planner"
 )
 
 // EngineInfo is one entry of the engine registry: a stable name, a
@@ -54,6 +55,16 @@ var engineRegistry = []EngineInfo{
 		Name:        "verified",
 		Description: "lockstep with per-row invariant checks and sequential recovery",
 		New:         func() Engine { return core.NewVerified(core.Lockstep{}) },
+	},
+	{
+		Name:        "packed",
+		Description: "pack → 64-bit word XOR → repack (the §6 uncompressed baseline, one word per 64 pixels)",
+		New:         func() Engine { return planner.NewPacked() },
+	},
+	{
+		Name:        "planner",
+		Description: "hybrid per-row router: RLE merge or packed XOR, whichever the calibrated cost model prices cheaper",
+		New:         func() Engine { return planner.New() },
 	},
 }
 

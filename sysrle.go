@@ -37,6 +37,7 @@ package sysrle
 import (
 	"sysrle/internal/broadcast"
 	"sysrle/internal/core"
+	"sysrle/internal/planner"
 	"sysrle/internal/rle"
 )
 
@@ -85,6 +86,19 @@ func NewStream() Engine { return core.NewStream() }
 // array length — the fastest way to *measure* the systolic algorithm
 // on similar images.
 func NewSparse() Engine { return core.Sparse{} }
+
+// NewPacked returns the pack → 64-bit word XOR → repack engine: the
+// uncompressed baseline of the paper's §6 comparison. Cost tracks row
+// area rather than run similarity, so it wins on dense or dissimilar
+// rows. Not safe for concurrent use; create one per goroutine.
+func NewPacked() Engine { return planner.NewPacked() }
+
+// NewPlanner returns the hybrid engine: each row is priced on both
+// representations from its operand run counts and routed to the RLE
+// merge or the packed-word XOR, whichever the calibrated cost model
+// says is cheaper, with hysteresis so rows near the crossover don't
+// flap. Not safe for concurrent use; create one per goroutine.
+func NewPlanner() Engine { return planner.New() }
 
 // FixedArray is a fixed-capacity systolic array with one persistent
 // goroutine per cell, through which row pairs are streamed — the
