@@ -14,6 +14,8 @@ ci:
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 15s ./internal/rle/
 	$(GO) test -fuzz FuzzReadText -fuzztime 15s ./internal/rle/
 	$(GO) test -fuzz FuzzReadPBM -fuzztime 15s ./internal/bitmap/
+	$(GO) test -fuzz FuzzUnionOfTranslates -fuzztime 15s ./internal/runmorph/
+	$(GO) test -fuzz FuzzErodeIntersection -fuzztime 15s ./internal/runmorph/
 	$(MAKE) chaos
 	$(MAKE) oracle
 
@@ -52,33 +54,38 @@ bench:
 	$(GO) test -bench . -benchmem ./...
 
 # Regenerate the committed machine-readable benchmark report (the
-# engine × workload matrix of internal/perf, including the density
-# sweep behind the planner crossover; see EXPERIMENTS.md).
+# engine × workload matrix of internal/perf plus the page-scale
+# morphology matrix — run-native vs decomposed vs bitmap on A4
+# documents; see EXPERIMENTS.md).
 bench-json:
-	$(GO) run ./cmd/benchtab -bench -bench-out BENCH_PR6.json
-	@echo wrote BENCH_PR6.json
+	$(GO) run ./cmd/benchtab -bench -bench-out BENCH_PR7.json
+	@echo wrote BENCH_PR7.json
 
 # Re-fit the planner's row cost model on this machine (paste the
 # output into core.DefaultRowCostModel; see EXPERIMENTS.md).
 calibrate:
 	$(GO) run ./cmd/benchtab -calibrate
 
-# The allocation regression gate plus the planner competitiveness
-# smoke: deterministic allocs/op assertions over the hot path, and the
-# sweep-endpoint wall-clock gate (mirrors the ci.yml perf-smoke job).
+# The allocation regression gate plus the planner and run-native
+# morphology competitiveness smokes: deterministic allocs/op
+# assertions over the hot paths, the sweep-endpoint wall-clock gate,
+# and the sparse-A4 opening gate (mirrors the ci.yml perf-smoke job).
 perf-smoke:
-	$(GO) test -run 'AllocReduction|ZeroAllocs|PlannerSmoke' -v \
+	$(GO) test -run 'AllocReduction|ZeroAllocs|PlannerSmoke|RunmorphSmoke' -v \
 		./internal/perf/ ./internal/core/ ./internal/planner/
 
 # Regenerate every paper table and figure (see EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/benchtab -all
 
-# Short fuzzing passes over the decoders.
+# Short fuzzing passes over the decoders and the run-native
+# morphology row kernels.
 fuzz:
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 10s ./internal/rle/
 	$(GO) test -fuzz FuzzReadText -fuzztime 10s ./internal/rle/
 	$(GO) test -fuzz FuzzReadPBM -fuzztime 10s ./internal/bitmap/
+	$(GO) test -fuzz FuzzUnionOfTranslates -fuzztime 10s ./internal/runmorph/
+	$(GO) test -fuzz FuzzErodeIntersection -fuzztime 10s ./internal/runmorph/
 
 clean:
 	$(GO) clean ./...

@@ -22,10 +22,12 @@
 // discrepancy is found, printing each minimized reproducer.
 //
 // -bench runs the internal/perf harness — the fixed engine × workload
-// matrix behind the committed BENCH_PR6.json — and writes the JSON
-// report to stdout or to the -bench-out file (`make bench-json`
-// regenerates the committed report this way). -bench-width,
-// -bench-height and -seed size the generated workloads.
+// matrix plus the page-scale morphology matrix (run-native vs
+// decomposed vs bitmap on A4 documents) behind the committed
+// BENCH_PR7.json — and writes the JSON report to stdout or to the
+// -bench-out file (`make bench-json` regenerates the committed report
+// this way). -bench-width, -bench-height and -seed size the generated
+// row workloads; the morphology cells are always measured at A4.
 //
 // -calibrate measures the sequential merge and the packed-word XOR on
 // this machine and prints core.RowCostModel constants ready to paste
@@ -256,13 +258,22 @@ func runOracleHarness(stdout io.Writer, cfg oracle.Config, csv bool) error {
 		rep.Discrepancies, rep.TotalChecks, rep.Seed)
 }
 
-// runBench executes the perf harness and writes the indented JSON
-// report — the format of the committed BENCH_PR6.json.
+// runBench executes the perf harness — the row/diff matrix plus the
+// page-scale morphology matrix — and writes the indented JSON report,
+// the format of the committed BENCH_PR7.json.
 func runBench(stdout io.Writer, opts perf.Options, outPath string) error {
 	rep, err := perf.Run(opts)
 	if err != nil {
 		return err
 	}
+	morph := perf.DefaultMorphOptions()
+	morph.Seed = opts.Seed
+	morph.Rounds = opts.Rounds
+	cells, err := perf.RunMorph(morph)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, cells...)
 	w := stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sysrle/internal/docclean"
+	"sysrle/internal/imageio"
+	"sysrle/internal/rle"
+)
+
+// fixture writes the standard cleanup test page to disk: a solid
+// block, a full-width rule, and three 1px specks.
+func fixture(t *testing.T) string {
+	t.Helper()
+	img := rle.NewImage(80, 48)
+	for y := 10; y < 20; y++ {
+		img.Rows[y] = rle.Row{rle.Span(10, 29)}
+	}
+	img.Rows[30] = rle.Row{rle.Span(0, 79)}
+	img.Rows[31] = rle.Row{rle.Span(0, 79)}
+	for _, p := range [][2]int{{5, 3}, {70, 5}, {40, 44}} {
+		img.Rows[p[1]] = rle.Normalize(append(img.Rows[p[1]], rle.Span(p[0], p[0])))
+	}
+	path := filepath.Join(t.TempDir(), "page.pbm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := imageio.Write(f, "pbm", img); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReportAndOutput(t *testing.T) {
+	page := fixture(t)
+	out := filepath.Join(t.TempDir(), "clean.pbm")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-in", page, "-o", out,
+		"-max-speckle", "4", "-min-line", "40",
+		"-close-x", "5", "-close-y", "3", "-min-block", "10",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr %q)", err, stderr.String())
+	}
+	var rep docclean.Result
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.SpecklesRemoved != 3 || rep.LinesH != 1 || len(rep.Blocks) != 1 {
+		t.Errorf("report %+v", rep)
+	}
+	cleaned, err := imageio.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleaned.Area() != 200 {
+		t.Errorf("cleaned page area %d, want 200", cleaned.Area())
+	}
+}
+
+func TestRunGenerate(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-gen", "a4", "-seed", "3"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep docclean.Result
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SpecklesRemoved < 100 || len(rep.Blocks) < 2 {
+		t.Errorf("A4 report implausible: %+v", rep)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	cases := [][]string{
+		{},                             // neither -in nor -gen
+		{"-in", "x.pbm", "-gen", "a4"}, // both
+		{"-gen", "letter"},             // unknown generator
+		{"-in", "/does/not/exist.pbm"},
+		{"-gen", "a4", "-min-line", "-2"},
+	}
+	for i, args := range cases {
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("case %d (%s): no error", i, strings.Join(args, " "))
+		}
+	}
+}

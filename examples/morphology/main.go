@@ -1,11 +1,12 @@
 // Compressed-domain morphology — the class of binary image
 // operations the paper's introduction motivates, implemented here
-// directly on RLE data (internal/morph) so nothing is ever
-// decompressed.
+// directly on RLE data (internal/runmorph, the run-native interval
+// engine) so nothing is ever decompressed.
 //
 // A clean structure is polluted with salt-and-pepper noise; opening
-// removes the salt, closing heals the pepper, and the result is
-// compared against the original with the systolic difference engine.
+// removes the salt, closing heals the pepper, top-hat isolates what
+// the opening threw away, and the result is compared against the
+// original with the systolic difference engine.
 //
 // Run with: go run ./examples/morphology
 package main
@@ -17,7 +18,6 @@ import (
 
 	"sysrle"
 	"sysrle/internal/bitmap"
-	"sysrle/internal/morph"
 )
 
 func main() {
@@ -43,13 +43,22 @@ func main() {
 	img := noisy.ToRLE()
 	fmt.Printf("noisy image: %d runs, %d foreground pixels\n", img.RunCount(), img.Area())
 
-	// Open to kill the salt, then close to heal the pepper — all on
-	// runs.
-	opened, err := morph.Open(img, morph.Box(1))
+	// Top-hat first: the foreground detail thinner than the 3×3 box —
+	// i.e. the salt we are about to remove.
+	salt, err := sysrle.MorphTopHat(img, sysrle.WithRectSE(sysrle.Rect(3, 3)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	restored, err := morph.Close(opened, morph.Box(1))
+	fmt.Printf("top-hat (salt to be removed): %d pixels\n", salt.Area())
+
+	// Open to kill the salt, then close to heal the pepper — all on
+	// runs. The tall factor of a decomposed SE would be the fast path
+	// for big elements; for the 3×3 box the direct pass is fine.
+	opened, err := sysrle.MorphOpen(img, sysrle.WithRectSE(sysrle.Rect(3, 3)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := sysrle.MorphClose(opened, sysrle.WithRectSE(sysrle.Rect(3, 3)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,11 +78,27 @@ func main() {
 		stats.TotalIterations, stats.MaxRowIterations)
 
 	// Morphological gradient: the outline of the restored structure.
-	grad, err := morph.Gradient(restored, morph.Box(1))
+	grad, err := sysrle.MorphGradient(restored, sysrle.WithRectSE(sysrle.Rect(3, 3)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("gradient (outline): %d runs, %d pixels\n", grad.RunCount(), grad.Area())
+
+	// Hit-or-miss: find isolated single pixels still left anywhere —
+	// exactly the pattern a lone speck matches.
+	lone, err := sysrle.ParsePattern([]string{
+		"000",
+		"010",
+		"000",
+	}, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specks, err := sysrle.MorphHitOrMiss(restored, lone)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("isolated pixels surviving cleanup: %d\n", specks.Area())
 }
 
 // sysrleImageArea counts differing pixels between two images.

@@ -3,7 +3,8 @@
 // image applications the systolic difference operation serves.
 //
 // A message is typeset with a 5×7 bitmap font into a scene image,
-// scan noise is added, and each character cell is classified by
+// scan noise is added, the page is despeckled with the run-native
+// document-cleanup pipeline, and each character cell is classified by
 // minimum Hamming distance against the font templates. Every
 // distance is an RLE image difference: the same primitive the
 // systolic array computes.
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"sysrle"
+	"sysrle/internal/docclean"
 	"sysrle/internal/match"
 	"sysrle/internal/rle"
 )
@@ -60,11 +62,18 @@ func main() {
 	fmt.Printf("\nsystolic diff vs clean original: %d differing pixels, iterations total=%d max/row=%d\n",
 		diff.Area(), stats.TotalIterations, stats.MaxRowIterations)
 
-	// Classify each character cell.
+	// Despeckle before classifying: isolated salt specks (connected
+	// components of area 1) vanish, while glyph strokes — always
+	// larger connected blobs — survive untouched. This is the first
+	// stage of the document-cleanup pipeline behind /v1/docclean.
+	cleaned, removed := docclean.Despeckle(noisy, 1)
+	fmt.Printf("despeckle removed %d isolated noise pixels\n", removed)
+
+	// Classify each character cell of the cleaned page.
 	var decoded strings.Builder
 	correct := 0
 	for i := range message {
-		cell, err := rle.Crop(noisy, 2+i*pitch, 2, match.GlyphWidth, match.GlyphHeight)
+		cell, err := rle.Crop(cleaned, 2+i*pitch, 2, match.GlyphWidth, match.GlyphHeight)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,148 @@
+package bitmap
+
+import "fmt"
+
+// Word-parallel rectangular morphology: the uncompressed brute-force
+// baseline that run-native morphology (internal/runmorph) is raced
+// against at page scale. Cost is O(words · (w + h)) regardless of
+// image content — dense or empty pages pay the same — which is
+// exactly the contrast the paper draws with compressed-domain
+// processing.
+//
+// SE semantics match runmorph: a w×h rectangle with origin (ox, oy)
+// inside it, offsets dx ∈ [-ox, w-1-ox], dy ∈ [-oy, h-1-oy], pixels
+// outside the frame reading as background.
+
+// shiftRowInto writes src shifted right by delta pixels (negative =
+// left) into dst, both packed rows of the same stride; bits shifted
+// past the row are dropped.
+func shiftRowInto(dst, src []uint64, delta int) {
+	n := len(dst)
+	if delta == 0 {
+		copy(dst, src)
+		return
+	}
+	if delta > 0 {
+		wordShift, bitShift := delta/64, uint(delta%64)
+		for i := n - 1; i >= 0; i-- {
+			var v uint64
+			if j := i - wordShift; j >= 0 {
+				v = src[j] << bitShift
+				if bitShift > 0 && j > 0 {
+					v |= src[j-1] >> (64 - bitShift)
+				}
+			}
+			dst[i] = v
+		}
+		return
+	}
+	delta = -delta
+	wordShift, bitShift := delta/64, uint(delta%64)
+	for i := 0; i < n; i++ {
+		var v uint64
+		if j := i + wordShift; j < n {
+			v = src[j] >> bitShift
+			if bitShift > 0 && j+1 < n {
+				v |= src[j+1] << (64 - bitShift)
+			}
+		}
+		dst[i] = v
+	}
+}
+
+func checkRect(w, h, ox, oy int) error {
+	if w < 1 || h < 1 || ox < 0 || ox >= w || oy < 0 || oy >= h {
+		return fmt.Errorf("bitmap: bad SE %dx%d@(%d,%d)", w, h, ox, oy)
+	}
+	return nil
+}
+
+// morphRect runs the separable word-shift pass: horizontally each row
+// becomes the OR (dilate) or AND (erode) of its w shifts, then rows
+// combine vertically over the h window. For erosion, bits whose SE
+// window leaves the frame are cleared (background padding).
+func morphRect(b *Bitmap, w, h, ox, oy int, dilate bool) (*Bitmap, error) {
+	if err := checkRect(w, h, ox, oy); err != nil {
+		return nil, err
+	}
+	if b.width == 0 || b.height == 0 {
+		// Degenerate frame: nothing to dilate or erode (and no tail
+		// word to mask below).
+		return New(b.width, b.height), nil
+	}
+	horiz := New(b.width, b.height)
+	shifted := make([]uint64, b.stride)
+	mask := b.tailMask()
+	for y := 0; y < b.height; y++ {
+		src := b.rowWords(y)
+		dst := horiz.rowWords(y)
+		for dx := -ox; dx <= w-1-ox; dx++ {
+			// Output x needs input x-dx (dilate) or x+dx (erode): shift
+			// the row by +dx / -dx respectively.
+			s := dx
+			if !dilate {
+				s = -dx
+			}
+			shiftRowInto(shifted, src, s)
+			if dilate {
+				for i := range dst {
+					dst[i] |= shifted[i]
+				}
+			} else {
+				if !dilate && dx == -ox {
+					copy(dst, shifted)
+					continue
+				}
+				for i := range dst {
+					dst[i] &= shifted[i]
+				}
+			}
+		}
+		// Frame semantics fall out of the shifts: off-frame reads inject
+		// zero bits, which fail erosion requirements and contribute
+		// nothing to dilation. Only the tail-word padding needs masking.
+		dst[len(dst)-1] &= mask
+	}
+	out := New(b.width, b.height)
+	for y := 0; y < b.height; y++ {
+		dst := out.rowWords(y)
+		if dilate {
+			// Output row y gathers input rows y-dy, dy ∈ [-oy, h-1-oy].
+			for yy := y - (h - 1 - oy); yy <= y+oy; yy++ {
+				if yy < 0 || yy >= b.height {
+					continue
+				}
+				src := horiz.rowWords(yy)
+				for i := range dst {
+					dst[i] |= src[i]
+				}
+			}
+		} else {
+			// Output row y requires input rows y+dy, dy ∈ [-oy, h-1-oy].
+			lo, hi := y-oy, y+h-1-oy
+			if lo < 0 || hi >= b.height {
+				continue // window leaves the frame: row erodes away
+			}
+			copy(dst, horiz.rowWords(lo))
+			for yy := lo + 1; yy <= hi; yy++ {
+				src := horiz.rowWords(yy)
+				for i := range dst {
+					dst[i] &= src[i]
+				}
+			}
+		}
+	}
+	out.clearPadding()
+	return out, nil
+}
+
+// DilateRect dilates by a w×h rectangle with origin (ox, oy).
+func DilateRect(b *Bitmap, w, h, ox, oy int) (*Bitmap, error) {
+	return morphRect(b, w, h, ox, oy, true)
+}
+
+// ErodeRect erodes by a w×h rectangle with origin (ox, oy);
+// border pixels whose window leaves the frame erode away.
+func ErodeRect(b *Bitmap, w, h, ox, oy int) (*Bitmap, error) {
+	return morphRect(b, w, h, ox, oy, false)
+}

@@ -1,0 +1,101 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteRect is the O(W·H·w·h) pixel reference for the word-shift
+// implementation.
+func bruteRect(b *Bitmap, w, h, ox, oy int, dilate bool) *Bitmap {
+	out := New(b.width, b.height)
+	for y := 0; y < b.height; y++ {
+		for x := 0; x < b.width; x++ {
+			if dilate {
+				set := false
+				for dy := -oy; dy <= h-1-oy && !set; dy++ {
+					for dx := -ox; dx <= w-1-ox && !set; dx++ {
+						set = b.Get(x-dx, y-dy)
+					}
+				}
+				out.Set(x, y, set)
+			} else {
+				all := true
+				for dy := -oy; dy <= h-1-oy && all; dy++ {
+					for dx := -ox; dx <= w-1-ox && all; dx++ {
+						all = b.Get(x+dx, y+dy)
+					}
+				}
+				out.Set(x, y, all)
+			}
+		}
+	}
+	return out
+}
+
+func TestRectMorphAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sizes := [][2]int{{30, 12}, {64, 9}, {70, 15}, {129, 7}}
+	ses := [][4]int{
+		{1, 1, 0, 0},
+		{3, 3, 1, 1},
+		{5, 5, 2, 2},
+		{4, 2, 0, 1},
+		{2, 4, 1, 0},
+		{7, 1, 6, 0},
+		{1, 6, 0, 5},
+		{66, 3, 1, 1}, // wider than a word: exercises multi-word shifts
+	}
+	for _, sz := range sizes {
+		b := New(sz[0], sz[1])
+		for y := 0; y < sz[1]; y++ {
+			for x := 0; x < sz[0]; x++ {
+				b.Set(x, y, rng.Intn(3) == 0)
+			}
+		}
+		for _, se := range ses {
+			w, h, ox, oy := se[0], se[1], se[2], se[3]
+			got, err := DilateRect(b, w, h, ox, oy)
+			if err != nil {
+				t.Fatalf("DilateRect %v: %v", se, err)
+			}
+			if want := bruteRect(b, w, h, ox, oy, true); !got.Equal(want) {
+				t.Errorf("%dx%d SE %v: dilation differs from brute force", sz[0], sz[1], se)
+			}
+			got, err = ErodeRect(b, w, h, ox, oy)
+			if err != nil {
+				t.Fatalf("ErodeRect %v: %v", se, err)
+			}
+			if want := bruteRect(b, w, h, ox, oy, false); !got.Equal(want) {
+				t.Errorf("%dx%d SE %v: erosion differs from brute force", sz[0], sz[1], se)
+			}
+		}
+	}
+}
+
+func TestRectMorphDegenerateImages(t *testing.T) {
+	for _, sz := range [][2]int{{0, 5}, {5, 0}, {0, 0}} {
+		b := New(sz[0], sz[1])
+		for _, dilate := range []bool{true, false} {
+			got, err := morphRect(b, 3, 2, 1, 0, dilate)
+			if err != nil {
+				t.Fatalf("%dx%d dilate=%v: %v", sz[0], sz[1], dilate, err)
+			}
+			if got.width != sz[0] || got.height != sz[1] {
+				t.Errorf("%dx%d dilate=%v: got %dx%d", sz[0], sz[1], dilate, got.width, got.height)
+			}
+		}
+	}
+}
+
+func TestRectMorphRejectsBadSE(t *testing.T) {
+	b := New(8, 8)
+	for _, se := range [][4]int{{0, 1, 0, 0}, {1, 0, 0, 0}, {3, 3, 3, 0}, {3, 3, 0, -1}} {
+		if _, err := DilateRect(b, se[0], se[1], se[2], se[3]); err == nil {
+			t.Errorf("DilateRect accepted %v", se)
+		}
+		if _, err := ErodeRect(b, se[0], se[1], se[2], se[3]); err == nil {
+			t.Errorf("ErodeRect accepted %v", se)
+		}
+	}
+}

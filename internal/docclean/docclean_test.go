@@ -1,0 +1,183 @@
+package docclean
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/rle"
+	"sysrle/internal/runmorph"
+	"sysrle/internal/workload"
+)
+
+// page builds a small controlled test page: a 20×10 solid block at
+// (10,10), a full-width 2px rule at y=30..31, and three 1px specks.
+func page(t *testing.T) *rle.Image {
+	t.Helper()
+	img := rle.NewImage(80, 48)
+	for y := 10; y < 20; y++ {
+		img.Rows[y] = rle.Row{rle.Span(10, 29)}
+	}
+	img.Rows[30] = rle.Row{rle.Span(0, 79)}
+	img.Rows[31] = rle.Row{rle.Span(0, 79)}
+	for _, p := range [][2]int{{5, 3}, {70, 5}, {40, 44}} {
+		img.Rows[p[1]] = append(img.Rows[p[1]], rle.Span(p[0], p[0]))
+		img.Rows[p[1]] = rle.Normalize(img.Rows[p[1]])
+	}
+	if err := img.Validate(); err != nil {
+		t.Fatalf("bad fixture: %v", err)
+	}
+	return img
+}
+
+func TestDespeckle(t *testing.T) {
+	img := page(t)
+	out, removed := Despeckle(img, 4)
+	if removed != 3 {
+		t.Fatalf("removed %d specks, want 3", removed)
+	}
+	for _, p := range [][2]int{{5, 3}, {70, 5}, {40, 44}} {
+		if out.Get(p[0], p[1]) {
+			t.Errorf("speck at (%d,%d) survived", p[0], p[1])
+		}
+	}
+	if !out.Get(10, 10) || !out.Get(29, 19) || !out.Get(0, 30) {
+		t.Error("despeckle damaged large structures")
+	}
+	if img.Area() != out.Area()+3 {
+		t.Errorf("area %d -> %d, want exactly the 3 speck pixels gone", img.Area(), out.Area())
+	}
+	// maxArea 0 is the identity (modulo cloning).
+	same, n := Despeckle(img, 0)
+	if n != 0 || !same.Equal(img) {
+		t.Error("maxArea 0 should remove nothing")
+	}
+}
+
+func TestExtractLines(t *testing.T) {
+	img := page(t)
+	op := new(runmorph.Op)
+	mask, h, v, err := ExtractLines(op, img, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 1 || v != 0 {
+		t.Fatalf("got %d H and %d V lines, want 1 and 0", h, v)
+	}
+	// The mask holds exactly the rule: the 20-wide block is too short.
+	if mask.Area() != 160 {
+		t.Errorf("line mask area %d, want 160 (the 80x2 rule)", mask.Area())
+	}
+	if !mask.Get(0, 30) || mask.Get(10, 10) {
+		t.Error("mask covers the wrong structures")
+	}
+}
+
+func TestSegment(t *testing.T) {
+	// Two word-like clusters far apart: glyph columns 3 apart fuse
+	// under a gapX=5 closing, the 30px gulf between clusters does not.
+	img := rle.NewImage(100, 20)
+	for y := 5; y < 12; y++ {
+		img.Rows[y] = rle.Row{
+			rle.Span(10, 11), rle.Span(14, 15), rle.Span(18, 19),
+			rle.Span(60, 61), rle.Span(64, 65),
+		}
+	}
+	blocks, err := Segment(new(runmorph.Op), img, 5, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("got %d blocks, want 2: %+v", len(blocks), blocks)
+	}
+	if blocks[0].X0 != 10 || blocks[0].X1 != 19 || blocks[0].Y0 != 5 || blocks[0].Y1 != 11 {
+		t.Errorf("left block bbox %+v", blocks[0])
+	}
+	if blocks[1].X0 != 60 || blocks[1].X1 != 65 {
+		t.Errorf("right block bbox %+v", blocks[1])
+	}
+}
+
+func TestCleanPipeline(t *testing.T) {
+	img := page(t)
+	res, err := Clean(context.Background(), img, Config{
+		MaxSpeckleArea: 4, MinLineLen: 40,
+		CloseGapX: 5, CloseGapY: 3, MinBlockArea: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpecklesRemoved != 3 || res.LinesH != 1 || res.LinesV != 0 {
+		t.Fatalf("report %+v", res)
+	}
+	// Specks and the rule are gone; only the block remains.
+	if res.OutputArea != 200 {
+		t.Errorf("output area %d, want the 20x10 block's 200", res.OutputArea)
+	}
+	if len(res.Blocks) != 1 || res.Blocks[0].X0 != 10 || res.Blocks[0].Y1 != 19 {
+		t.Errorf("blocks %+v", res.Blocks)
+	}
+	if err := res.Cleaned.Validate(); err != nil {
+		t.Errorf("cleaned image invalid: %v", err)
+	}
+
+	// KeepLines retains the rule in the output and in a block.
+	kept, err := Clean(context.Background(), img, Config{
+		MaxSpeckleArea: 4, MinLineLen: 40,
+		CloseGapX: 5, CloseGapY: 3, MinBlockArea: 10, KeepLines: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.OutputArea != 360 {
+		t.Errorf("keep-lines output area %d, want 360", kept.OutputArea)
+	}
+	if !kept.Cleaned.Get(0, 30) {
+		t.Error("keep-lines dropped the rule")
+	}
+}
+
+func TestCleanCancelAndErrors(t *testing.T) {
+	img := page(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Clean(ctx, img, Config{}); err == nil {
+		t.Error("cancelled context not honoured")
+	}
+	if _, err := Clean(context.Background(), img, Config{MaxSpeckleArea: -1}); err == nil {
+		t.Error("negative speckle area accepted")
+	}
+	bad := &rle.Image{Width: 4, Height: 1, Rows: []rle.Row{{rle.Span(3, 3), rle.Span(1, 1)}}}
+	if _, err := Clean(context.Background(), bad, Config{}); err == nil {
+		t.Error("invalid image accepted")
+	}
+}
+
+func TestCleanA4EndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1999))
+	pg, err := workload.GenerateDocument(rng, workload.A4Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Clean(context.Background(), pg, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpecklesRemoved < 100 {
+		t.Errorf("only %d specks removed from a page salted with 300", res.SpecklesRemoved)
+	}
+	if res.LinesH < 3 {
+		t.Errorf("found %d horizontal lines, page has 3 full-width rules", res.LinesH)
+	}
+	if n := len(res.Blocks); n < 2 || n > 120 {
+		t.Errorf("%d blocks — expected a handful of paragraphs and boxes", n)
+	}
+	if res.OutputArea >= res.InputArea {
+		t.Errorf("cleanup did not reduce area: %d -> %d", res.InputArea, res.OutputArea)
+	}
+	for _, b := range res.Blocks {
+		if b.X0 < 0 || b.Y0 < 0 || b.X1 >= pg.Width || b.Y1 >= pg.Height || b.X1 < b.X0 || b.Y1 < b.Y0 {
+			t.Fatalf("block out of frame: %+v", b)
+		}
+	}
+}

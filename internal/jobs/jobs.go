@@ -54,6 +54,7 @@ import (
 
 	"sysrle"
 	"sysrle/internal/core"
+	"sysrle/internal/docclean"
 	"sysrle/internal/inspect"
 	"sysrle/internal/refstore"
 	"sysrle/internal/rle"
@@ -134,10 +135,24 @@ type Config struct {
 	now func() time.Time
 }
 
-// Spec describes one batch job: N scans against one reference.
+// Job types. The zero value means inspect — the original
+// reference-vs-scan defect workload.
+const (
+	TypeInspect  = "inspect"
+	TypeDocClean = "docclean"
+)
+
+// Spec describes one batch job: N scans against one reference
+// (inspect), or N pages through the document-cleanup pipeline
+// (docclean).
 type Spec struct {
+	// Type selects the workload: "" or "inspect" diffs scans against
+	// a reference; "docclean" runs each scan through the
+	// despeckle/line-extraction/segmentation pipeline (no reference,
+	// no engine).
+	Type string
 	// RefID names a registered reference; Ref supplies one inline.
-	// Exactly one must be set.
+	// Exactly one must be set for inspect jobs; neither for docclean.
 	RefID string
 	Ref   *rle.Image
 	// Scans are compared against the reference in index order of
@@ -145,11 +160,14 @@ type Spec struct {
 	Scans []*rle.Image
 	// Engine selects the row-difference engine by registry name
 	// (sysrle.EngineNames); "" means "stream", the per-worker
-	// buffer-reusing lockstep stream.
+	// buffer-reusing lockstep stream. Inspect jobs only.
 	Engine string
 	// MinDefectArea and MaxAlignShift forward to inspect.Inspector.
 	MinDefectArea int
 	MaxAlignShift int
+	// Doc tunes the docclean pipeline; zero fields get page-derived
+	// defaults. Docclean jobs only.
+	Doc docclean.Config
 }
 
 // ScanResult is the outcome of one scan.
@@ -166,14 +184,22 @@ type ScanResult struct {
 	// Quarantined marks a poison scan: every configured attempt
 	// failed, so it was given up on rather than retried forever.
 	Quarantined bool `json:"quarantined,omitempty"`
+
+	// Docclean fields (Type == TypeDocClean only).
+	SpecklesRemoved int `json:"speckles_removed,omitempty"`
+	LinesH          int `json:"lines_h,omitempty"`
+	LinesV          int `json:"lines_v,omitempty"`
+	Blocks          int `json:"blocks,omitempty"`
+	OutputArea      int `json:"output_area,omitempty"`
 }
 
 // Status is a point-in-time snapshot of a job.
 type Status struct {
 	ID         string       `json:"id"`
 	State      State        `json:"state"`
+	Type       string       `json:"type"`
 	RefID      string       `json:"ref_id,omitempty"`
-	Engine     string       `json:"engine"`
+	Engine     string       `json:"engine,omitempty"`
 	ScansTotal int          `json:"scans_total"`
 	ScansDone  int          `json:"scans_done"`
 	Created    time.Time    `json:"created"`
@@ -334,11 +360,26 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	if len(spec.Scans) == 0 {
 		return "", ErrNoScans
 	}
-	if _, err := engineFor(spec.Engine, nil); err != nil {
-		return "", err
-	}
-	if (spec.RefID == "") == (spec.Ref == nil) {
-		return "", errors.New("jobs: exactly one of RefID and Ref must be set")
+	switch spec.Type {
+	case "", TypeInspect:
+		if _, err := engineFor(spec.Engine, nil); err != nil {
+			return "", err
+		}
+		if (spec.RefID == "") == (spec.Ref == nil) {
+			return "", errors.New("jobs: exactly one of RefID and Ref must be set")
+		}
+	case TypeDocClean:
+		if spec.RefID != "" || spec.Ref != nil {
+			return "", errors.New("jobs: docclean jobs take no reference")
+		}
+		if spec.Engine != "" {
+			return "", errors.New("jobs: docclean jobs take no engine")
+		}
+		if err := spec.Doc.Validate(); err != nil {
+			return "", err
+		}
+	default:
+		return "", fmt.Errorf("jobs: unknown job type %q", spec.Type)
 	}
 	ref := spec.Ref
 	if spec.RefID != "" {
@@ -494,25 +535,31 @@ func (m *Manager) runTask(t task, engines map[string]core.Engine) {
 		m.record(j, ScanResult{Index: t.scan, Error: "canceled"}, true)
 		return
 	}
-	eng, ok := engines[j.spec.Engine]
-	if !ok {
-		var err error
-		eng, err = engineFor(j.spec.Engine, m.cfg.Registry)
-		// Submit validated the name, but never hand a nil engine to
-		// the inspector: fail the scan, not the worker.
-		if err == nil && eng == nil {
-			err = fmt.Errorf("jobs: engine %q resolved to nil", j.spec.Engine)
-		}
-		if err != nil {
-			m.record(j, ScanResult{Index: t.scan, Error: err.Error()}, false)
-			return
-		}
-		if m.cfg.WrapEngine != nil {
-			if wrapped := m.cfg.WrapEngine(eng); wrapped != nil {
-				eng = wrapped
+	var eng core.Engine
+	// Docclean scans run the morphology pipeline, not a row-difference
+	// engine; everything else resolves (and caches) the job's engine.
+	if j.spec.Type != TypeDocClean {
+		var ok bool
+		eng, ok = engines[j.spec.Engine]
+		if !ok {
+			var err error
+			eng, err = engineFor(j.spec.Engine, m.cfg.Registry)
+			// Submit validated the name, but never hand a nil engine to
+			// the inspector: fail the scan, not the worker.
+			if err == nil && eng == nil {
+				err = fmt.Errorf("jobs: engine %q resolved to nil", j.spec.Engine)
 			}
+			if err != nil {
+				m.record(j, ScanResult{Index: t.scan, Error: err.Error()}, false)
+				return
+			}
+			if m.cfg.WrapEngine != nil {
+				if wrapped := m.cfg.WrapEngine(eng); wrapped != nil {
+					eng = wrapped
+				}
+			}
+			engines[j.spec.Engine] = eng
 		}
-		engines[j.spec.Engine] = eng
 	}
 	res := m.runScan(j, eng, t.scan)
 	if m.scans != nil {
@@ -540,14 +587,26 @@ func (m *Manager) runScan(j *job, eng core.Engine, scan int) ScanResult {
 				return res
 			}
 		}
-		rep, err := m.attemptScan(j, eng, scan)
+		out, err := m.attemptScan(j, eng, scan)
 		if err == nil {
 			res.Attempts = attempt
-			res.Clean = rep.Clean()
-			res.Defects = len(rep.Defects)
-			res.DiffPixels = rep.DiffArea
-			res.DiffRuns = rep.DiffRuns
-			res.Iterations = rep.TotalIterations
+			switch {
+			case out.report != nil:
+				rep := out.report
+				res.Clean = rep.Clean()
+				res.Defects = len(rep.Defects)
+				res.DiffPixels = rep.DiffArea
+				res.DiffRuns = rep.DiffRuns
+				res.Iterations = rep.TotalIterations
+			case out.doc != nil:
+				doc := out.doc
+				res.Clean = doc.SpecklesRemoved == 0
+				res.SpecklesRemoved = doc.SpecklesRemoved
+				res.LinesH = doc.LinesH
+				res.LinesV = doc.LinesV
+				res.Blocks = len(doc.Blocks)
+				res.OutputArea = doc.OutputArea
+			}
 			return res
 		}
 		lastErr = err
@@ -564,10 +623,17 @@ func (m *Manager) runScan(j *job, eng core.Engine, scan int) ScanResult {
 	return res
 }
 
+// scanOutcome is what one successful attempt produced: an inspection
+// report or a docclean result, depending on the job type.
+type scanOutcome struct {
+	report *inspect.Report
+	doc    *docclean.Result
+}
+
 // attemptScan runs a single attempt under recover and the per-scan
-// deadline. A panic anywhere in the compare pipeline becomes an
-// error; the worker goroutine is never lost.
-func (m *Manager) attemptScan(j *job, eng core.Engine, scan int) (rep *inspect.Report, err error) {
+// deadline. A panic anywhere in the pipeline becomes an error; the
+// worker goroutine is never lost.
+func (m *Manager) attemptScan(j *job, eng core.Engine, scan int) (out scanOutcome, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			if m.panicsC != nil {
@@ -582,6 +648,10 @@ func (m *Manager) attemptScan(j *job, eng core.Engine, scan int) (rep *inspect.R
 		ctx, cancel = context.WithTimeout(ctx, m.cfg.ScanTimeout)
 		defer cancel()
 	}
+	if j.spec.Type == TypeDocClean {
+		out.doc, err = docclean.Clean(ctx, j.spec.Scans[scan], j.spec.Doc)
+		return out, err
+	}
 	ins := &inspect.Inspector{
 		Engine: eng,
 		// Scans are the unit of parallelism; one row worker per
@@ -591,7 +661,8 @@ func (m *Manager) attemptScan(j *job, eng core.Engine, scan int) (rep *inspect.R
 		MinDefectArea: j.spec.MinDefectArea,
 		MaxAlignShift: j.spec.MaxAlignShift,
 	}
-	return ins.CompareContext(ctx, j.ref, j.spec.Scans[scan])
+	out.report, err = ins.CompareContext(ctx, j.ref, j.spec.Scans[scan])
+	return out, err
 }
 
 // backoff sleeps before retry n (1-based): RetryBackoff doubled per
@@ -701,8 +772,9 @@ func (j *job) snapshot() Status {
 	st := Status{
 		ID:         j.id,
 		State:      j.state,
+		Type:       typeName(j.spec.Type),
 		RefID:      j.spec.RefID,
-		Engine:     engineName(j.spec.Engine),
+		Engine:     engineName(j.spec.Type, j.spec.Engine),
 		ScansTotal: len(j.spec.Scans),
 		ScansDone:  j.done,
 		Created:    j.created,
@@ -725,9 +797,19 @@ func (j *job) snapshot() Status {
 	return st
 }
 
-func engineName(name string) string {
+func engineName(jobType, name string) string {
+	if jobType == TypeDocClean {
+		return "" // docclean has no row-difference engine
+	}
 	if name == "" {
 		return "stream"
 	}
 	return name
+}
+
+func typeName(jobType string) string {
+	if jobType == "" {
+		return TypeInspect
+	}
+	return jobType
 }

@@ -7,10 +7,12 @@ import (
 	"testing"
 	"time"
 
+	"sysrle/internal/docclean"
 	"sysrle/internal/inspect"
 	"sysrle/internal/refstore"
 	"sysrle/internal/rle"
 	"sysrle/internal/telemetry"
+	"sysrle/internal/workload"
 )
 
 // board returns a synthetic PCB reference and a defective scan.
@@ -332,5 +334,77 @@ func TestConcurrentSubmitCancelProgress(t *testing.T) {
 		if !st.State.Terminal() {
 			t.Errorf("job %s stuck in %s", id, st.State)
 		}
+	}
+}
+
+func TestDocCleanJobEndToEnd(t *testing.T) {
+	// The acceptance path: a generated A4 page through the docclean
+	// batch job type, plus a second tiny page to exercise fan-out.
+	rng := rand.New(rand.NewSource(1999))
+	page, err := workload.GenerateDocument(rng, workload.A4Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := rle.NewImage(40, 20)
+	small.Rows[3] = rle.Row{rle.Span(5, 34)}
+	small.Rows[10] = rle.Row{rle.Span(8, 8)} // lone speck
+
+	m := New(Config{Workers: 2, Retention: -1})
+	defer m.Close()
+	id, err := m.Submit(Spec{
+		Type:  TypeDocClean,
+		Scans: []*rle.Image{page, small},
+		Doc:   docclean.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, m, id)
+	if st.State != StateDone {
+		t.Fatalf("state %s, want done (error %q)", st.State, st.Error)
+	}
+	if st.Type != TypeDocClean {
+		t.Errorf("status type %q", st.Type)
+	}
+	if st.Engine != "" {
+		t.Errorf("docclean job reports engine %q", st.Engine)
+	}
+	a4 := st.Results[0]
+	if a4.SpecklesRemoved < 100 || a4.LinesH < 3 || a4.Blocks < 2 {
+		t.Errorf("A4 result implausible: %+v", a4)
+	}
+	if a4.OutputArea <= 0 || a4.OutputArea >= page.Area() {
+		t.Errorf("A4 output area %d vs input %d", a4.OutputArea, page.Area())
+	}
+	tiny := st.Results[1]
+	if tiny.SpecklesRemoved != 1 {
+		t.Errorf("tiny page removed %d specks, want the 1 planted", tiny.SpecklesRemoved)
+	}
+}
+
+func TestDocCleanSubmitValidation(t *testing.T) {
+	m := New(Config{Workers: 1, Retention: -1})
+	defer m.Close()
+	img := rle.NewImage(8, 8)
+	cases := []Spec{
+		{Type: TypeDocClean, Scans: []*rle.Image{img}, Ref: img},
+		{Type: TypeDocClean, Scans: []*rle.Image{img}, RefID: "x"},
+		{Type: TypeDocClean, Scans: []*rle.Image{img}, Engine: "stream"},
+		{Type: TypeDocClean, Scans: []*rle.Image{img}, Doc: docclean.Config{MinLineLen: -1}},
+		{Type: "transmogrify", Scans: []*rle.Image{img}},
+	}
+	for i, spec := range cases {
+		if _, err := m.Submit(spec); err == nil {
+			t.Errorf("case %d: invalid docclean spec accepted", i)
+		}
+	}
+	// Inspect-flavoured statuses still report their type and engine.
+	ref, scan, _ := board(t, 3, 80, 60, 1)
+	id, err := m.Submit(Spec{Ref: ref, Scans: []*rle.Image{scan}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, m, id); st.Type != TypeInspect || st.Engine != "stream" {
+		t.Errorf("inspect job reported type %q engine %q", st.Type, st.Engine)
 	}
 }

@@ -1,21 +1,21 @@
-// Package morph implements binary morphology directly on run-length
-// encoded images — the class of operations the paper's introduction
-// motivates ("morphological operations, min/max filtering") done in
-// the compressed domain, without decompressing, in the same spirit as
-// the systolic difference engine.
+// Package morph is the original centred-box morphology API, kept as a
+// thin compatibility shim over internal/runmorph — the run-native
+// interval-algebra engine that now implements the class of operations
+// the paper's introduction motivates ("morphological operations,
+// min/max filtering") in the compressed domain.
 //
-// Structuring elements are rectangles of (2·Rx+1)×(2·Ry+1) pixels
-// centred on the origin, which makes every operation separable: a
-// horizontal pass over each row's runs followed by a vertical
-// OR/AND sweep across a window of rows (rle.ORMany / rle.ANDMany).
-// Cost is proportional to run counts, not pixels. Pixels outside the
-// image are background, the usual padding convention.
+// Structuring elements here are rectangles of (2·Rx+1)×(2·Ry+1) pixels
+// centred on the origin. Arbitrary rectangles, arbitrary origins, SE
+// composition/decomposition and the derived operators (top-hat,
+// hit-or-miss, …) live in runmorph; new code should use that package
+// (or the sysrle facade's Morph* functions) directly.
 package morph
 
 import (
 	"fmt"
 
 	"sysrle/internal/rle"
+	"sysrle/internal/runmorph"
 )
 
 // SE is a rectangular structuring element with horizontal radius Rx
@@ -36,45 +36,33 @@ func (se SE) Validate() error {
 	return nil
 }
 
+// rect converts the centred-radius SE to runmorph's general form.
+func (se SE) rect() runmorph.SE {
+	return runmorph.Rect(2*se.Rx+1, 2*se.Ry+1)
+}
+
 // DilateRow dilates one row by a horizontal radius: every run grows
 // by r on both sides; touching runs merge; the result is clipped to
-// [0, width).
+// [0, width). Allocating wrapper over runmorph.AppendDilateRow — hot
+// paths should call that with a caller-owned scratch row instead.
 func DilateRow(row rle.Row, r, width int) rle.Row {
 	if r < 0 {
 		panic("morph: negative radius")
 	}
-	if len(row) == 0 {
-		return nil
-	}
-	grown := make(rle.Row, len(row))
-	for i, run := range row {
-		grown[i] = rle.Run{Start: run.Start - r, Length: run.Length + 2*r}
-	}
-	return grown.Canonicalize().Clip(width)
+	return runmorph.AppendDilateRow(nil, row, r, r, width)
 }
 
 // ErodeRow erodes one row by a horizontal radius: every maximal
 // foreground stretch shrinks by r on both sides; stretches shorter
-// than 2r+1 vanish. Unlike dilation, erosion does not distribute
-// over a union of fragments, so a valid-but-non-canonical row
-// (adjacent runs, which the paper permits as inputs) must be merged
-// into maximal stretches before eroding — eroding the fragments
-// independently would make a long stretch encoded in short adjacent
-// pieces vanish entirely.
+// than 2r+1 vanish. Valid-but-non-canonical rows (adjacent fragments,
+// which the paper permits as inputs) are merged into maximal stretches
+// before eroding — erosion does not distribute over a union of
+// fragments. Allocating wrapper over runmorph.AppendErodeRow.
 func ErodeRow(row rle.Row, r int) rle.Row {
 	if r < 0 {
 		panic("morph: negative radius")
 	}
-	if len(row) == 0 {
-		return nil
-	}
-	var out rle.Row
-	for _, run := range row.Canonicalize() {
-		if run.Length > 2*r {
-			out = append(out, rle.Run{Start: run.Start + r, Length: run.Length - 2*r})
-		}
-	}
-	return out
+	return runmorph.AppendErodeRow(nil, row, r, r)
 }
 
 // Dilate returns the dilation of the image by the SE.
@@ -82,28 +70,7 @@ func Dilate(img *rle.Image, se SE) (*rle.Image, error) {
 	if err := se.Validate(); err != nil {
 		return nil, err
 	}
-	// Horizontal pass.
-	horiz := make([]rle.Row, img.Height)
-	for y, row := range img.Rows {
-		horiz[y] = DilateRow(row, se.Rx, img.Width)
-	}
-	// Vertical pass: output row y is the OR of the window rows.
-	out := rle.NewImage(img.Width, img.Height)
-	if se.Ry == 0 {
-		out.Rows = horiz
-		return out, nil
-	}
-	window := make([]rle.Row, 0, 2*se.Ry+1)
-	for y := 0; y < img.Height; y++ {
-		window = window[:0]
-		for dy := -se.Ry; dy <= se.Ry; dy++ {
-			if y+dy >= 0 && y+dy < img.Height {
-				window = append(window, horiz[y+dy])
-			}
-		}
-		out.Rows[y] = rle.ORMany(window)
-	}
-	return out, nil
+	return runmorph.Dilate(img, se.rect())
 }
 
 // Erode returns the erosion of the image by the SE. Pixels whose SE
@@ -112,81 +79,34 @@ func Erode(img *rle.Image, se SE) (*rle.Image, error) {
 	if err := se.Validate(); err != nil {
 		return nil, err
 	}
-	horiz := make([]rle.Row, img.Height)
-	for y, row := range img.Rows {
-		horiz[y] = ErodeRow(row, se.Rx)
-	}
-	out := rle.NewImage(img.Width, img.Height)
-	if se.Ry == 0 {
-		out.Rows = horiz
-		return out, nil
-	}
-	window := make([]rle.Row, 0, 2*se.Ry+1)
-	for y := 0; y < img.Height; y++ {
-		if y-se.Ry < 0 || y+se.Ry >= img.Height {
-			continue // window leaves the image: row erodes to empty
-		}
-		window = window[:0]
-		for dy := -se.Ry; dy <= se.Ry; dy++ {
-			window = append(window, horiz[y+dy])
-		}
-		out.Rows[y] = rle.ANDMany(window)
-	}
-	return out, nil
+	return runmorph.Erode(img, se.rect())
 }
 
 // Open returns the morphological opening (erode then dilate):
 // removes foreground details smaller than the SE.
 func Open(img *rle.Image, se SE) (*rle.Image, error) {
-	eroded, err := Erode(img, se)
-	if err != nil {
+	if err := se.Validate(); err != nil {
 		return nil, err
 	}
-	return Dilate(eroded, se)
+	return runmorph.Open(img, se.rect())
 }
 
 // Close returns the morphological closing (dilate then erode): fills
-// background details smaller than the SE. The dilation is computed on
-// a canvas padded by the SE radii so nothing clips at the frame; the
-// plane-correct result is then cropped back, which keeps closing
-// extensive (img ⊆ Close(img)) right up to the borders.
+// background details smaller than the SE. runmorph computes it on a
+// canvas padded by the SE extents, which keeps closing extensive
+// (img ⊆ Close(img)) right up to the borders.
 func Close(img *rle.Image, se SE) (*rle.Image, error) {
 	if err := se.Validate(); err != nil {
 		return nil, err
 	}
-	padded := rle.NewImage(img.Width+2*se.Rx, img.Height+2*se.Ry)
-	for y, row := range img.Rows {
-		padded.Rows[y+se.Ry] = row.Shift(se.Rx)
-	}
-	dilated, err := Dilate(padded, se)
-	if err != nil {
-		return nil, err
-	}
-	eroded, err := Erode(dilated, se)
-	if err != nil {
-		return nil, err
-	}
-	out := rle.NewImage(img.Width, img.Height)
-	for y := 0; y < img.Height; y++ {
-		out.Rows[y] = eroded.Rows[y+se.Ry].Shift(-se.Rx).Clip(img.Width)
-	}
-	return out, nil
+	return runmorph.Close(img, se.rect())
 }
 
 // Gradient returns the morphological gradient Dilate − Erode: the
 // object boundaries, a building block of inspection pipelines.
 func Gradient(img *rle.Image, se SE) (*rle.Image, error) {
-	dilated, err := Dilate(img, se)
-	if err != nil {
+	if err := se.Validate(); err != nil {
 		return nil, err
 	}
-	eroded, err := Erode(img, se)
-	if err != nil {
-		return nil, err
-	}
-	out := rle.NewImage(img.Width, img.Height)
-	for y := range out.Rows {
-		out.Rows[y] = rle.AndNot(dilated.Rows[y], eroded.Rows[y])
-	}
-	return out, nil
+	return runmorph.Gradient(img, se.rect())
 }

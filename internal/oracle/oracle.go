@@ -185,6 +185,7 @@ func Run(cfg Config) (*Report, error) {
 				r.differential(names[ei], eng, p, at)
 			}
 			r.identities(p, at)
+			r.runmorphIdentities(p, at)
 		}
 	}
 

@@ -1,0 +1,252 @@
+package oracle
+
+import (
+	"fmt"
+
+	"sysrle/internal/bitmap"
+	"sysrle/internal/rle"
+	"sysrle/internal/runmorph"
+)
+
+// Metamorphic identities for the run-native interval-algebra
+// morphology engine, exercised over non-centred rectangular SEs (the
+// regime the radius-based shim never reaches): agreement with the
+// pixel brute force and the word-parallel bitmap baseline, the
+// separable-decomposition and composition equivalences, the
+// erosion/dilation complement duality through the reflected SE, and
+// the lattice properties of the derived operators.
+
+// Runmorph identity check names.
+const (
+	idRMDilateBrute  = "meta-runmorph-dilate-brute"
+	idRMErodeBrute   = "meta-runmorph-erode-brute"
+	idRMDilateBitmap = "meta-runmorph-dilate-bitmap"
+	idRMErodeBitmap  = "meta-runmorph-erode-bitmap"
+	idRMDecompose    = "meta-runmorph-decompose-equivalence"
+	idRMCompose      = "meta-runmorph-compose-equivalence"
+	idRMDuality      = "meta-runmorph-reflect-duality"
+	idRMOpenAnti     = "meta-runmorph-open-anti-extensive"
+	idRMCloseExt     = "meta-runmorph-close-extensive"
+	idRMOpenIdem     = "meta-runmorph-open-idempotent"
+	idRMCloseIdem    = "meta-runmorph-close-idempotent"
+)
+
+// runmorphSEs are deliberately asymmetric: off-centre origins in both
+// axes, a corner origin, and a tall thin SE.
+var runmorphSEs = []runmorph.SE{
+	runmorph.Rect(4, 3).At(0, 2),
+	runmorph.Rect(3, 2).At(2, 0),
+	runmorph.Rect(2, 5).At(1, 1),
+}
+
+// runmorphIdentities runs the library over one corpus image.
+func (r *run) runmorphIdentities(p pair, at location) {
+	at.row = -1
+	a := p.A
+	for _, se := range runmorphSEs {
+		se := se
+		tag := func(msg string) string {
+			if msg == "" {
+				return ""
+			}
+			return fmt.Sprintf("SE %s: %s", se, msg)
+		}
+
+		// Run-native dilation and erosion against the O(W·H·w·h)
+		// pixel reference…
+		r.imageCheck(idRMDilateBrute, at, func() string {
+			got, err := runmorph.Dilate(a, se)
+			if err != nil {
+				return err.Error()
+			}
+			return tag(diffImages(got, rectReference(a, se, true)))
+		})
+		r.imageCheck(idRMErodeBrute, at, func() string {
+			got, err := runmorph.Erode(a, se)
+			if err != nil {
+				return err.Error()
+			}
+			return tag(diffImages(got, rectReference(a, se, false)))
+		})
+		// …and against the word-parallel bitmap baseline, so the two
+		// independent fast paths cross-check each other.
+		r.imageCheck(idRMDilateBitmap, at, func() string {
+			got, err := runmorph.Dilate(a, se)
+			if err != nil {
+				return err.Error()
+			}
+			want, err := bitmap.DilateRect(bitmap.FromRLE(a), se.W, se.H, se.OX, se.OY)
+			if err != nil {
+				return err.Error()
+			}
+			return tag(diffImages(got, want.ToRLE()))
+		})
+		r.imageCheck(idRMErodeBitmap, at, func() string {
+			got, err := runmorph.Erode(a, se)
+			if err != nil {
+				return err.Error()
+			}
+			want, err := bitmap.ErodeRect(bitmap.FromRLE(a), se.W, se.H, se.OX, se.OY)
+			if err != nil {
+				return err.Error()
+			}
+			return tag(diffImages(got, want.ToRLE()))
+		})
+
+		// Separable decomposition: chaining the 1-D factors equals the
+		// direct 2-D operation (the origins-inside invariant makes the
+		// intermediate frame clipping lossless).
+		r.imageCheck(idRMDecompose, at, func() string {
+			factors := se.Decompose()
+			direct, err := runmorph.Dilate(a, se)
+			if err != nil {
+				return err.Error()
+			}
+			chained, err := runmorph.DilateSeq(a, factors)
+			if err != nil {
+				return err.Error()
+			}
+			if msg := diffImages(chained, direct); msg != "" {
+				return tag("dilate: " + msg)
+			}
+			direct, err = runmorph.Erode(a, se)
+			if err != nil {
+				return err.Error()
+			}
+			chained, err = runmorph.ErodeSeq(a, factors)
+			if err != nil {
+				return err.Error()
+			}
+			if msg := diffImages(chained, direct); msg != "" {
+				return tag("erode: " + msg)
+			}
+			return ""
+		})
+
+		// Lattice properties of the derived operators at this SE:
+		// opening shrinks, closing grows, both are idempotent.
+		r.imageCheck(idRMOpenAnti, at, func() string {
+			opened, err := runmorph.Open(a, se)
+			if err != nil {
+				return err.Error()
+			}
+			return tag(checkSubset(opened, a))
+		})
+		r.imageCheck(idRMCloseExt, at, func() string {
+			closed, err := runmorph.Close(a, se)
+			if err != nil {
+				return err.Error()
+			}
+			return tag(checkSubset(a, closed))
+		})
+		r.imageCheck(idRMOpenIdem, at, func() string {
+			once, err := runmorph.Open(a, se)
+			if err != nil {
+				return err.Error()
+			}
+			twice, err := runmorph.Open(once, se)
+			if err != nil {
+				return err.Error()
+			}
+			return tag(diffImages(twice, once))
+		})
+		r.imageCheck(idRMCloseIdem, at, func() string {
+			once, err := runmorph.Close(a, se)
+			if err != nil {
+				return err.Error()
+			}
+			twice, err := runmorph.Close(once, se)
+			if err != nil {
+				return err.Error()
+			}
+			return tag(diffImages(twice, once))
+		})
+
+		// Complement duality: A ⊖ B = ¬(¬A ⊕ B̌) with B̌ the reflected
+		// SE, evaluated on a canvas padded far enough that the finite
+		// frame's complement agrees with the infinite plane's wherever
+		// the cropped-back result can see.
+		r.imageCheck(idRMDuality, at, func() string {
+			return tag(checkReflectDuality(a, se))
+		})
+	}
+
+	// Composition: dilating by B1 ⊕ B2 equals dilating by B1 then B2.
+	r.imageCheck(idRMCompose, at, func() string {
+		b1, b2 := runmorphSEs[0], runmorphSEs[1]
+		composed := runmorph.Compose(b1, b2)
+		direct, err := runmorph.Dilate(a, composed)
+		if err != nil {
+			return err.Error()
+		}
+		chained, err := runmorph.DilateSeq(a, []runmorph.SE{b1, b2})
+		if err != nil {
+			return err.Error()
+		}
+		if msg := diffImages(chained, direct); msg != "" {
+			return fmt.Sprintf("%s ∘ %s vs %s: %s", b1, b2, composed, msg)
+		}
+		return ""
+	})
+}
+
+// rectReference is the brute-force rectangle morphology for an
+// arbitrary-origin SE with background padding.
+func rectReference(img *rle.Image, se runmorph.SE, dilate bool) *rle.Image {
+	out := rle.NewImage(img.Width, img.Height)
+	for y := 0; y < img.Height; y++ {
+		bits := make([]bool, img.Width)
+		for x := 0; x < img.Width; x++ {
+			v := !dilate
+			for dy := -se.Up(); dy <= se.Down(); dy++ {
+				for dx := -se.Left(); dx <= se.Right(); dx++ {
+					var px bool
+					if dilate {
+						px = img.Get(x-dx, y-dy)
+						v = v || px
+					} else {
+						px = img.Get(x+dx, y+dy)
+						v = v && px
+					}
+				}
+			}
+			bits[x] = v
+		}
+		out.Rows[y] = rle.FromBits(bits)
+	}
+	return out
+}
+
+// checkSubset returns "" when every foreground pixel of sub is also
+// foreground in super.
+func checkSubset(sub, super *rle.Image) string {
+	for y := range sub.Rows {
+		if extra := rle.AndNot(sub.Rows[y], super.Rows[y]); len(extra) > 0 {
+			return fmt.Sprintf("row %d: %v outside the superset", y, extra)
+		}
+	}
+	return ""
+}
+
+// checkReflectDuality verifies A ⊖ B = ¬(¬A ⊕ B̌) on a padded canvas.
+// The pad of (W-1, H-1) per side exceeds every extent of B̌, so each
+// window read of a cropped-back pixel lands inside the canvas, where
+// the complement is exact.
+func checkReflectDuality(img *rle.Image, se runmorph.SE) string {
+	eroded, err := runmorph.Erode(img, se)
+	if err != nil {
+		return err.Error()
+	}
+	padX, padY := se.W-1, se.H-1
+	canvas := rle.NewImage(img.Width+2*padX, img.Height+2*padY)
+	rle.Paste(canvas, img, padX, padY)
+	dil, err := runmorph.Dilate(complement(canvas), se.Reflect())
+	if err != nil {
+		return err.Error()
+	}
+	back, err := rle.Crop(complement(dil), padX, padY, img.Width, img.Height)
+	if err != nil {
+		return err.Error()
+	}
+	return diffImages(back, eroded)
+}

@@ -1,0 +1,217 @@
+package perf
+
+// The page-scale morphology matrix: run-native interval-algebra
+// morphology (internal/runmorph) against the word-parallel bitmap
+// baseline on synthetic scanned documents. The contrast the paper
+// draws is content-dependence: the bitmap pays O(words · (w + h))
+// whatever the page holds, the run-native engine pays O(runs), so the
+// sparse/mixed/dense document axis shows both the big-SE regime where
+// runs win by an order of magnitude and the small-SE dense crossover
+// where the bitmap pulls ahead.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sysrle/internal/bitmap"
+	"sysrle/internal/rle"
+	"sysrle/internal/runmorph"
+	"sysrle/internal/workload"
+)
+
+// MorphWorkloads are the document regimes of the morphology matrix,
+// ordered by increasing foreground density (≈0.03, ≈0.09, ≈0.17 at
+// A4).
+var MorphWorkloads = []string{"doc-sparse", "doc-mixed", "doc-dense"}
+
+// MorphEngines are the implementations measured on every cell:
+// direct run-native, run-native through the separable 1-D
+// decomposition, and the word-shift bitmap brute force.
+var MorphEngines = []string{"runmorph", "decomposed", "bitmap"}
+
+// The two structuring-element regimes: the big square opening the
+// docclean pipeline leans on, and the small dilation where the
+// bitmap's content-independence can win on dense pages.
+var (
+	morphOpenSE   = runmorph.Rect(9, 9)
+	morphDilateSE = runmorph.Rect(5, 5)
+)
+
+// MorphOptions sizes one morphology-matrix run.
+type MorphOptions struct {
+	// Width and Height are the page size; the committed report uses
+	// A4 at 300 dpi.
+	Width, Height int
+	// Seed drives page generation.
+	Seed int64
+	// Rounds keeps the fastest of this many runs per cell.
+	Rounds int
+}
+
+// DefaultMorphOptions is the committed-report configuration.
+func DefaultMorphOptions() MorphOptions {
+	return MorphOptions{Width: 2480, Height: 3508, Seed: 1999, Rounds: 3}
+}
+
+// docParams maps a morphology workload name to its page model.
+func docParams(name string, width, height int) (workload.DocParams, error) {
+	p := workload.A4Doc()
+	p.Width, p.Height = width, height
+	if m := width / 16; m < p.Margin {
+		p.Margin = m
+	}
+	switch name {
+	case "doc-sparse":
+		// Widely spaced short paragraphs: the regime §1's compressed
+		// pages live in.
+		p.LineSpacing = p.FontHeight * 4
+		p.ParaEvery = 3
+		p.Rules, p.Boxes = 2, 1
+		p.SpeckleCount = 40
+	case "doc-mixed":
+		// The default A4 text page.
+	case "doc-dense":
+		// Tightly set text, many boxes, heavy noise.
+		p.LineSpacing = p.FontHeight + 2
+		p.CharGap = 2
+		p.WordGap = 8
+		p.ParaEvery = 0
+		p.Boxes = 6
+		p.SpeckleCount = 1500
+	default:
+		return p, fmt.Errorf("perf: unknown morph workload %q (have %v)", name, MorphWorkloads)
+	}
+	return p, nil
+}
+
+// GenerateDoc builds the named document workload deterministically.
+func GenerateDoc(name string, width, height int, seed int64) (*rle.Image, error) {
+	p, err := docParams(name, width, height)
+	if err != nil {
+		return nil, err
+	}
+	return workload.GenerateDocument(rand.New(rand.NewSource(seed)), p)
+}
+
+// RunMorph executes the morphology matrix and returns its cells in
+// the shared Measurement schema (Benchmark "MorphOpen9" /
+// "MorphDilate5").
+func RunMorph(opts MorphOptions) ([]Measurement, error) {
+	if opts.Rounds < 1 {
+		opts.Rounds = 1
+	}
+	var out []Measurement
+	for _, wl := range MorphWorkloads {
+		page, err := GenerateDoc(wl, opts.Width, opts.Height, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, cell := range []struct {
+			benchmark string
+			se        runmorph.SE
+			open      bool
+		}{
+			{"MorphOpen9", morphOpenSE, true},
+			{"MorphDilate5", morphDilateSE, false},
+		} {
+			for _, engine := range MorphEngines {
+				m, err := fastestOf(opts.Rounds, func() (Measurement, error) {
+					return benchMorph(engine, cell.benchmark, wl, page, cell.se, cell.open)
+				})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	return out, nil
+}
+
+// morphOnce runs one operation of the matrix on one engine; the
+// returned image keeps the compiler from eliding the work.
+func morphOnce(engine string, op *runmorph.Op, page *rle.Image, bm *bitmap.Bitmap, se runmorph.SE, open bool) (area int, err error) {
+	switch engine {
+	case "runmorph":
+		var img *rle.Image
+		if open {
+			img, err = op.Open(page, se)
+		} else {
+			img, err = op.Dilate(page, se)
+		}
+		if err != nil {
+			return 0, err
+		}
+		return img.Area(), nil
+	case "decomposed":
+		factors := se.Decompose()
+		var img *rle.Image
+		if open {
+			if img, err = op.ErodeSeq(page, factors); err != nil {
+				return 0, err
+			}
+			img, err = op.DilateSeq(img, factors)
+		} else {
+			img, err = op.DilateSeq(page, factors)
+		}
+		if err != nil {
+			return 0, err
+		}
+		return img.Area(), nil
+	case "bitmap":
+		var b *bitmap.Bitmap
+		if open {
+			if b, err = bitmap.ErodeRect(bm, se.W, se.H, se.OX, se.OY); err != nil {
+				return 0, err
+			}
+			b, err = bitmap.DilateRect(b, se.W, se.H, se.OX, se.OY)
+		} else {
+			b, err = bitmap.DilateRect(bm, se.W, se.H, se.OX, se.OY)
+		}
+		if err != nil {
+			return 0, err
+		}
+		return b.Popcount(), nil
+	default:
+		return 0, fmt.Errorf("perf: unknown morph engine %q (have %v)", engine, MorphEngines)
+	}
+}
+
+func benchMorph(engine, benchmark, wl string, page *rle.Image, se runmorph.SE, open bool) (Measurement, error) {
+	op := new(runmorph.Op)
+	var bm *bitmap.Bitmap
+	if engine == "bitmap" {
+		// The conversion is not part of the measured operation: the
+		// baseline is granted its native representation up front, as
+		// the paper grants the uncompressed algorithm its bitmap.
+		bm = bitmap.FromRLE(page)
+	}
+	var benchErr error
+	sink := 0
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			area, err := morphOnce(engine, op, page, bm, se, open)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			sink += area
+		}
+	})
+	if benchErr != nil {
+		return Measurement{}, fmt.Errorf("perf: %s/%s/%s: %w", benchmark, engine, wl, benchErr)
+	}
+	_ = sink
+	return Measurement{
+		Benchmark:   benchmark,
+		Engine:      engine,
+		Workload:    wl,
+		BufferReuse: true,
+		NsPerOp:     float64(res.NsPerOp()),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		Iterations:  res.N,
+	}, nil
+}

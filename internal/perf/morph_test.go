@@ -1,0 +1,143 @@
+package perf
+
+import (
+	"testing"
+	"time"
+
+	"sysrle/internal/bitmap"
+	"sysrle/internal/rle"
+	"sysrle/internal/runmorph"
+)
+
+func TestGenerateDocWorkloads(t *testing.T) {
+	var densities []float64
+	for _, wl := range MorphWorkloads {
+		page, err := GenerateDoc(wl, 620, 877, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if page.Width != 620 || page.Height != 877 {
+			t.Errorf("%s: page is %dx%d", wl, page.Width, page.Height)
+		}
+		if err := page.Validate(); err != nil {
+			t.Errorf("%s: invalid page: %v", wl, err)
+		}
+		densities = append(densities, page.Density())
+		again, err := GenerateDoc(wl, 620, 877, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !page.Equal(again) {
+			t.Errorf("%s: generation not deterministic", wl)
+		}
+	}
+	// The axis is ordered by increasing density.
+	for i := 1; i < len(densities); i++ {
+		if densities[i] <= densities[i-1] {
+			t.Errorf("densities not increasing: %v", densities)
+		}
+	}
+	if _, err := GenerateDoc("doc-imaginary", 620, 877, 7); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunMorphSmallMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark matrix in -short mode")
+	}
+	cells, err := RunMorph(MorphOptions{Width: 310, Height: 438, Seed: 7, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 workloads × 2 benchmarks × 3 engines.
+	if want := len(MorphWorkloads) * 2 * len(MorphEngines); len(cells) != want {
+		t.Fatalf("got %d measurements, want %d", len(cells), want)
+	}
+	for _, m := range cells {
+		if m.NsPerOp <= 0 || m.Iterations <= 0 {
+			t.Errorf("%s/%s/%s: implausible measurement %+v", m.Benchmark, m.Engine, m.Workload, m)
+		}
+	}
+}
+
+// TestMorphRowAppendZeroAllocs pins the append contract of the
+// row-level morphology kernels: with caller-owned scratch of adequate
+// capacity, warm AppendDilateRow/AppendErodeRow never allocate.
+func TestMorphRowAppendZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are nondeterministic under -race (sync.Pool drops)")
+	}
+	page, err := GenerateDoc("doc-mixed", 620, 877, 1999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := page.Rows
+	var dil, ero rle.Row
+	warm := func() {
+		for _, row := range rows {
+			dil = runmorph.AppendDilateRow(dil[:0], row, 2, 2, page.Width)
+			ero = runmorph.AppendErodeRow(ero[:0], row, 2, 2)
+		}
+	}
+	warm()
+	if n := testing.AllocsPerRun(20, warm); n != 0 {
+		t.Errorf("%v allocs/pass on the warm morphology row kernels, want 0", n)
+	}
+}
+
+// TestRunmorphSmokeCompetitive is the page-scale acceptance gate: the
+// docclean-representative operation (9×9 opening) must strictly beat
+// the word-shift bitmap brute force on the sparse A4 document — the
+// regime the run-native engine exists for. Wall-clock, so retried a
+// few times; each attempt takes the fastest of repeated timings.
+func TestRunmorphSmokeCompetitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock gate in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock comparisons are meaningless under -race")
+	}
+	page, err := GenerateDoc("doc-sparse", 2480, 3508, 1999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := morphOpenSE
+	op := new(runmorph.Op)
+	bm := bitmap.FromRLE(page)
+	fastest := func(f func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	const attempts = 4
+	var run, brute time.Duration
+	ok := false
+	for try := 0; try < attempts && !ok; try++ {
+		run = fastest(func() {
+			if _, err := op.Open(page, se); err != nil {
+				t.Fatal(err)
+			}
+		})
+		brute = fastest(func() {
+			eroded, err := bitmap.ErodeRect(bm, se.W, se.H, se.OX, se.OY)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := bitmap.DilateRect(eroded, se.W, se.H, se.OX, se.OY); err != nil {
+				t.Fatal(err)
+			}
+		})
+		ok = run < brute
+	}
+	t.Logf("open %s on sparse A4: runmorph %v, bitmap %v", se, run, brute)
+	if !ok {
+		t.Errorf("run-native opening (%v) not faster than the bitmap brute force (%v) on a sparse A4 page", run, brute)
+	}
+}

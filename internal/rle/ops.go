@@ -145,6 +145,34 @@ func AppendCanonical(dst Row, w Row) Row {
 	return dst
 }
 
+// AppendUnion appends a ∪ b to dst with a two-pointer merge over the
+// sorted inputs, reusing dst's capacity. Existing runs in dst are
+// never touched or merged with; the appended runs are canonical among
+// themselves. This is the cheap associative building block of the
+// prefix/suffix (van Herk) vertical sweeps in runmorph.
+func AppendUnion(dst Row, a, b Row) Row {
+	base := len(dst)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var r Run
+		if j >= len(b) || (i < len(a) && a[i].Start <= b[j].Start) {
+			r = a[i]
+			i++
+		} else {
+			r = b[j]
+			j++
+		}
+		if n := len(dst); n > base && r.Start <= dst[n-1].End()+1 {
+			if e := r.End(); e > dst[n-1].End() {
+				dst[n-1].Length = e - dst[n-1].Start + 1
+			}
+			continue
+		}
+		dst = append(dst, r)
+	}
+	return dst
+}
+
 // AND returns the pixelwise conjunction of two rows.
 func AND(a, b Row) Row {
 	return combine(a, b, func(x, y bool) bool { return x && y })
@@ -185,13 +213,12 @@ func Not(a Row, width int) Row {
 	return out
 }
 
-// ORMany returns the disjunction of many rows in a single sweep using
-// a coverage counter over all run boundaries. O(K log K) for K total
-// runs (boundary sort via merging is replaced by a simple gather+sort
-// because callers pass small windows). Used by the vertical pass of
-// compressed-domain morphology.
+// ORMany returns the disjunction of many rows via a k-way interval
+// merge over the already-sorted inputs — O(K·k) for K total runs over
+// k rows. Used by the vertical pass of compressed-domain morphology.
 func ORMany(rows []Row) Row {
-	return thresholdSweep(rows, 1)
+	var s SweepScratch
+	return s.AppendOR(nil, rows)
 }
 
 // ANDMany returns the conjunction of many rows: pixels covered by all
@@ -200,7 +227,8 @@ func ANDMany(rows []Row) Row {
 	if len(rows) == 0 {
 		return nil
 	}
-	return thresholdSweep(rows, len(rows))
+	var s SweepScratch
+	return s.AppendAND(nil, rows)
 }
 
 // AtLeast returns pixels covered by at least n of the rows (n ≥ 1).
@@ -210,7 +238,8 @@ func AtLeast(rows []Row, n int) Row {
 	if n < 1 {
 		n = 1
 	}
-	return thresholdSweep(rows, n)
+	var s SweepScratch
+	return s.appendThreshold(nil, rows, n)
 }
 
 type boundary struct {
@@ -218,22 +247,149 @@ type boundary struct {
 	delta int
 }
 
-func thresholdSweep(rows []Row, threshold int) Row {
+// SweepScratch owns the reusable buffers of the k-row combination
+// sweeps. Callers that run many sweeps (the vertical pass of
+// run-native morphology visits one window per output row) keep one
+// scratch across calls so the steady state allocates nothing:
+//
+//	var s rle.SweepScratch
+//	for y := range out {
+//		acc = s.AppendOR(acc[:0], window(y))
+//	}
+//
+// The zero value is ready to use. A SweepScratch must not be shared
+// between goroutines.
+type SweepScratch struct {
+	bs   []boundary
+	idx  []int
+	tmpA Row
+	tmpB Row
+}
+
+// AppendOR appends the disjunction of rows to dst, reusing dst's
+// capacity. Existing runs in dst are never touched or merged with; the
+// appended runs are canonical among themselves. Because each input row
+// is already sorted, the union is a k-way interval merge — O(K·k) int
+// comparisons for K total runs over k rows, no boundary sort — which
+// is what keeps page-scale morphology ahead of the word-parallel
+// bitmap baseline.
+func (s *SweepScratch) AppendOR(dst Row, rows []Row) Row {
+	// Track read positions per row; skip empty rows up front.
+	idx := s.idx[:0]
+	live := 0
+	for range rows {
+		idx = append(idx, 0)
+	}
+	s.idx = idx
+	for _, w := range rows {
+		if len(w) > 0 {
+			live++
+		}
+	}
+	if live == 0 {
+		return dst
+	}
+	base := len(dst)
+	for {
+		best := -1
+		var bestStart int
+		for i, w := range rows {
+			if idx[i] < len(w) && (best < 0 || w[idx[i]].Start < bestStart) {
+				best = i
+				bestStart = w[idx[i]].Start
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		r := rows[best][idx[best]]
+		idx[best]++
+		if n := len(dst); n > base && r.Start <= dst[n-1].End()+1 {
+			if e := r.End(); e > dst[n-1].End() {
+				dst[n-1].Length = e - dst[n-1].Start + 1
+			}
+			continue
+		}
+		dst = append(dst, r)
+	}
+}
+
+// AppendAND appends the conjunction of rows to dst under the same
+// append contract as AppendOR: pairwise two-pointer intersections over
+// ping-pong scratch rows, early-exiting the moment the accumulator
+// empties. With zero rows the conjunction is vacuously empty here
+// (callers gate the all-rows-present case).
+func (s *SweepScratch) AppendAND(dst Row, rows []Row) Row {
+	switch len(rows) {
+	case 0:
+		return dst
+	case 1:
+		return AppendCanonical(dst, rows[0])
+	}
+	acc := intersectAppend(s.tmpA[:0], rows[0], rows[1])
+	s.tmpA = acc[:0]
+	for i := 2; i < len(rows) && len(acc) > 0; i++ {
+		next := intersectAppend(s.tmpB[:0], acc, rows[i])
+		s.tmpB = acc[:0] // old accumulator becomes the next spare
+		s.tmpA = next[:0]
+		acc = next
+	}
+	return AppendCanonical(dst, acc)
+}
+
+// intersectAppend appends a ∩ b to dst with a two-pointer merge. The
+// output is valid (sorted, non-overlapping) but may contain adjacent
+// runs; AppendAND canonicalizes on its final copy.
+func intersectAppend(dst Row, a, b Row) Row {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		s := a[i].Start
+		if b[j].Start > s {
+			s = b[j].Start
+		}
+		e := a[i].End()
+		be := b[j].End()
+		if be < e {
+			e = be
+		}
+		if s <= e {
+			dst = append(dst, Span(s, e))
+		}
+		if a[i].End() < b[j].End() {
+			i++
+		} else {
+			j++
+		}
+	}
+	return dst
+}
+
+// AppendAtLeast appends pixels covered by at least n of the rows
+// (n ≥ 1) under the append contract.
+func (s *SweepScratch) AppendAtLeast(dst Row, rows []Row, n int) Row {
+	if n < 1 {
+		n = 1
+	}
+	return s.appendThreshold(dst, rows, n)
+}
+
+func (s *SweepScratch) appendThreshold(dst Row, rows []Row, threshold int) Row {
 	total := 0
 	for _, w := range rows {
 		total += len(w)
 	}
 	if total == 0 {
-		return nil
+		return dst
 	}
-	bs := make([]boundary, 0, 2*total)
+	bs := s.bs[:0]
 	for _, w := range rows {
 		for _, r := range w {
 			bs = append(bs, boundary{r.Start, +1}, boundary{r.End() + 1, -1})
 		}
 	}
 	sortBoundaries(bs)
-	var out Row
+	s.bs = bs
+	out := dst
 	depth := 0
 	open := false
 	var openAt int

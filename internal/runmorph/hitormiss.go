@@ -1,0 +1,97 @@
+package runmorph
+
+import (
+	"fmt"
+
+	"sysrle/internal/rle"
+)
+
+// Hit-or-miss transform on runs. A Pattern names foreground offsets
+// (pixels that must be set) and background offsets (pixels that must
+// be clear); the transform is the intersection of the corresponding
+// translates of the image and of its complement:
+//
+//	HMT(A) = ⋂_{d∈Fg} (A − d)  ∩  ⋂_{d∈Bg} (Aᶜ − d)
+//
+// Pixels outside the frame read as background, so a background
+// requirement landing off-frame is satisfied and a foreground one is
+// not — consistent with the erosion border convention.
+
+// Offset is a relative pixel position (DX right, DY down).
+type Offset struct {
+	DX, DY int
+}
+
+// Pattern is a hit-or-miss template: Fg offsets must hit foreground,
+// Bg offsets must hit background. Offsets may be arbitrary (sparse,
+// non-contiguous, origin excluded). A Pattern with empty Fg and Bg
+// matches everywhere.
+type Pattern struct {
+	Fg, Bg []Offset
+}
+
+// ParsePattern builds a Pattern from an ASCII stencil with its origin
+// at (ox, oy): '1'/'x'/'X' are foreground requirements, '0'/'o'/'O'
+// background ones, anything else ('.', ' ', '-') don't-care. Rows may
+// have differing lengths; missing cells are don't-care.
+func ParsePattern(rows []string, ox, oy int) (Pattern, error) {
+	var p Pattern
+	for y, row := range rows {
+		for x, c := range row {
+			off := Offset{DX: x - ox, DY: y - oy}
+			switch c {
+			case '1', 'x', 'X':
+				p.Fg = append(p.Fg, off)
+			case '0', 'o', 'O':
+				p.Bg = append(p.Bg, off)
+			case '.', ' ', '-':
+			default:
+				return Pattern{}, fmt.Errorf("runmorph: pattern cell %q at (%d,%d)", c, x, y)
+			}
+		}
+	}
+	return p, nil
+}
+
+// HitOrMiss returns the hit-or-miss transform of img under pat: the
+// pixels where every foreground offset lands on foreground and every
+// background offset on background.
+func (o *Op) HitOrMiss(img *rle.Image, pat Pattern) (*rle.Image, error) {
+	out := rle.NewImage(img.Width, img.Height)
+	if img.Width == 0 {
+		return out, nil
+	}
+	full := rle.Row{rle.Span(0, img.Width-1)}
+	for y := range out.Rows {
+		acc := full
+		for _, d := range pat.Fg {
+			// Requirement: x+DX ∈ A at row y+DY. Runs only exist inside
+			// the frame, so off-frame foreground requirements fail here
+			// by construction.
+			allowed := img.Row(y + d.DY).Shift(-d.DX)
+			acc = rle.AND(acc, allowed)
+			if len(acc) == 0 {
+				break
+			}
+		}
+		for _, d := range pat.Bg {
+			if len(acc) == 0 {
+				break
+			}
+			// Requirement: x+DX ∉ A at row y+DY. Complement within the
+			// frame after shifting: positions whose target falls off-frame
+			// have no run there and so read as background — satisfied.
+			blocked := img.Row(y + d.DY).Shift(-d.DX).Clip(img.Width)
+			acc = rle.AndNot(acc, blocked)
+		}
+		if len(acc) > 0 {
+			out.Rows[y] = acc.Clip(img.Width)
+		}
+	}
+	return out, nil
+}
+
+// HitOrMiss is the package-level convenience. See Op.HitOrMiss.
+func HitOrMiss(img *rle.Image, pat Pattern) (*rle.Image, error) {
+	return new(Op).HitOrMiss(img, pat)
+}

@@ -1,0 +1,85 @@
+package runmorph
+
+import (
+	"fmt"
+
+	"sysrle/internal/rle"
+)
+
+// The 1-D primitives. A horizontal SE of width w and origin ox covers
+// the offsets dx ∈ [-left, right] with left = ox, right = w-1-ox.
+// Dilation grows every run by those extents and unions the translates;
+// erosion shrinks every maximal stretch by them (a stretch shorter
+// than left+right+1 vanishes). Both follow the repo-wide append
+// contract: output is appended after dst's existing runs, which are
+// never touched or merged with, so a caller-owned scratch row makes
+// the steady state allocation-free.
+
+// AppendDilateRow appends the dilation of row by the horizontal
+// interval [-left, right] to dst, clipped to [0, width) (pass
+// width < 0 to skip clipping). Overlapping and adjacent grown runs are
+// merged on the fly, so the appended runs are canonical among
+// themselves even when the input row is merely valid (fragmented).
+// It panics if left or right is negative — validated SEs guarantee
+// non-negative extents.
+func AppendDilateRow(dst rle.Row, row rle.Row, left, right, width int) rle.Row {
+	if left < 0 || right < 0 {
+		panic(fmt.Sprintf("runmorph: negative dilation extents (-%d, +%d)", left, right))
+	}
+	base := len(dst)
+	for _, r := range row {
+		s, e := r.Start-left, r.End()+right
+		if width >= 0 {
+			if e >= width {
+				e = width - 1
+			}
+			if s < 0 {
+				s = 0
+			}
+			if s > e {
+				continue // run fell entirely outside the frame
+			}
+		}
+		if n := len(dst); n > base && s <= dst[n-1].End()+1 {
+			if e > dst[n-1].End() {
+				dst[n-1].Length = e - dst[n-1].Start + 1
+			}
+			continue
+		}
+		dst = append(dst, rle.Span(s, e))
+	}
+	return dst
+}
+
+// AppendErodeRow appends the erosion of row by the horizontal interval
+// [-left, right] to dst. Erosion does not distribute over union, so
+// adjacent and overlapping fragments are merged into maximal stretches
+// on the fly before shrinking; a stretch survives iff it is at least
+// left+right+1 pixels long. The appended runs are canonical among
+// themselves and need no clipping (erosion only shrinks). Panics on
+// negative extents.
+func AppendErodeRow(dst rle.Row, row rle.Row, left, right int) rle.Row {
+	if left < 0 || right < 0 {
+		panic(fmt.Sprintf("runmorph: negative erosion extents (-%d, +%d)", left, right))
+	}
+	if len(row) == 0 {
+		return dst
+	}
+	curS, curE := row[0].Start, row[0].End()
+	for _, r := range row[1:] {
+		if r.Start <= curE+1 { // adjacent or overlapping fragment
+			if e := r.End(); e > curE {
+				curE = e
+			}
+			continue
+		}
+		if s, e := curS+left, curE-right; s <= e {
+			dst = append(dst, rle.Span(s, e))
+		}
+		curS, curE = r.Start, r.End()
+	}
+	if s, e := curS+left, curE-right; s <= e {
+		dst = append(dst, rle.Span(s, e))
+	}
+	return dst
+}

@@ -87,15 +87,29 @@ func intQuery(r *http.Request, name string, lo, hi int) (int, error) {
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	engine := r.URL.Query().Get("engine")
-	minArea, err := intQuery(r, "min-area", 0, 1<<30)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+	spec := jobs.Spec{
+		Type:   r.URL.Query().Get("type"),
+		Engine: r.URL.Query().Get("engine"),
 	}
-	maxAlign, err := intQuery(r, "align", 0, 256)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	switch spec.Type {
+	case "", jobs.TypeInspect:
+		var err error
+		if spec.MinDefectArea, err = intQuery(r, "min-area", 0, 1<<30); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if spec.MaxAlignShift, err = intQuery(r, "align", 0, 256); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	case jobs.TypeDocClean:
+		var err error
+		if spec.Doc, err = docCleanConfigFromQuery(r); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown job type %q (have inspect, docclean)", spec.Type))
 		return
 	}
 	if !s.parseForm(w, r) {
@@ -103,24 +117,29 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cleanupForm(r.MultipartForm)
 
-	spec := jobs.Spec{
-		Engine:        engine,
-		MinDefectArea: minArea,
-		MaxAlignShift: maxAlign,
-	}
-	spec.RefID = r.URL.Query().Get("ref")
-	if spec.RefID == "" {
-		spec.RefID = r.FormValue("ref")
-	}
-	if spec.RefID == "" {
-		// No registered reference named: accept one uploaded inline.
-		ref, err := formImage(r, "ref")
-		if err != nil {
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("need ?ref=<id>, form value \"ref\", or an uploaded \"ref\" file: %v", err))
+	if spec.Type == jobs.TypeDocClean {
+		// Per-page cleanup takes no reference; reject rather than
+		// silently ignore one (same strictness as jobs.Submit applies
+		// to the engine parameter).
+		if r.URL.Query().Get("ref") != "" || r.FormValue("ref") != "" || len(r.MultipartForm.File["ref"]) > 0 {
+			httpError(w, http.StatusBadRequest, errors.New("docclean jobs take no reference"))
 			return
 		}
-		spec.Ref = ref
+	} else {
+		spec.RefID = r.URL.Query().Get("ref")
+		if spec.RefID == "" {
+			spec.RefID = r.FormValue("ref")
+		}
+		if spec.RefID == "" {
+			// No registered reference named: accept one uploaded inline.
+			ref, err := formImage(r, "ref")
+			if err != nil {
+				httpError(w, http.StatusBadRequest,
+					fmt.Errorf("need ?ref=<id>, form value \"ref\", or an uploaded \"ref\" file: %v", err))
+				return
+			}
+			spec.Ref = ref
+		}
 	}
 
 	files := r.MultipartForm.File["scan"]

@@ -33,6 +33,18 @@
 //	POST /v1/align            → multipart form, files "ref" and "scan";
 //	                            query: max-shift=N (1..64, default 4).
 //	                            Response is a JSON {dx, dy, residual_area}.
+//	POST /v1/docclean         → multipart form, file "image"; query:
+//	                            max-speckle=N, min-line=N, close-x=N,
+//	                            close-y=N, min-block=N, keep-lines=bool
+//	                            (absent values default from the page
+//	                            size), format=pbm|png|rlet|... With no
+//	                            format the response is the JSON cleanup
+//	                            report (speckles removed, H/V line
+//	                            counts, block bounding boxes); with a
+//	                            format it is the cleaned page encoded in
+//	                            that format, the report folded into
+//	                            X-Sysrle-* headers. Single pages only —
+//	                            batches go through /v1/jobs.
 //	POST   /v1/references     → multipart form, file "image". Registers
 //	                            the image in the content-addressed
 //	                            reference registry and returns 201 with
@@ -49,7 +61,11 @@
 //	                            (or form value "ref") naming a stored
 //	                            reference, or a file "ref" uploaded
 //	                            inline. Query: engine=..., min-area=N,
-//	                            align=N as for /v1/inspect. Returns 202
+//	                            align=N as for /v1/inspect. With
+//	                            ?type=docclean the scans instead run the
+//	                            document-cleanup pipeline (no reference,
+//	                            no engine; tuning query parameters as
+//	                            for /v1/docclean). Returns 202
 //	                            with the job snapshot; 429 with
 //	                            Retry-After when the job queue cannot
 //	                            take every scan (backpressure is
@@ -268,6 +284,7 @@ func NewWith(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/diff", s.handleDiff)
 	mux.HandleFunc("POST /v1/inspect", s.handleInspect)
 	mux.HandleFunc("POST /v1/align", s.handleAlign)
+	mux.HandleFunc("POST /v1/docclean", s.handleDocClean)
 	mux.HandleFunc("POST /v1/references", s.handleRefPut)
 	mux.HandleFunc("GET /v1/references", s.handleRefList)
 	mux.HandleFunc("GET /v1/references/{id}", s.handleRefGet)

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sysrle/internal/rle"
+)
+
+// Scanned-document page generator: the page-scale workload far from
+// the PCB regime. Pages are sparse and text-like — short glyph runs
+// grouped into words, lines and paragraphs — optionally decorated with
+// ruled lines, form-field boxes and salt noise, the structures the
+// docclean pipeline despeckles, extracts and segments. All randomness
+// comes from the caller's *rand.Rand so pages are reproducible.
+
+// DocParams describes a synthetic scanned page.
+type DocParams struct {
+	Width, Height int // page size in pixels (A4 at 300 dpi: 2480×3508)
+	Margin        int // blank border on all four sides
+
+	FontHeight  int // glyph height in pixels
+	LineSpacing int // vertical distance between successive text-line tops
+	CharWidth   int // glyph cell width
+	CharGap     int // gap between glyph cells
+	WordLenMin  int // characters per word, inclusive bounds
+	WordLenMax  int
+	WordGap     int // gap between words
+	ParaEvery   int // blank line after every n text lines (0 = never)
+
+	Rules         int // full-width horizontal ruled lines
+	Boxes         int // rectangular form-field outlines
+	RuleThickness int // stroke thickness of rules and boxes
+
+	SpeckleCount int // random noise specks
+	SpeckleMax   int // maximum speck side length in pixels
+}
+
+// A4Doc returns the default page model: A4 at 300 dpi with ~10 pt
+// type, a few rules and field boxes, and light salt noise.
+func A4Doc() DocParams {
+	return DocParams{
+		Width: 2480, Height: 3508, Margin: 150,
+		FontHeight: 30, LineSpacing: 50,
+		CharWidth: 18, CharGap: 4,
+		WordLenMin: 2, WordLenMax: 9, WordGap: 14,
+		ParaEvery: 8,
+		Rules:     3, Boxes: 2, RuleThickness: 4,
+		SpeckleCount: 300, SpeckleMax: 2,
+	}
+}
+
+// Validate reports parameter errors.
+func (p DocParams) Validate() error {
+	switch {
+	case p.Width < 1 || p.Height < 1:
+		return fmt.Errorf("workload: page %dx%d", p.Width, p.Height)
+	case p.Margin < 0 || 2*p.Margin >= p.Width || 2*p.Margin >= p.Height:
+		return fmt.Errorf("workload: margin %d does not fit %dx%d", p.Margin, p.Width, p.Height)
+	case p.FontHeight < 3 || p.LineSpacing < p.FontHeight:
+		return fmt.Errorf("workload: font height %d / line spacing %d", p.FontHeight, p.LineSpacing)
+	case p.CharWidth < 2 || p.CharGap < 0:
+		return fmt.Errorf("workload: char width %d gap %d", p.CharWidth, p.CharGap)
+	case p.WordLenMin < 1 || p.WordLenMax < p.WordLenMin:
+		return fmt.Errorf("workload: word length range [%d,%d]", p.WordLenMin, p.WordLenMax)
+	case p.WordGap < 1:
+		return fmt.Errorf("workload: word gap %d", p.WordGap)
+	case p.Rules < 0 || p.Boxes < 0 || p.SpeckleCount < 0:
+		return fmt.Errorf("workload: negative feature counts")
+	case (p.Rules > 0 || p.Boxes > 0) && p.RuleThickness < 1:
+		return fmt.Errorf("workload: rule thickness %d", p.RuleThickness)
+	case p.SpeckleCount > 0 && p.SpeckleMax < 1:
+		return fmt.Errorf("workload: speckle max %d", p.SpeckleMax)
+	}
+	return nil
+}
+
+// glyph is a tiny random stroke skeleton: vertical strokes spanning
+// the glyph height plus horizontal bars at the top/middle/bottom —
+// enough to reproduce text-like run statistics (2–4 short runs per
+// scanline per glyph) without rendering a font.
+type glyph struct {
+	verticals []int // x offsets of 2px-wide full-height strokes
+	bars      []int // y offsets (rows) of full-width bars, 2px tall
+}
+
+func randomGlyph(rng *rand.Rand, cw, fh int) glyph {
+	g := glyph{}
+	for _, x := range []int{0, cw - 2, cw / 2} {
+		if rng.Intn(2) == 0 {
+			g.verticals = append(g.verticals, x)
+		}
+	}
+	for _, y := range []int{0, fh/2 - 1, fh - 2} {
+		if rng.Intn(3) > 0 {
+			g.bars = append(g.bars, y)
+		}
+	}
+	if len(g.verticals) == 0 && len(g.bars) == 0 {
+		g.verticals = append(g.verticals, 0)
+	}
+	return g
+}
+
+// GenerateDocument renders one page under the model into a canonical
+// RLE image.
+func GenerateDocument(rng *rand.Rand, p DocParams) (*rle.Image, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rows := make([][]rle.Run, p.Height)
+	emit := func(x0, x1, y int) {
+		if y < 0 || y >= p.Height || x1 < x0 {
+			return
+		}
+		if x0 < 0 {
+			x0 = 0
+		}
+		if x1 >= p.Width {
+			x1 = p.Width - 1
+		}
+		if x0 <= x1 {
+			rows[y] = append(rows[y], rle.Span(x0, x1))
+		}
+	}
+
+	left, right := p.Margin, p.Width-1-p.Margin
+	top, bottom := p.Margin, p.Height-1-p.Margin
+
+	// Text lines.
+	line := 0
+	for ty := top; ty+p.FontHeight <= bottom; ty += p.LineSpacing {
+		line++
+		if p.ParaEvery > 0 && line%(p.ParaEvery+1) == 0 {
+			continue // paragraph break
+		}
+		x := left
+		// Ragged-right: stop a random way before the right margin.
+		lineEnd := right - rng.Intn(p.Width/8+1)
+		for x < lineEnd {
+			wordLen := p.WordLenMin + rng.Intn(p.WordLenMax-p.WordLenMin+1)
+			for c := 0; c < wordLen && x+p.CharWidth <= lineEnd; c++ {
+				g := randomGlyph(rng, p.CharWidth, p.FontHeight)
+				for _, vx := range g.verticals {
+					for dy := 0; dy < p.FontHeight; dy++ {
+						emit(x+vx, x+vx+1, ty+dy)
+					}
+				}
+				for _, by := range g.bars {
+					emit(x, x+p.CharWidth-1, ty+by)
+					emit(x, x+p.CharWidth-1, ty+by+1)
+				}
+				x += p.CharWidth + p.CharGap
+			}
+			x += p.WordGap
+		}
+	}
+
+	// Horizontal rules.
+	for i := 0; i < p.Rules; i++ {
+		ry := top + rng.Intn(bottom-top+1)
+		for t := 0; t < p.RuleThickness; t++ {
+			emit(left, right, ry+t)
+		}
+	}
+
+	// Form-field boxes (rectangle outlines).
+	for i := 0; i < p.Boxes; i++ {
+		bw := p.Width/6 + rng.Intn(p.Width/4+1)
+		bh := p.FontHeight*2 + rng.Intn(p.FontHeight*4+1)
+		bx := left + rng.Intn(maxInt(1, right-left-bw))
+		by := top + rng.Intn(maxInt(1, bottom-top-bh))
+		for t := 0; t < p.RuleThickness; t++ {
+			emit(bx, bx+bw-1, by+t)      // top edge
+			emit(bx, bx+bw-1, by+bh-1-t) // bottom edge
+			for y := by; y < by+bh; y++ {
+				emit(bx+t, bx+t, y)           // left edge
+				emit(bx+bw-1-t, bx+bw-1-t, y) // right edge
+			}
+		}
+	}
+
+	// Salt noise: tiny square specks anywhere on the page.
+	for i := 0; i < p.SpeckleCount; i++ {
+		side := 1 + rng.Intn(p.SpeckleMax)
+		sx := rng.Intn(p.Width)
+		sy := rng.Intn(p.Height)
+		for dy := 0; dy < side; dy++ {
+			emit(sx, sx+side-1, sy+dy)
+		}
+	}
+
+	img := rle.NewImage(p.Width, p.Height)
+	for y, rs := range rows {
+		if len(rs) > 0 {
+			img.Rows[y] = rle.Normalize(rs)
+		}
+	}
+	return img, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateDocument(t *testing.T) {
+	p := A4Doc()
+	rng := rand.New(rand.NewSource(1999))
+	img, err := GenerateDocument(rng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Width != 2480 || img.Height != 3508 {
+		t.Fatalf("page is %dx%d", img.Width, img.Height)
+	}
+	if err := img.Validate(); err != nil {
+		t.Fatalf("invalid page: %v", err)
+	}
+	d := img.Density()
+	if d < 0.01 || d > 0.25 {
+		t.Errorf("page density %.3f outside the sparse text regime", d)
+	}
+	if img.RunCount() < 1000 {
+		t.Errorf("only %d runs — not a text-like page", img.RunCount())
+	}
+	// Reproducible: same seed, same page.
+	again, err := GenerateDocument(rand.New(rand.NewSource(1999)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(again) {
+		t.Error("generation not deterministic")
+	}
+	// Different seed, different page.
+	other, err := GenerateDocument(rand.New(rand.NewSource(7)), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Equal(other) {
+		t.Error("independent seeds produced identical pages")
+	}
+}
+
+func TestDocParamsValidate(t *testing.T) {
+	bad := []func(*DocParams){
+		func(p *DocParams) { p.Width = 0 },
+		func(p *DocParams) { p.Margin = p.Width / 2 },
+		func(p *DocParams) { p.FontHeight = 1 },
+		func(p *DocParams) { p.LineSpacing = p.FontHeight - 1 },
+		func(p *DocParams) { p.WordLenMin = 0 },
+		func(p *DocParams) { p.WordLenMax = p.WordLenMin - 1 },
+		func(p *DocParams) { p.Rules = -1 },
+		func(p *DocParams) { p.RuleThickness = 0 },
+		func(p *DocParams) { p.SpeckleMax = 0 },
+	}
+	for i, mutate := range bad {
+		p := A4Doc()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad params accepted: %+v", i, p)
+		}
+	}
+	if err := A4Doc().Validate(); err != nil {
+		t.Errorf("A4Doc invalid: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateDocument(rng, DocParams{}); err == nil {
+		t.Error("zero params accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package sysrle
+
+import "testing"
+
+// Wiring tests for the option-based Morph* family: each option reaches
+// the run-native engine correctly. Algorithm correctness is pinned in
+// internal/runmorph and the oracle.
+
+func TestMorphOptionsReachEngine(t *testing.T) {
+	img := NewImage(12, 6)
+	img.SetRow(2, Row{{Start: 3, Length: 4}})
+
+	// Default (3×3 box) matches the legacy Box(1) dilation.
+	got, err := MorphDilate(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Dilate(img, Box(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(legacy) {
+		t.Error("default MorphDilate differs from legacy Box(1) dilation")
+	}
+
+	// An asymmetric SE with a corner origin only grows right/down.
+	got, err = MorphDilate(img, WithRectSE(Rect(3, 2)), WithSEOrigin(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Get(2, 2) || !got.Get(6, 2) || !got.Get(3, 3) || got.Get(3, 1) {
+		t.Errorf("corner-origin dilation wrong: rows %v", got.Rows)
+	}
+
+	// Decomposed execution is equivalent to direct.
+	direct, err := MorphErode(got, WithRectSE(Rect(3, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := MorphErode(got, WithRectSE(Rect(3, 2)), WithDecomposedSE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.Equal(dec) {
+		t.Error("decomposed erosion differs from direct")
+	}
+
+	// Origin outside the rectangle is rejected by every op.
+	if _, err := MorphOpen(img, WithRectSE(Rect(3, 3)), WithSEOrigin(5, 0)); err == nil {
+		t.Error("origin outside SE accepted")
+	}
+}
+
+func TestMorphDerivedAndHitOrMiss(t *testing.T) {
+	img := NewImage(10, 6)
+	img.SetRow(1, Row{{Start: 2, Length: 1}}) // speck above the block
+	img.SetRow(3, Row{{Start: 2, Length: 7}})
+	img.SetRow(4, Row{{Start: 2, Length: 7}})
+
+	th, err := MorphTopHat(img, WithRectSE(Rect(3, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !th.Get(2, 1) {
+		t.Error("top-hat missed the speck")
+	}
+	if th.Get(4, 3) {
+		t.Error("top-hat kept the block interior")
+	}
+
+	bh, err := MorphBlackHat(img, WithRectSE(Rect(1, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bh.Area() == 0 {
+		t.Error("black-hat found no gap between the block and the speck row")
+	}
+
+	pat, err := ParsePattern([]string{"10"}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := MorphHitOrMiss(img, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hm.Get(2, 1) || !hm.Get(8, 3) || hm.Get(3, 3) {
+		t.Errorf("hit-or-miss right-edge detector wrong: %v", hm.Rows)
+	}
+}
