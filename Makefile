@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race ci chaos oracle cover bench bench-json calibrate perf-smoke experiments fuzz clean
+.PHONY: all build test vet race ci chaos chaos-disk oracle cover bench bench-json calibrate perf-smoke experiments fuzz clean
 
 all: build vet test
 
@@ -17,6 +17,7 @@ ci:
 	$(GO) test -fuzz FuzzUnionOfTranslates -fuzztime 15s ./internal/runmorph/
 	$(GO) test -fuzz FuzzErodeIntersection -fuzztime 15s ./internal/runmorph/
 	$(MAKE) chaos
+	$(MAKE) chaos-disk
 	$(MAKE) oracle
 
 # The fault-tolerance suite under the race detector, repeated to
@@ -26,6 +27,18 @@ chaos:
 	$(GO) test -race -count=3 ./internal/fault/
 	$(GO) test -race -count=3 -run 'Chaos|Fault|Readyz|Retry|Quarantine|Hammer|Stuck|Panic|Verified' \
 		./internal/core/ ./internal/jobs/ ./internal/server/ ./internal/inspect/ ./cmd/sysdiffd/
+
+# The durability suite under the race detector: the full storage
+# stack (blob store, WAL, Merkle audit log) plus the crash-recovery
+# and disk-fault chaos runs — randomized kill -9 with torn/bit-rotted
+# tails, recovery must be a durable prefix; seeded torn-write /
+# ENOSPC / bit-rot / sync-fail injection, the service may fail loudly
+# but never lie (mirrors the ci.yml chaos-disk job).
+chaos-disk:
+	$(GO) test -race -count=2 ./internal/store/ ./internal/wal/ ./internal/auditlog/
+	$(GO) test -race -count=2 \
+		-run 'CrashRecoveryChaos|DiskFaultChaos|Recovery|Torture|Restart|Checkpoint|Fsck|Journal|Audit|Gauge' \
+		./internal/jobs/ ./internal/server/ ./internal/refstore/ ./cmd/sysdiffd/
 
 # The cross-engine differential & metamorphic oracle on the pinned CI
 # seed: every registered engine against the sequential merge and a

@@ -9,6 +9,7 @@
 //	benchtab -bench            # allocation/latency matrix as JSON
 //	benchtab -calibrate        # fit the planner's row cost model here
 //	benchtab -oracle           # cross-engine differential & metamorphic oracle
+//	benchtab -wal-bench        # journal append latency per sync policy
 //
 // Output is text tables; -csv switches tabular experiments to CSV.
 // -trials and -seed control averaging and reproducibility.
@@ -79,6 +80,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		benchHeight = fs.Int("bench-height", perf.DefaultOptions().Height, "-bench image height")
 		benchRounds = fs.Int("bench-rounds", perf.DefaultOptions().Rounds, "-bench runs per cell (fastest kept)")
 
+		walBench       = fs.Bool("wal-bench", false, "measure journal append latency per sync policy on this machine's disk")
+		walBenchDir    = fs.String("wal-bench-dir", "", "directory whose volume -wal-bench measures (default: the system temp dir)")
+		walBenchCount  = fs.Int("wal-records", 2000, "-wal-bench appends per policy")
+		walBenchRecord = fs.Int("wal-record-bytes", 256, "-wal-bench record payload size")
+
 		runOracle     = fs.Bool("oracle", false, "run the cross-engine differential & metamorphic oracle")
 		oracleSeed    = fs.Int64("oracle-seed", oracle.DefaultConfig().Seed, "-oracle corpus seed (rotate for fresh corpora)")
 		oraclePairs   = fs.Int("oracle-pairs", oracle.DefaultConfig().Pairs, "-oracle image pairs per generator")
@@ -95,6 +101,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			cfg.Engines = strings.Split(*oracleEngines, ",")
 		}
 		return runOracleHarness(stdout, cfg, *csv)
+	}
+	if *walBench {
+		return runWalBench(stdout, *walBenchDir, *walBenchCount, *walBenchRecord)
 	}
 	if *calibrate {
 		return runCalibrate(stdout, *benchWidth)

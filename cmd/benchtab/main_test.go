@@ -118,3 +118,22 @@ func TestRunCalibrateSmoke(t *testing.T) {
 		t.Error("degenerate calibration width accepted")
 	}
 }
+
+// TestRunWalBenchSmoke measures a tiny record count per policy and
+// checks the table shape; the latencies are machine-dependent.
+func TestRunWalBenchSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-wal-bench", "-wal-records", "50", "-wal-record-bytes", "64",
+		"-wal-bench-dir", t.TempDir()}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"policy", "always", "batch", "none", "appends/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wal-bench output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"-wal-bench", "-wal-records", "0"}, &stdout, &stderr); err == nil {
+		t.Error("zero record count accepted")
+	}
+}

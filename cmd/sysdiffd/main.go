@@ -24,10 +24,28 @@
 //	                         plan, e.g. "rate=0.05,seed=7,kinds=panic+slow";
 //	                         faults are detected and recovered by the
 //	                         verified engine (dev/test only)
+//	-data-dir ""             durable mode: persist references, the job
+//	                         journal and the Merkle audit log under this
+//	                         directory; acknowledged work survives kill -9
+//	                         and resumes at the next start. Empty keeps
+//	                         everything in memory (the default).
+//	-wal-sync always         journal fsync policy: always | batch | none
+//	-wal-sync-every 64       appends per fsync under -wal-sync=batch
+//	-audit-batch 64          verdicts per sealed Merkle batch
+//	-audit-interval 5s       deadline for sealing a partial audit batch
+//	-disk-fault-inject ""    chaos mode for the durable tier: seeded disk
+//	                         faults, e.g. "rate=0.01,seed=7,kinds=
+//	                         torn-write+enospc+bitrot+sync-fail+slow"
+//	                         (dev/test only)
+//	-fsck                    offline integrity check of -data-dir (blob
+//	                         re-hash, journal replay, audit chain and
+//	                         proof verification), then exit 0 if clean,
+//	                         1 if anything is corrupt
 //
 // Liveness is GET /healthz; readiness is GET /readyz, which aggregates
-// worker-pool, job-queue, reference-cache and load-shed probes into a
-// per-probe JSON breakdown (503 while any probe fails).
+// worker-pool, job-queue, reference-cache and load-shed probes — plus
+// a storage probe in durable mode — into a per-probe JSON breakdown
+// (503 while any probe fails).
 //
 //	curl -F image=@golden.pbm localhost:8422/v1/references          # → {"id": ...}
 //	curl -F b=@scan.pbm "localhost:8422/v1/diff?ref=<id>"           # no re-upload of the golden board
@@ -59,6 +77,8 @@ import (
 	"sysrle/internal/jobs"
 	"sysrle/internal/refstore"
 	"sysrle/internal/server"
+	"sysrle/internal/store"
+	"sysrle/internal/wal"
 )
 
 // options collects the flag-configurable server shape.
@@ -80,6 +100,14 @@ type options struct {
 	scanTimeout    time.Duration
 	scanRetries    int
 	faultInject    string
+
+	dataDir         string
+	walSync         string
+	walSyncEvery    int
+	auditBatch      int
+	auditInterval   time.Duration
+	diskFaultInject string
+	fsck            bool
 }
 
 func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
@@ -113,6 +141,20 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 		"retries per failed batch scan before quarantine (0 = none)")
 	fs.StringVar(&o.faultInject, "fault-inject", "",
 		`chaos mode: seeded engine-fault plan, e.g. "rate=0.05,seed=7,kinds=panic+slow" (dev/test only)`)
+	fs.StringVar(&o.dataDir, "data-dir", "",
+		"persist references, the job journal and the audit log under this directory (empty = in-memory)")
+	fs.StringVar(&o.walSync, "wal-sync", "always",
+		"journal fsync policy: always | batch | none")
+	fs.IntVar(&o.walSyncEvery, "wal-sync-every", 0,
+		"appends per fsync under -wal-sync=batch (0 = default)")
+	fs.IntVar(&o.auditBatch, "audit-batch", 0,
+		"verdicts per sealed audit-log Merkle batch (0 = default)")
+	fs.DurationVar(&o.auditInterval, "audit-interval", 0,
+		"deadline for sealing a partial audit batch (0 = default)")
+	fs.StringVar(&o.diskFaultInject, "disk-fault-inject", "",
+		`chaos mode: seeded disk-fault plan for the durable tier, e.g. "rate=0.01,seed=7,kinds=torn-write+bitrot" (dev/test only)`)
+	fs.BoolVar(&o.fsck, "fsck", false,
+		"check -data-dir integrity (blob hashes, journal, audit chain) and exit")
 	err := fs.Parse(args)
 	return o, err
 }
@@ -137,7 +179,19 @@ func run(ctx context.Context, o options, log *slog.Logger, ready chan<- net.Addr
 		}
 		faultPlan = &plan
 	}
-	handler := server.NewWith(server.Config{
+	var diskPlan *fault.DiskPlan
+	if o.diskFaultInject != "" {
+		plan, err := fault.ParseDiskPlan(o.diskFaultInject)
+		if err != nil {
+			return fmt.Errorf("-disk-fault-inject: %w", err)
+		}
+		diskPlan = &plan
+	}
+	walSync, err := wal.ParseSyncPolicy(o.walSync)
+	if err != nil {
+		return fmt.Errorf("-wal-sync: %w", err)
+	}
+	handler, err := server.Open(server.Config{
 		MaxUploadBytes: unlimited(o.maxUpload),
 		MaxInFlight:    unlimited(o.maxInFlight),
 		RequestTimeout: unlimited(o.requestTimeout),
@@ -150,7 +204,17 @@ func run(ctx context.Context, o options, log *slog.Logger, ready chan<- net.Addr
 		ScanTimeout:    o.scanTimeout,
 		ScanRetries:    o.scanRetries,
 		FaultPlan:      faultPlan,
+
+		DataDir:            o.dataDir,
+		WALSync:            walSync,
+		WALSyncEvery:       o.walSyncEvery,
+		AuditBatch:         o.auditBatch,
+		AuditFlushInterval: o.auditInterval,
+		DiskFaultPlan:      diskPlan,
 	})
+	if err != nil {
+		return err
+	}
 	defer handler.Close()
 	srv := &http.Server{
 		Addr:              o.addr,
@@ -203,6 +267,14 @@ func main() {
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	}
 	log := slog.New(handler)
+
+	if o.fsck {
+		if err := runFsck(store.OS(), o.dataDir, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,259 @@
+package auditlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"sysrle/internal/clock"
+	"sysrle/internal/store"
+)
+
+func testCfg() Config {
+	return Config{
+		BatchSize:     4,
+		FlushInterval: -1, // no timer in tests
+		Clock:         clock.NewFake(time.Date(2026, 8, 7, 9, 0, 0, 0, time.UTC)),
+	}
+}
+
+func openLog(t *testing.T, fs store.FS) *Log {
+	t.Helper()
+	l, _, err := Open(fs, "data/audit", testCfg())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func verdict(i int) Verdict {
+	return Verdict{
+		JobID:      fmt.Sprintf("job-%06d", i),
+		ScanIndex:  i % 3,
+		RefID:      "ref-abc",
+		Engine:     "interval",
+		Clean:      i%2 == 0,
+		Defects:    i % 5,
+		DiffPixels: 17 * i,
+	}
+}
+
+func TestAppendFlushProofVerify(t *testing.T) {
+	fs := store.NewMemFS()
+	l := openLog(t, fs)
+	var ids []string
+	for i := 0; i < 10; i++ {
+		id, err := l.Append(verdict(i))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+	// BatchSize 4: two batches flushed, two verdicts pending.
+	if got := len(l.Batches()); got != 2 {
+		t.Fatalf("batches = %d, want 2", got)
+	}
+	if got := l.Pending(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	for i, id := range ids {
+		p, err := l.Proof(id)
+		if err != nil {
+			t.Fatalf("Proof(%s): %v", id, err)
+		}
+		if err := VerifyProof(p); err != nil {
+			t.Fatalf("verdict %d proof: %v", i, err)
+		}
+		if p.Verdict.JobID != verdict(i).JobID {
+			t.Fatalf("proof %d returned wrong verdict", i)
+		}
+	}
+	// Asking for a pending verdict's proof flushed the rest.
+	if got := l.Pending(); got != 0 {
+		t.Fatalf("pending after Proof = %d, want 0", got)
+	}
+	rep, err := l.VerifyAll()
+	if err != nil || !rep.OK() {
+		t.Fatalf("VerifyAll: %v, errors %v", err, rep.Errors)
+	}
+	if rep.Verdicts != 10 {
+		t.Fatalf("VerifyAll verdicts = %d, want 10", rep.Verdicts)
+	}
+}
+
+func TestAppendDedupesByContent(t *testing.T) {
+	fs := store.NewMemFS()
+	l := openLog(t, fs)
+	v := verdict(1)
+	v.Time = time.Date(2026, 8, 7, 9, 0, 0, 0, time.UTC)
+	id1, _ := l.Append(v)
+	id2, _ := l.Append(v) // pending dedupe
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	id3, _ := l.Append(v) // flushed dedupe
+	if id1 != id2 || id1 != id3 {
+		t.Fatalf("ids differ: %s %s %s", id1, id2, id3)
+	}
+	if l.Pending() != 0 || len(l.Batches()) != 1 {
+		t.Fatalf("duplicate append created state: pending=%d batches=%d", l.Pending(), len(l.Batches()))
+	}
+}
+
+func TestChainAcrossBatchesAndReload(t *testing.T) {
+	fs := store.NewMemFS()
+	l := openLog(t, fs)
+	for i := 0; i < 12; i++ {
+		_, _ = l.Append(verdict(i))
+	}
+	_ = l.Close()
+	head := l.ChainHead()
+
+	l2, rep, err := Open(fs, "data/audit", testCfg())
+	if err != nil {
+		t.Fatalf("re-Open: %v", err)
+	}
+	if rep.Batches != 3 || rep.Verdicts != 12 || len(rep.Orphaned) != 0 {
+		t.Fatalf("LoadReport = %+v", rep)
+	}
+	if l2.ChainHead() != head {
+		t.Fatalf("chain head changed across reload")
+	}
+	batches := l2.Batches()
+	for i := 1; i < len(batches); i++ {
+		if batches[i].PrevChain != batches[i-1].Chain {
+			t.Fatalf("chain broken between batch %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestTamperedBatchOrphanedAtLoad(t *testing.T) {
+	fs := store.NewMemFS()
+	l := openLog(t, fs)
+	for i := 0; i < 12; i++ {
+		_, _ = l.Append(verdict(i))
+	}
+	_ = l.Close()
+	// Rot one byte inside batch 2's verdict payloads.
+	if err := fs.Tamper("data/audit/batch-00000002.json", func(d []byte) {
+		i := bytes.Index(d, []byte(`"diff_pixels"`))
+		d[i+15] ^= 1
+	}); err != nil {
+		t.Fatalf("Tamper: %v", err)
+	}
+	l2, rep, err := Open(fs, "data/audit", testCfg())
+	if err != nil {
+		t.Fatalf("re-Open: %v", err)
+	}
+	// Batch 1 loads; 2 is corrupt; 3 chains onto 2 so it is orphaned too.
+	if rep.Batches != 1 {
+		t.Fatalf("loaded %d batches, want the verified prefix of 1", rep.Batches)
+	}
+	if len(rep.Orphaned) != 2 {
+		t.Fatalf("orphaned %v, want batches 2 and 3 set aside", rep.Orphaned)
+	}
+	for _, name := range rep.Orphaned {
+		if _, err := fs.ReadFile("data/audit/" + name + ".orphan"); err != nil {
+			t.Fatalf("orphaned file %s not preserved: %v", name, err)
+		}
+	}
+	// The surviving log still verifies and can keep growing.
+	if vrep, _ := l2.VerifyAll(); !vrep.OK() {
+		t.Fatalf("verified prefix fails VerifyAll: %v", vrep.Errors)
+	}
+	if _, err := l2.Append(verdict(99)); err != nil {
+		t.Fatalf("Append after orphaning: %v", err)
+	}
+	if err := l2.Flush(); err != nil {
+		t.Fatalf("Flush after orphaning: %v", err)
+	}
+}
+
+func TestVerifyAllDetectsRot(t *testing.T) {
+	fs := store.NewMemFS()
+	l := openLog(t, fs)
+	for i := 0; i < 4; i++ {
+		_, _ = l.Append(verdict(i))
+	}
+	if err := fs.Tamper("data/audit/batch-00000001.json", func(d []byte) {
+		i := bytes.Index(d, []byte(`"defects"`))
+		d[i+11] ^= 1
+	}); err != nil {
+		t.Fatalf("Tamper: %v", err)
+	}
+	rep, err := l.VerifyAll()
+	if err != nil {
+		t.Fatalf("VerifyAll: %v", err)
+	}
+	if rep.OK() {
+		t.Fatal("VerifyAll missed a tampered batch")
+	}
+}
+
+func TestVerifyProofRejectsMutations(t *testing.T) {
+	fs := store.NewMemFS()
+	l := openLog(t, fs)
+	id, _ := l.Append(verdict(7))
+	p, err := l.Proof(id)
+	if err != nil {
+		t.Fatalf("Proof: %v", err)
+	}
+	mutations := []func(*Proof){
+		func(p *Proof) { p.Verdict.Defects++ },
+		func(p *Proof) { p.Verdict.Clean = !p.Verdict.Clean },
+		func(p *Proof) { p.Root = strings.Repeat("00", 32) },
+		func(p *Proof) { p.Chain = strings.Repeat("11", 32) },
+		func(p *Proof) { p.LeafIndex++ },
+	}
+	for i, mut := range mutations {
+		bad := p
+		bad.Path = append([]string(nil), p.Path...)
+		mut(&bad)
+		if VerifyProof(bad) == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+	if err := VerifyProof(p); err != nil {
+		t.Fatalf("unmutated proof rejected: %v", err)
+	}
+}
+
+func TestProofNotFound(t *testing.T) {
+	fs := store.NewMemFS()
+	l := openLog(t, fs)
+	if _, err := l.Proof("v-no-such"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Proof absent = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCrashLosesOnlyPending(t *testing.T) {
+	fs := store.NewMemFS()
+	l := openLog(t, fs)
+	for i := 0; i < 6; i++ {
+		_, _ = l.Append(verdict(i)) // batch of 4 flushes; 2 pending
+	}
+	fs.Crash(store.CrashOpts{})
+	l2, rep, err := Open(fs, "data/audit", testCfg())
+	if err != nil {
+		t.Fatalf("re-Open: %v", err)
+	}
+	if rep.Batches != 1 || rep.Verdicts != 4 {
+		t.Fatalf("LoadReport after crash = %+v, want the flushed batch intact", rep)
+	}
+	// Recovery re-appends the lost pending verdicts (the jobs WAL
+	// replays them); content ids make that idempotent and the chain
+	// continues.
+	for i := 0; i < 6; i++ {
+		_, _ = l2.Append(verdict(i))
+	}
+	if err := l2.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	vrep, _ := l2.VerifyAll()
+	if !vrep.OK() || vrep.Verdicts != 6 {
+		t.Fatalf("after recovery: verdicts=%d errors=%v", vrep.Verdicts, vrep.Errors)
+	}
+}

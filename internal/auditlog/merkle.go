@@ -1,0 +1,119 @@
+package auditlog
+
+// RFC 6962-style Merkle tree over verdict leaves: domain-separated
+// leaf/node hashing (so a leaf can never be confused for an interior
+// node), unbalanced split at the largest power of two, logarithmic
+// inclusion proofs. Nothing here knows about batches or disk — pure
+// hash algebra, shared by the writer, the proof endpoint and the
+// verifier CLI.
+
+import (
+	"crypto/sha256"
+)
+
+// Hash is one tree node value.
+type Hash = [sha256.Size]byte
+
+const (
+	leafPrefix  = 0x00
+	nodePrefix  = 0x01
+	chainPrefix = 0x02
+)
+
+// LeafHash hashes one leaf's canonical bytes.
+func LeafHash(data []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(data)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func nodeHash(l, r Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// ChainHash links one batch root onto the running chain head:
+// head' = H(0x02 || head || root). Tampering with any historic batch
+// changes every later head, so the newest head anchors the whole log.
+func ChainHash(prev, root Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{chainPrefix})
+	h.Write(prev[:])
+	h.Write(root[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// splitPoint is the largest power of two strictly less than n.
+func splitPoint(n int) int {
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	return k >> 1
+}
+
+// Root computes the Merkle root of the leaf hashes. An empty batch
+// hashes to the empty-string leaf domain (it never occurs in
+// practice — batches flush only when non-empty).
+func Root(leaves []Hash) Hash {
+	switch len(leaves) {
+	case 0:
+		return LeafHash(nil)
+	case 1:
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(Root(leaves[:k]), Root(leaves[k:]))
+}
+
+// ProofPath returns the sibling hashes that recompute the root from
+// leaf i, deepest first — the standard audit path.
+func ProofPath(leaves []Hash, i int) []Hash {
+	if i < 0 || i >= len(leaves) || len(leaves) == 1 {
+		return nil
+	}
+	k := splitPoint(len(leaves))
+	if i < k {
+		return append(ProofPath(leaves[:k], i), Root(leaves[k:]))
+	}
+	return append(ProofPath(leaves[k:], i-k), Root(leaves[:k]))
+}
+
+// VerifyInclusion recomputes the root from one leaf and its audit
+// path and reports whether it matches. The recursion mirrors
+// ProofPath exactly: the path is deepest-first, so the last element
+// is the top-level sibling.
+func VerifyInclusion(leaf Hash, index, count int, path []Hash, root Hash) bool {
+	if index < 0 || index >= count {
+		return false
+	}
+	got, ok := rootFromPath(leaf, index, count, path)
+	return ok && got == root
+}
+
+func rootFromPath(leaf Hash, index, count int, path []Hash) (Hash, bool) {
+	if count == 1 {
+		return leaf, len(path) == 0
+	}
+	if len(path) == 0 {
+		return Hash{}, false
+	}
+	sib := path[len(path)-1]
+	k := splitPoint(count)
+	if index < k {
+		sub, ok := rootFromPath(leaf, index, k, path[:len(path)-1])
+		return nodeHash(sub, sib), ok
+	}
+	sub, ok := rootFromPath(leaf, index-k, count-k, path[:len(path)-1])
+	return nodeHash(sib, sub), ok
+}

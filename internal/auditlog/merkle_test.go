@@ -1,0 +1,90 @@
+package auditlog
+
+import (
+	"fmt"
+	"testing"
+)
+
+func leaves(n int) []Hash {
+	out := make([]Hash, n)
+	for i := range out {
+		out[i] = LeafHash([]byte(fmt.Sprintf("leaf-%d", i)))
+	}
+	return out
+}
+
+func TestProofVerifiesForEverySizeAndIndex(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		ls := leaves(n)
+		root := Root(ls)
+		for i := 0; i < n; i++ {
+			path := ProofPath(ls, i)
+			if !VerifyInclusion(ls[i], i, n, path, root) {
+				t.Fatalf("n=%d i=%d: valid proof rejected", n, i)
+			}
+		}
+	}
+}
+
+func TestProofRejectsWrongLeafIndexPath(t *testing.T) {
+	ls := leaves(9)
+	root := Root(ls)
+	path := ProofPath(ls, 3)
+	if VerifyInclusion(ls[4], 3, 9, path, root) {
+		t.Fatal("wrong leaf accepted")
+	}
+	if VerifyInclusion(ls[3], 4, 9, path, root) {
+		t.Fatal("wrong index accepted")
+	}
+	if len(path) > 0 {
+		bad := append([]Hash(nil), path...)
+		bad[0][0] ^= 1
+		if VerifyInclusion(ls[3], 3, 9, bad, root) {
+			t.Fatal("tampered path accepted")
+		}
+		if VerifyInclusion(ls[3], 3, 9, path[:len(path)-1], root) {
+			t.Fatal("short path accepted")
+		}
+	}
+	if VerifyInclusion(ls[3], 3, 9, path, LeafHash([]byte("bogus"))) {
+		t.Fatal("wrong root accepted")
+	}
+	if VerifyInclusion(ls[3], -1, 9, path, root) || VerifyInclusion(ls[3], 9, 9, path, root) {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	// A leaf hash must never equal a node hash over the same bytes.
+	a, b := LeafHash([]byte("a")), LeafHash([]byte("b"))
+	var concat []byte
+	concat = append(concat, a[:]...)
+	concat = append(concat, b[:]...)
+	if nodeHash(a, b) == LeafHash(concat) {
+		t.Fatal("leaf/node domains collide")
+	}
+	if ChainHash(a, b) == nodeHash(a, b) {
+		t.Fatal("chain/node domains collide")
+	}
+}
+
+func TestRootChangesWithAnyLeaf(t *testing.T) {
+	ls := leaves(7)
+	root := Root(ls)
+	for i := range ls {
+		mut := append([]Hash(nil), ls...)
+		mut[i][5] ^= 0x80
+		if Root(mut) == root {
+			t.Fatalf("root unchanged after mutating leaf %d", i)
+		}
+	}
+}
+
+func TestSplitPoint(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 4, 8: 4, 9: 8, 16: 8, 17: 16}
+	for n, want := range cases {
+		if got := splitPoint(n); got != want {
+			t.Fatalf("splitPoint(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package clock is the one injectable time source shared by every
+// subsystem that schedules against wall time (jobs retention GC,
+// refstore TTL eviction, WAL record stamps, audit batch intervals).
+// Production code takes a Clock and defaults to System; tests inject
+// a Fake and advance it deterministically instead of sleeping.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a time source.
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// System returns the real wall clock.
+func System() Clock { return systemClock{} }
+
+// Fake is a manually advanced clock for tests. The zero value is not
+// usable; construct with NewFake.
+type Fake struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFake returns a fake clock frozen at t.
+func NewFake(t time.Time) *Fake { return &Fake{t: t} }
+
+// Now returns the current fake time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+// Advance moves the fake clock forward by d.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// Set jumps the fake clock to t.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	f.t = t
+	f.mu.Unlock()
+}

@@ -1,0 +1,32 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSystemNow(t *testing.T) {
+	before := time.Now()
+	got := System().Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("System().Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestFake(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	c := NewFake(base)
+	if got := c.Now(); !got.Equal(base) {
+		t.Fatalf("Now() = %v, want %v", got, base)
+	}
+	c.Advance(90 * time.Second)
+	if got := c.Now(); !got.Equal(base.Add(90 * time.Second)) {
+		t.Fatalf("after Advance: Now() = %v", got)
+	}
+	other := base.Add(24 * time.Hour)
+	c.Set(other)
+	if got := c.Now(); !got.Equal(other) {
+		t.Fatalf("after Set: Now() = %v, want %v", got, other)
+	}
+}

@@ -1,0 +1,397 @@
+// Disk fault injection: the storage counterpart of the engine-level
+// chaos in fault.go. DiskInjector wraps any store.FS and makes it
+// misbehave on a seeded schedule — torn writes, failed fsyncs, full
+// disks, bit-rot on read, slow IO — so the durability stack (store,
+// wal, auditlog) can be chaos-tested against the failure modes real
+// disks actually exhibit, deterministically and under -race.
+//
+// Fault classes map to concrete disk failure modes:
+//
+//	torn-write   a write persists only a prefix before failing (power
+//	             loss mid-write; the classic torn page)
+//	enospc       create/write fails with a disk-full error
+//	bitrot       a read returns data with one bit flipped (media decay
+//	             below the checksum layer)
+//	sync-fail    fsync (file or directory) reports failure — the
+//	             durability promise itself breaks
+//	slow         an IO stalls (overloaded device, NFS hiccup)
+//
+// Everything is deterministic given DiskPlan.Seed, so a chaos run that
+// fails can be replayed exactly.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sysrle/internal/store"
+	"sysrle/internal/telemetry"
+)
+
+// DiskKind names one disk fault class.
+type DiskKind string
+
+// The disk fault classes. See the comment above for the failure mode
+// each one models.
+const (
+	DiskTornWrite DiskKind = "torn-write"
+	DiskENOSPC    DiskKind = "enospc"
+	DiskBitRot    DiskKind = "bitrot"
+	DiskSyncFail  DiskKind = "sync-fail"
+	DiskSlow      DiskKind = "slow"
+)
+
+// DiskKinds returns every disk fault class, in a stable order.
+func DiskKinds() []DiskKind {
+	return []DiskKind{DiskTornWrite, DiskENOSPC, DiskBitRot, DiskSyncFail, DiskSlow}
+}
+
+func validDiskKind(k DiskKind) bool {
+	for _, v := range DiskKinds() {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+// DiskPlan is a deterministic disk fault schedule: each faultable FS
+// operation draws from a PRNG seeded with Seed and, with probability
+// Rate, injects one fault chosen uniformly from Kinds (restricted to
+// the classes that apply to that operation).
+type DiskPlan struct {
+	// Seed seeds the schedule; the same seed replays the same faults.
+	Seed int64
+	// Rate is the per-operation injection probability in [0, 1].
+	Rate float64
+	// Kinds restricts which fault classes may fire; empty means all.
+	Kinds []DiskKind
+	// SlowFor is the stall duration of a slow fault; 0 means
+	// DefaultSlowFor.
+	SlowFor time.Duration
+}
+
+// ParseDiskPlan parses the -disk-fault flag syntax, the same shape as
+// ParsePlan:
+//
+//	rate=0.05,seed=7,kinds=torn-write+sync-fail,slow=50ms
+func ParseDiskPlan(s string) (DiskPlan, error) {
+	p := DiskPlan{Rate: 0.01}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return DiskPlan{}, fmt.Errorf("fault: bad disk plan term %q (want key=value)", part)
+		}
+		switch key {
+		case "rate":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil || r < 0 || r > 1 {
+				return DiskPlan{}, fmt.Errorf("fault: bad rate %q (want 0..1)", val)
+			}
+			p.Rate = r
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return DiskPlan{}, fmt.Errorf("fault: bad seed %q", val)
+			}
+			p.Seed = n
+		case "kinds":
+			for _, k := range strings.Split(val, "+") {
+				kind := DiskKind(strings.TrimSpace(k))
+				if !validDiskKind(kind) {
+					return DiskPlan{}, fmt.Errorf("fault: unknown disk kind %q (have %v)", k, DiskKinds())
+				}
+				p.Kinds = append(p.Kinds, kind)
+			}
+		case "slow":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return DiskPlan{}, fmt.Errorf("fault: bad slow duration %q", val)
+			}
+			p.SlowFor = d
+		default:
+			return DiskPlan{}, fmt.Errorf("fault: unknown disk plan key %q", key)
+		}
+	}
+	return p, nil
+}
+
+// String renders the plan back into ParseDiskPlan syntax.
+func (p DiskPlan) String() string {
+	parts := []string{fmt.Sprintf("rate=%g", p.Rate), fmt.Sprintf("seed=%d", p.Seed)}
+	if len(p.Kinds) > 0 {
+		ks := make([]string, len(p.Kinds))
+		for i, k := range p.Kinds {
+			ks[i] = string(k)
+		}
+		parts = append(parts, "kinds="+strings.Join(ks, "+"))
+	}
+	if p.SlowFor > 0 {
+		parts = append(parts, "slow="+p.SlowFor.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// DiskInjector draws disk faults from a plan. One injector is shared
+// by every file the wrapped FS hands out (one flaky disk is global to
+// all files on it); all methods are safe for concurrent use.
+type DiskInjector struct {
+	plan DiskPlan
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected map[DiskKind]int64
+
+	counters map[DiskKind]*telemetry.Counter
+}
+
+// NewDiskInjector returns an injector following the plan, recording
+// sysrle_disk_fault_injected_total{kind=...} when reg is non-nil.
+func NewDiskInjector(plan DiskPlan, reg *telemetry.Registry) *DiskInjector {
+	if plan.SlowFor <= 0 {
+		plan.SlowFor = DefaultSlowFor
+	}
+	if len(plan.Kinds) == 0 {
+		plan.Kinds = DiskKinds()
+	}
+	in := &DiskInjector{
+		plan:     plan,
+		rng:      rand.New(rand.NewSource(plan.Seed)),
+		injected: make(map[DiskKind]int64),
+	}
+	if reg != nil {
+		reg.Help("sysrle_disk_fault_injected_total", "Disk faults injected by the chaos layer, by kind.")
+		in.counters = make(map[DiskKind]*telemetry.Counter, len(plan.Kinds))
+		for _, k := range plan.Kinds {
+			in.counters[k] = reg.Counter("sysrle_disk_fault_injected_total", telemetry.L("kind", string(k)))
+		}
+	}
+	return in
+}
+
+// Plan returns the schedule the injector follows.
+func (in *DiskInjector) Plan() DiskPlan { return in.plan }
+
+// roll decides whether the next operation faults with one of the
+// allowed classes, and returns a position draw for torn/bit-rot
+// faults. Classes in the plan but not allowed for this operation
+// still consume the draw, keeping the schedule stable across call
+// mixes.
+func (in *DiskInjector) roll(allowed ...DiskKind) (kind DiskKind, pos int, fire bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() >= in.plan.Rate {
+		return "", 0, false
+	}
+	kind = in.plan.Kinds[in.rng.Intn(len(in.plan.Kinds))]
+	pos = in.rng.Intn(1 << 20)
+	for _, a := range allowed {
+		if kind == a {
+			return kind, pos, true
+		}
+	}
+	return "", 0, false
+}
+
+// note records one actually-applied fault.
+func (in *DiskInjector) note(k DiskKind) {
+	in.mu.Lock()
+	in.injected[k]++
+	in.mu.Unlock()
+	if c := in.counters[k]; c != nil {
+		c.Inc()
+	}
+}
+
+// Injected returns how many faults of each class have been applied.
+func (in *DiskInjector) Injected() map[DiskKind]int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[DiskKind]int64, len(in.injected))
+	for k, v := range in.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total number of applied disk faults.
+func (in *DiskInjector) Total() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n int64
+	for _, v := range in.injected {
+		n += v
+	}
+	return n
+}
+
+func (in *DiskInjector) stall() { time.Sleep(in.plan.SlowFor) }
+
+// injectedErr builds the error an injected disk fault surfaces as.
+func injectedErr(k DiskKind, op string) error {
+	return fmt.Errorf("%w: disk %s during %s", ErrInjected, k, op)
+}
+
+// WrapFS returns inner with disk faults injected per the injector's
+// plan. A nil injector returns inner unchanged, so the chaos layer can
+// be wired unconditionally and enabled by configuration.
+func WrapFS(inner store.FS, inj *DiskInjector) store.FS {
+	if inj == nil {
+		return inner
+	}
+	return &faultFS{inner: inner, inj: inj}
+}
+
+type faultFS struct {
+	inner store.FS
+	inj   *DiskInjector
+}
+
+func (f *faultFS) MkdirAll(path string) error { return f.inner.MkdirAll(path) }
+
+func (f *faultFS) Create(path string) (store.File, error) {
+	kind, _, fire := f.inj.roll(DiskENOSPC, DiskSlow)
+	if fire {
+		f.inj.note(kind)
+		switch kind {
+		case DiskENOSPC:
+			return nil, injectedErr(kind, "create "+path)
+		case DiskSlow:
+			f.inj.stall()
+		}
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, inj: f.inj}, nil
+}
+
+func (f *faultFS) OpenAppend(path string) (store.File, error) {
+	file, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, inj: f.inj}, nil
+}
+
+func (f *faultFS) Open(path string) (store.File, error) {
+	file, err := f.inner.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	// Reads through Open are checksum-covered downstream; bit-rot is
+	// injected at the ReadFile boundary where whole blobs move.
+	return file, nil
+}
+
+func (f *faultFS) ReadFile(path string) ([]byte, error) {
+	kind, pos, fire := f.inj.roll(DiskBitRot, DiskSlow)
+	if fire {
+		f.inj.note(kind)
+		if kind == DiskSlow {
+			f.inj.stall()
+			kind = ""
+		}
+	}
+	data, err := f.inner.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if kind == DiskBitRot && len(data) > 0 {
+		rotted := append([]byte(nil), data...)
+		rotted[pos%len(rotted)] ^= 1 << (pos % 8)
+		return rotted, nil
+	}
+	return data, nil
+}
+
+func (f *faultFS) Rename(oldPath, newPath string) error {
+	kind, _, fire := f.inj.roll(DiskENOSPC, DiskSlow)
+	if fire {
+		f.inj.note(kind)
+		switch kind {
+		case DiskENOSPC:
+			return injectedErr(kind, "rename "+newPath)
+		case DiskSlow:
+			f.inj.stall()
+		}
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *faultFS) Remove(path string) error { return f.inner.Remove(path) }
+
+func (f *faultFS) ReadDir(path string) ([]string, error) { return f.inner.ReadDir(path) }
+
+func (f *faultFS) Stat(path string) (int64, error) { return f.inner.Stat(path) }
+
+func (f *faultFS) SyncDir(path string) error {
+	kind, _, fire := f.inj.roll(DiskSyncFail, DiskSlow)
+	if fire {
+		f.inj.note(kind)
+		switch kind {
+		case DiskSyncFail:
+			return injectedErr(kind, "fsync dir "+path)
+		case DiskSlow:
+			f.inj.stall()
+		}
+	}
+	return f.inner.SyncDir(path)
+}
+
+type faultFile struct {
+	inner store.File
+	inj   *DiskInjector
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	kind, pos, fire := f.inj.roll(DiskTornWrite, DiskENOSPC, DiskSlow)
+	if fire {
+		f.inj.note(kind)
+		switch kind {
+		case DiskTornWrite:
+			// Persist a prefix, then fail: the torn page. Callers
+			// must treat the write as failed; whatever landed is what
+			// a post-crash reader may observe.
+			n := 0
+			if len(p) > 0 {
+				n, _ = f.inner.Write(p[:pos%len(p)])
+			}
+			return n, injectedErr(kind, "write "+f.inner.Name())
+		case DiskENOSPC:
+			return 0, injectedErr(kind, "write "+f.inner.Name())
+		case DiskSlow:
+			f.inj.stall()
+		}
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	kind, _, fire := f.inj.roll(DiskSyncFail, DiskSlow)
+	if fire {
+		f.inj.note(kind)
+		switch kind {
+		case DiskSyncFail:
+			return injectedErr(kind, "fsync "+f.inner.Name())
+		case DiskSlow:
+			f.inj.stall()
+		}
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sysrle/internal/store"
+	"sysrle/internal/telemetry"
+)
+
+func TestParseDiskPlan(t *testing.T) {
+	p, err := ParseDiskPlan("rate=0.25,seed=42,kinds=torn-write+sync-fail,slow=50ms")
+	if err != nil {
+		t.Fatalf("ParseDiskPlan: %v", err)
+	}
+	if p.Rate != 0.25 || p.Seed != 42 || len(p.Kinds) != 2 {
+		t.Fatalf("parsed plan = %+v", p)
+	}
+	back, err := ParseDiskPlan(p.String())
+	if err != nil || back.Rate != p.Rate || back.Seed != p.Seed {
+		t.Fatalf("String roundtrip: %+v, %v", back, err)
+	}
+	for _, bad := range []string{"rate=2", "kinds=meteor", "slow=-1s", "nope=1", "rate"} {
+		if _, err := ParseDiskPlan(bad); err == nil {
+			t.Fatalf("ParseDiskPlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWrapFSNilPassthrough(t *testing.T) {
+	fs := store.NewMemFS()
+	if got := WrapFS(fs, nil); got != store.FS(fs) {
+		t.Fatal("nil injector must return inner unchanged")
+	}
+}
+
+func TestTornWriteLeavesPrefix(t *testing.T) {
+	inner := store.NewMemFS()
+	inj := NewDiskInjector(DiskPlan{Rate: 1, Seed: 3, Kinds: []DiskKind{DiskTornWrite}}, nil)
+	fs := WrapFS(inner, inj)
+	_ = fs.MkdirAll("d")
+	f, err := fs.Create("d/a")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	payload := []byte("this write will be torn somewhere in the middle")
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write returned %v, want ErrInjected", err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("torn write claimed %d of %d bytes", n, len(payload))
+	}
+	_ = f.Close()
+	got, _ := inner.ReadFile("d/a")
+	if !bytes.Equal(got, payload[:n]) {
+		t.Fatalf("on-disk bytes are not the reported prefix: %q", got)
+	}
+	if inj.Total() != 1 || inj.Injected()[DiskTornWrite] != 1 {
+		t.Fatalf("injection accounting: %v", inj.Injected())
+	}
+}
+
+func TestBitRotCaughtByStore(t *testing.T) {
+	inner := store.NewMemFS()
+	clean, err := store.Open(inner, "data/store", nil)
+	if err != nil {
+		t.Fatalf("Open store: %v", err)
+	}
+	id, err := clean.Put([]byte("reference bytes that will rot in transit"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	inj := NewDiskInjector(DiskPlan{Rate: 1, Seed: 9, Kinds: []DiskKind{DiskBitRot}}, nil)
+	rotted, err := store.Open(WrapFS(inner, inj), "data/store", nil)
+	if err != nil {
+		t.Fatalf("Open rotted store: %v", err)
+	}
+	if _, err := rotted.Get(id); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("Get through bit-rot = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSyncFailSurfaces(t *testing.T) {
+	inner := store.NewMemFS()
+	inj := NewDiskInjector(DiskPlan{Rate: 1, Seed: 5, Kinds: []DiskKind{DiskSyncFail}}, nil)
+	fs := WrapFS(inner, inj)
+	_ = fs.MkdirAll("d")
+	f, _ := fs.Create("d/a")
+	_, _ = f.Write([]byte("x"))
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync = %v, want ErrInjected", err)
+	}
+	_ = f.Close()
+	if err := fs.SyncDir("d"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("SyncDir = %v, want ErrInjected", err)
+	}
+}
+
+func TestENOSPCOnCreate(t *testing.T) {
+	inner := store.NewMemFS()
+	inj := NewDiskInjector(DiskPlan{Rate: 1, Seed: 5, Kinds: []DiskKind{DiskENOSPC}}, nil)
+	fs := WrapFS(inner, inj)
+	_ = fs.MkdirAll("d")
+	if _, err := fs.Create("d/a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Create on full disk = %v, want ErrInjected", err)
+	}
+}
+
+func TestDiskScheduleDeterministic(t *testing.T) {
+	run := func() map[DiskKind]int64 {
+		inner := store.NewMemFS()
+		inj := NewDiskInjector(DiskPlan{Rate: 0.5, Seed: 77}, nil)
+		fs := WrapFS(inner, inj)
+		_ = fs.MkdirAll("d")
+		for i := 0; i < 40; i++ {
+			f, err := fs.Create("d/a")
+			if err != nil {
+				continue
+			}
+			_, _ = f.Write([]byte("payload"))
+			_ = f.Sync()
+			_ = f.Close()
+			_, _ = fs.ReadFile("d/a")
+			_ = fs.SyncDir("d")
+		}
+		return inj.Injected()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("rate=0.5 over 200 ops injected nothing")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("schedule not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestDiskTelemetry(t *testing.T) {
+	inner := store.NewMemFS()
+	reg := telemetry.NewRegistry()
+	inj := NewDiskInjector(DiskPlan{Rate: 1, Kinds: []DiskKind{DiskENOSPC}}, reg)
+	fs := WrapFS(inner, inj)
+	_ = fs.MkdirAll("d")
+	_, _ = fs.Create("d/a")
+	got := reg.Counter("sysrle_disk_fault_injected_total", telemetry.L("kind", string(DiskENOSPC))).Value()
+	if got != 1 {
+		t.Fatalf("telemetry counter = %d, want 1", got)
+	}
+}

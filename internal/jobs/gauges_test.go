@@ -1,0 +1,75 @@
+package jobs
+
+// Regression tests pinning the lifecycle gauges to the job table:
+// delete/cancel in any order — including double deletes — must bring
+// sysrle_jobs_active back to zero, never below.
+
+import (
+	"testing"
+	"time"
+
+	"sysrle/internal/telemetry"
+)
+
+func gaugeSettles(t *testing.T, g *telemetry.Gauge, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if g.Value() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("gauge = %d, want %d", g.Value(), want)
+}
+
+func TestActiveGaugeNoDriftOnDoubleDelete(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := New(Config{Workers: 2, Retention: -1, Registry: reg})
+	defer m.Close()
+	active := reg.Gauge("sysrle_jobs_active")
+
+	id, err := m.Submit(inspectSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, id)
+	gaugeSettles(t, active, 0)
+
+	if err := m.Delete(id); err != nil {
+		t.Fatalf("first delete: %v", err)
+	}
+	if err := m.Delete(id); err != ErrNotFound {
+		t.Fatalf("second delete: %v, want ErrNotFound", err)
+	}
+	if v := active.Value(); v != 0 {
+		t.Fatalf("active gauge after double delete = %d", v)
+	}
+}
+
+func TestActiveGaugeSettlesOnMidFlightDelete(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := New(Config{Workers: 1, Retention: -1, Registry: reg})
+	defer m.Close()
+	active := reg.Gauge("sysrle_jobs_active")
+
+	// A burst of jobs, deleted while some scans are still queued: the
+	// drain path must settle the gauge at zero, not leak increments.
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id, err := m.Submit(inspectSpec(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if err := m.Delete(id); err != nil {
+			t.Fatalf("delete %s: %v", id, err)
+		}
+	}
+	gaugeSettles(t, active, 0)
+	if v := active.Value(); v < 0 {
+		t.Fatalf("active gauge went negative: %d", v)
+	}
+}

@@ -53,12 +53,16 @@ import (
 	"time"
 
 	"sysrle"
+	"sysrle/internal/auditlog"
+	"sysrle/internal/clock"
 	"sysrle/internal/core"
 	"sysrle/internal/docclean"
 	"sysrle/internal/inspect"
 	"sysrle/internal/refstore"
 	"sysrle/internal/rle"
+	"sysrle/internal/store"
 	"sysrle/internal/telemetry"
+	"sysrle/internal/wal"
 )
 
 // Errors returned by Submit and the accessors.
@@ -131,7 +135,28 @@ type Config struct {
 	// Returning nil keeps the unwrapped engine.
 	WrapEngine func(core.Engine) core.Engine
 
-	// now overrides the clock in tests.
+	// Clock drives job timestamps, retention GC and retry bookkeeping;
+	// nil means clock.System().
+	Clock clock.Clock
+	// Journal, when non-nil, write-ahead-journals the job lifecycle:
+	// admissions, scan outcomes, completions, cancellations and
+	// deletions are appended (and synced per the journal's policy)
+	// before the caller sees success, and Open replays them after a
+	// crash — incomplete scans re-queue, finished jobs come back as
+	// pollable records and never re-run.
+	Journal *wal.WAL
+	// Blobs, when non-nil alongside Journal, archives scan and inline
+	// reference images as content-addressed blobs at admission so
+	// recovery can re-run incomplete scans. Without it, recovered
+	// pending scans are failed with an explanatory error instead of
+	// re-run.
+	Blobs *store.Store
+	// Audit, when non-nil, records every successful inspect verdict in
+	// the Merkle audit log; the assigned id lands in
+	// ScanResult.AuditID.
+	Audit *auditlog.Log
+
+	// now is the resolved clock function (from Clock).
 	now func() time.Time
 }
 
@@ -184,6 +209,10 @@ type ScanResult struct {
 	// Quarantined marks a poison scan: every configured attempt
 	// failed, so it was given up on rather than retried forever.
 	Quarantined bool `json:"quarantined,omitempty"`
+	// AuditID is the verdict's id in the Merkle audit log (inspect
+	// scans under a manager configured with one); GET
+	// /v1/audit/{id}/proof returns its inclusion proof.
+	AuditID string `json:"audit_id,omitempty"`
 
 	// Docclean fields (Type == TypeDocClean only).
 	SpecklesRemoved int `json:"speckles_removed,omitempty"`
@@ -215,6 +244,8 @@ type job struct {
 	id       string
 	spec     Spec
 	ref      *rle.Image
+	total    int // scans in the job; survives spec.Scans being absent after recovery
+	persist  *persistedSpec
 	state    State
 	created  time.Time
 	started  time.Time
@@ -258,8 +289,26 @@ type Manager struct {
 	workersStuckG       *telemetry.Gauge
 }
 
-// New starts the worker pool and janitor.
+// New starts the worker pool and janitor. It panics on a journal
+// infrastructure failure; persistent deployments should prefer Open,
+// which returns it.
 func New(cfg Config) *Manager {
+	m, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Open starts the worker pool and janitor, first replaying the
+// journal when one is configured: finished jobs are restored as
+// pollable records (never re-run), incomplete scans re-queue ahead of
+// new work, audit verdicts are re-appended (content ids make that
+// idempotent), and the journal is checkpointed down to the recovered
+// state. The only errors are infrastructure failures — corrupt or
+// torn journal tails are recovery, handled by the durable-prefix
+// replay, not errors.
+func Open(cfg Config) (*Manager, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = DefaultWorkers
 	}
@@ -275,15 +324,29 @@ func New(cfg Config) *Manager {
 	if cfg.StuckAfter <= 0 {
 		cfg.StuckAfter = DefaultStuckAfter
 	}
-	if cfg.now == nil {
-		cfg.now = time.Now
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
+	}
+	cfg.now = cfg.Clock.Now
+	recovered, pending, maxSeq, err := recoverJournal(cfg)
+	if err != nil {
+		return nil, err
 	}
 	m := &Manager{
-		cfg:   cfg,
-		jobs:  make(map[string]*job),
-		tasks: make(chan task, cfg.QueueDepth),
+		cfg:  cfg,
+		jobs: make(map[string]*job),
+		// Recovered backlog rides on top of the configured depth so a
+		// full pre-crash queue re-admits without ErrQueueFull.
+		tasks: make(chan task, cfg.QueueDepth+len(pending)),
 		stop:  make(chan struct{}),
 		rng:   rand.New(rand.NewSource(1)), // jitter only; determinism aids replay
+	}
+	m.seq = maxSeq
+	for _, j := range recovered {
+		m.jobs[j.id] = j
+	}
+	for _, t := range pending {
+		m.tasks <- t
 	}
 	m.health = newPoolHealth(cfg.Workers, cfg.StuckAfter, cfg.now)
 	if reg := cfg.Registry; reg != nil {
@@ -305,13 +368,31 @@ func New(cfg Config) *Manager {
 		m.workersStuckG = reg.Gauge("sysrle_jobs_workers_stuck")
 		reg.Gauge("sysrle_jobs_workers").Set(int64(cfg.Workers))
 	}
+	if m.queueDepth != nil {
+		m.queueDepth.Set(int64(len(m.tasks)))
+	}
+	if m.activeG != nil {
+		for _, j := range recovered {
+			if !j.state.Terminal() {
+				m.activeG.Inc()
+			}
+		}
+	}
+	// Compact the journal down to exactly the recovered state before
+	// any new appends, so the next boot replays the snapshot instead
+	// of the full history.
+	if cfg.Journal != nil {
+		if err := cfg.Journal.Checkpoint(m.snapshotRecords()); err != nil {
+			return nil, fmt.Errorf("jobs: checkpoint after recovery: %w", err)
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker(i)
 	}
 	m.wg.Add(1)
 	go m.janitor()
-	return m
+	return m, nil
 }
 
 // Close stops the janitor, closes the queue and waits for the
@@ -394,6 +475,13 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 			return "", err
 		}
 	}
+	// Archive the work before admission: recovery needs the scan bytes
+	// to re-run whatever the crash interrupted. Content addressing
+	// dedupes resubmissions for free.
+	persist, err := m.archiveSpec(spec)
+	if err != nil {
+		return "", err
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -408,12 +496,20 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 		id:      fmt.Sprintf("job-%06d", m.seq),
 		spec:    spec,
 		ref:     ref,
+		total:   len(spec.Scans),
+		persist: persist,
 		state:   StateQueued,
 		created: m.cfg.now(),
 		results: make([]ScanResult, len(spec.Scans)),
 	}
 	for i := range j.results {
 		j.results[i] = ScanResult{Index: i}
+	}
+	// The admission record must be durable before the id is handed
+	// out: an acknowledged job survives kill -9.
+	if err := m.journalAdmit(j); err != nil {
+		m.seq--
+		return "", err
 	}
 	m.jobs[j.id] = j
 	// Only workers drain the channel, so under m.mu the capacity
@@ -469,14 +565,20 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		return Status{}, ErrNotFound
 	}
 	j.mu.Lock()
+	marked := false
 	if !j.state.Terminal() {
 		j.canceled = true
-		if j.done >= len(j.spec.Scans) {
+		marked = true
+		if j.done >= j.total {
 			// Every scan already finished; canceling changes nothing.
 			j.canceled = false
+			marked = false
 		}
 	}
 	j.mu.Unlock()
+	if marked {
+		m.journalAppend(walRecord{Op: opCancel, JobID: id})
+	}
 	return j.snapshot(), nil
 }
 
@@ -491,6 +593,7 @@ func (m *Manager) Delete(id string) error {
 	m.mu.Lock()
 	delete(m.jobs, id)
 	m.mu.Unlock()
+	m.journalAppend(walRecord{Op: opDelete, JobID: id})
 	return nil
 }
 
@@ -695,14 +798,26 @@ func (m *Manager) jobCanceled(j *job) bool {
 
 // record stores one scan result and finalizes the job when it was the
 // last. canceledScan marks results that were skipped, not failed.
+// With an audit log configured, successful inspect verdicts are
+// appended to it first so the assigned id travels with the result;
+// with a journal, the outcome (and any completion) is appended after
+// the in-memory update — a record lost to a crash in between just
+// re-runs that scan on recovery.
 func (m *Manager) record(j *job, res ScanResult, canceledScan bool) {
+	var auditTime time.Time
+	if m.cfg.Audit != nil && !canceledScan && res.Error == "" && typeName(j.spec.Type) == TypeInspect {
+		auditTime = m.cfg.now()
+		if id, err := m.cfg.Audit.Append(j.verdict(res, auditTime)); err == nil {
+			res.AuditID = id
+		}
+	}
 	j.mu.Lock()
 	j.results[res.Index] = res
 	j.done++
 	if res.Error != "" && !canceledScan {
 		j.failed++
 	}
-	finished := j.done >= len(j.spec.Scans)
+	finished := j.done >= j.total
 	if finished && !j.state.Terminal() {
 		j.finished = m.cfg.now()
 		switch {
@@ -715,8 +830,11 @@ func (m *Manager) record(j *job, res ScanResult, canceledScan bool) {
 		}
 	}
 	state := j.state
+	finishedAt := j.finished
 	j.mu.Unlock()
+	m.journalAppend(walRecord{Op: opScan, JobID: j.id, Index: res.Index, Result: &res, AuditTime: auditTime})
 	if finished {
+		m.journalAppend(walRecord{Op: opDone, JobID: j.id, State: state, Finished: finishedAt})
 		if m.completedBy != nil {
 			m.completedBy(state).Inc()
 			m.activeG.Dec()
@@ -750,18 +868,24 @@ func (m *Manager) janitor() {
 	}
 }
 
-// collect removes jobs whose retention has lapsed.
+// collect removes jobs whose retention has lapsed, tombstoning them
+// in the journal so they stay gone across a restart.
 func (m *Manager) collect() {
 	deadline := m.cfg.now().Add(-m.cfg.Retention)
+	var removed []string
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for id, j := range m.jobs {
 		j.mu.Lock()
 		expired := j.state.Terminal() && !j.finished.IsZero() && j.finished.Before(deadline)
 		j.mu.Unlock()
 		if expired {
 			delete(m.jobs, id)
+			removed = append(removed, id)
 		}
+	}
+	m.mu.Unlock()
+	for _, id := range removed {
+		m.journalAppend(walRecord{Op: opDelete, JobID: id})
 	}
 }
 
@@ -775,7 +899,7 @@ func (j *job) snapshot() Status {
 		Type:       typeName(j.spec.Type),
 		RefID:      j.spec.RefID,
 		Engine:     engineName(j.spec.Type, j.spec.Engine),
-		ScansTotal: len(j.spec.Scans),
+		ScansTotal: j.total,
 		ScansDone:  j.done,
 		Created:    j.created,
 	}
@@ -791,7 +915,7 @@ func (j *job) snapshot() Status {
 		st.Finished = &t
 	}
 	if j.failed > 0 {
-		st.Error = fmt.Sprintf("%d of %d scans failed", j.failed, len(j.spec.Scans))
+		st.Error = fmt.Sprintf("%d of %d scans failed", j.failed, j.total)
 	}
 	st.Results = append([]ScanResult(nil), j.results...)
 	return st

@@ -35,7 +35,9 @@ import (
 	"sync"
 	"time"
 
+	"sysrle/internal/clock"
 	"sysrle/internal/rle"
+	"sysrle/internal/store"
 	"sysrle/internal/telemetry"
 )
 
@@ -53,13 +55,21 @@ type Config struct {
 	// (every Get decodes).
 	CacheBytes int64
 	// TTL evicts references not touched (stored, fetched or listed
-	// by id) within the window. 0 or negative means no expiry.
+	// by id) within the window. 0 or negative means no expiry. With a
+	// Disk tier, expiry frees memory only — the reference reloads from
+	// disk on its next access; without one, expiry is removal.
 	TTL time.Duration
 	// Registry receives telemetry; nil records nothing.
 	Registry *telemetry.Registry
-
-	// now overrides the clock in tests.
-	now func() time.Time
+	// Clock drives TTL bookkeeping; nil means clock.System().
+	Clock clock.Clock
+	// Disk, when non-nil, is the durable tier: every Put is written
+	// through to the content-addressed blob store before it is
+	// acknowledged, existing blobs are hydrated at New, and lookups
+	// fall back to disk on a memory miss. The blob bytes ARE the
+	// canonical RLEB encoding, so the blob id and the reference id
+	// coincide.
+	Disk *store.Store
 }
 
 // Meta describes one registered reference.
@@ -101,13 +111,14 @@ type Store struct {
 	encodedG              *telemetry.Gauge
 }
 
-// New returns an empty store.
+// New returns a store, hydrated from the disk tier when one is
+// configured.
 func New(cfg Config) *Store {
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = DefaultCacheBytes
 	}
-	if cfg.now == nil {
-		cfg.now = time.Now
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System()
 	}
 	s := &Store{cfg: cfg, refs: make(map[string]*entry), lru: list.New()}
 	if reg := cfg.Registry; reg != nil {
@@ -122,7 +133,67 @@ func New(cfg Config) *Store {
 		s.residentG = reg.Gauge("sysrle_refstore_resident_bytes")
 		s.encodedG = reg.Gauge("sysrle_refstore_encoded_bytes")
 	}
+	if cfg.Disk != nil {
+		s.hydrate()
+	}
 	return s
+}
+
+// hydrate loads every blob in the disk tier into the in-memory
+// registry at startup. Created times are lost across restarts (blobs
+// carry only content); they restart at boot time, which also restarts
+// the TTL window — references never expire while the process is down.
+func (s *Store) hydrate() {
+	ids, err := s.cfg.Disk.List()
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		s.loadFromDiskLocked(id)
+	}
+	s.syncGauges()
+}
+
+// loadFromDiskLocked pulls one blob from the disk tier into the
+// registry: verify (Get re-hashes), decode enough to rebuild Meta,
+// insert. Returns nil when the blob is absent, corrupt or not a
+// reference encoding.
+func (s *Store) loadFromDiskLocked(id string) *entry {
+	if s.cfg.Disk == nil {
+		return nil
+	}
+	if _, ok := s.refs[id]; ok {
+		return s.refs[id]
+	}
+	data, err := s.cfg.Disk.Get(id)
+	if err != nil {
+		return nil
+	}
+	img, err := rle.ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		return nil
+	}
+	runs := img.RunCount()
+	now := s.cfg.Clock.Now()
+	e := &entry{
+		meta: Meta{
+			ID:           id,
+			Width:        img.Width,
+			Height:       img.Height,
+			Runs:         runs,
+			Area:         img.Area(),
+			EncodedBytes: len(data),
+			DecodedBytes: decodedSize(img.Width, img.Height, runs),
+			Created:      now,
+		},
+		encoded:  data,
+		lastUsed: now,
+	}
+	s.refs[id] = e
+	s.encoded += int64(len(e.encoded))
+	return e
 }
 
 // decodedSize estimates the heap footprint of a decoded image: the
@@ -147,11 +218,20 @@ func (s *Store) Put(img *rle.Image) (Meta, error) {
 	sum := sha256.Sum256(buf.Bytes())
 	id := hex.EncodeToString(sum[:])
 
+	// Write-through: the blob must be durable before the upload is
+	// acknowledged. The blob store dedupes by content, so re-uploads
+	// cost one Stat.
+	if s.cfg.Disk != nil {
+		if _, err := s.cfg.Disk.Put(buf.Bytes()); err != nil {
+			return Meta{}, fmt.Errorf("refstore: durable tier: %w", err)
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sweepLocked()
 	if e, ok := s.refs[id]; ok {
-		e.lastUsed = s.cfg.now()
+		e.lastUsed = s.cfg.Clock.Now()
 		return e.meta, nil
 	}
 	runs := canon.RunCount()
@@ -164,10 +244,10 @@ func (s *Store) Put(img *rle.Image) (Meta, error) {
 			Area:         canon.Area(),
 			EncodedBytes: buf.Len(),
 			DecodedBytes: decodedSize(canon.Width, canon.Height, runs),
-			Created:      s.cfg.now(),
+			Created:      s.cfg.Clock.Now(),
 		},
 		encoded:  buf.Bytes(),
-		lastUsed: s.cfg.now(),
+		lastUsed: s.cfg.Clock.Now(),
 	}
 	s.refs[id] = e
 	s.encoded += int64(len(e.encoded))
@@ -185,9 +265,11 @@ func (s *Store) Get(id string) (*rle.Image, error) {
 	s.sweepLocked()
 	e, ok := s.refs[id]
 	if !ok {
-		return nil, ErrNotFound
+		if e = s.loadFromDiskLocked(id); e == nil {
+			return nil, ErrNotFound
+		}
 	}
-	e.lastUsed = s.cfg.now()
+	e.lastUsed = s.cfg.Clock.Now()
 	if e.decoded != nil {
 		s.lru.MoveToFront(e.lruElem)
 		if s.hits != nil {
@@ -224,9 +306,11 @@ func (s *Store) Meta(id string) (Meta, bool) {
 	s.sweepLocked()
 	e, ok := s.refs[id]
 	if !ok {
-		return Meta{}, false
+		if e = s.loadFromDiskLocked(id); e == nil {
+			return Meta{}, false
+		}
 	}
-	e.lastUsed = s.cfg.now()
+	e.lastUsed = s.cfg.Clock.Now()
 	return e.meta, true
 }
 
@@ -237,23 +321,31 @@ func (s *Store) Encoded(id string) ([]byte, bool) {
 	s.sweepLocked()
 	e, ok := s.refs[id]
 	if !ok {
-		return nil, false
+		if e = s.loadFromDiskLocked(id); e == nil {
+			return nil, false
+		}
 	}
-	e.lastUsed = s.cfg.now()
+	e.lastUsed = s.cfg.Clock.Now()
 	return append([]byte(nil), e.encoded...), true
 }
 
-// Delete removes a reference; it reports whether the id existed.
+// Delete removes a reference — from the disk tier too, when one is
+// configured; it reports whether the id existed.
 func (s *Store) Delete(id string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.refs[id]
-	if !ok {
-		return false
+	if ok {
+		s.removeLocked(e)
+		s.syncGauges()
 	}
-	s.removeLocked(e)
-	s.syncGauges()
-	return true
+	s.mu.Unlock()
+	if s.cfg.Disk != nil {
+		if !ok {
+			ok = s.cfg.Disk.Has(id)
+		}
+		_ = s.cfg.Disk.Delete(id)
+	}
+	return ok
 }
 
 // List returns metadata for every live reference, newest first.
@@ -320,12 +412,15 @@ func (s *Store) removeLocked(e *entry) {
 	delete(s.refs, e.meta.ID)
 }
 
-// sweepLocked drops references idle past the TTL.
+// sweepLocked drops references idle past the TTL. It syncs the gauges
+// itself when it removed anything: every accessor calls it, and an
+// eviction on a read path (Meta, List, Len, Encoded) must not leave
+// the gauges describing entries that are already gone.
 func (s *Store) sweepLocked() int {
 	if s.cfg.TTL <= 0 {
 		return 0
 	}
-	deadline := s.cfg.now().Add(-s.cfg.TTL)
+	deadline := s.cfg.Clock.Now().Add(-s.cfg.TTL)
 	removed := 0
 	for _, e := range s.refs {
 		if e.lastUsed.Before(deadline) {
@@ -335,6 +430,9 @@ func (s *Store) sweepLocked() int {
 				s.evictTTL.Inc()
 			}
 		}
+	}
+	if removed > 0 {
+		s.syncGauges()
 	}
 	return removed
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"sysrle/internal/clock"
 	"sysrle/internal/rle"
 	"sysrle/internal/telemetry"
 )
@@ -167,21 +168,21 @@ func TestCachingDisabled(t *testing.T) {
 }
 
 func TestTTLEviction(t *testing.T) {
-	now := time.Unix(1000, 0)
-	s := New(Config{TTL: time.Minute, now: func() time.Time { return now }})
+	clk := clock.NewFake(time.Unix(1000, 0))
+	s := New(Config{TTL: time.Minute, Clock: clk})
 	m1, _ := s.Put(testImage(7, 32, 8))
-	now = now.Add(30 * time.Second)
+	clk.Advance(30 * time.Second)
 	m2, _ := s.Put(testImage(8, 32, 8))
 	// Touching m1 resets its idle clock.
 	if _, err := s.Get(m1.ID); err != nil {
 		t.Fatal(err)
 	}
-	now = now.Add(45 * time.Second)
+	clk.Advance(45 * time.Second)
 	// m2 is now 45s idle (fine); m1 was touched 45s ago (fine).
 	if s.Len() != 2 {
 		t.Fatalf("premature TTL eviction: len %d", s.Len())
 	}
-	now = now.Add(20 * time.Second)
+	clk.Advance(20 * time.Second)
 	// m1 idle 65s → evicted; m2 idle 65s → evicted too.
 	if n := s.Sweep(); n != 2 {
 		t.Errorf("sweep removed %d, want 2", n)
@@ -191,9 +192,50 @@ func TestTTLEviction(t *testing.T) {
 	}
 }
 
+// TestGaugesNoDriftOnSweepAndDoubleDelete pins the telemetry gauges
+// to the table they describe: a TTL sweep triggered from a read path
+// must sync them (they used to go stale until the next write), and
+// deleting an id twice must not double-subtract.
+func TestGaugesNoDriftOnSweepAndDoubleDelete(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	clk := clock.NewFake(time.Unix(1000, 0))
+	s := New(Config{TTL: time.Minute, Clock: clk, Registry: reg})
+	refG := reg.Gauge("sysrle_refstore_refs")
+	encG := reg.Gauge("sysrle_refstore_encoded_bytes")
+
+	m1, _ := s.Put(testImage(30, 64, 16))
+	if _, err := s.Put(testImage(31, 64, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if refG.Value() != 2 || encG.Value() <= 0 {
+		t.Fatalf("after 2 puts: refs=%d encoded=%d", refG.Value(), encG.Value())
+	}
+
+	// Expire everything and trigger the sweep from a read path only.
+	clk.Advance(2 * time.Minute)
+	if n := len(s.List()); n != 0 {
+		t.Fatalf("expired refs still listed: %d", n)
+	}
+	if refG.Value() != 0 || encG.Value() != 0 {
+		t.Errorf("gauges stale after read-path sweep: refs=%d encoded=%d", refG.Value(), encG.Value())
+	}
+
+	// Double delete: the second is a no-op, not a second subtraction.
+	m1, _ = s.Put(testImage(30, 64, 16))
+	if !s.Delete(m1.ID) {
+		t.Fatal("first delete reported missing")
+	}
+	if s.Delete(m1.ID) {
+		t.Fatal("second delete reported existing")
+	}
+	if refG.Value() != 0 || encG.Value() != 0 {
+		t.Errorf("gauges drifted on double delete: refs=%d encoded=%d", refG.Value(), encG.Value())
+	}
+}
+
 func TestListNewestFirst(t *testing.T) {
-	now := time.Unix(1000, 0)
-	s := New(Config{now: func() time.Time { return now }})
+	clk := clock.NewFake(time.Unix(1000, 0))
+	s := New(Config{Clock: clk})
 	var ids []string
 	for i := 0; i < 3; i++ {
 		m, err := s.Put(testImage(int64(10+i), 48, 12))
@@ -201,7 +243,7 @@ func TestListNewestFirst(t *testing.T) {
 			t.Fatal(err)
 		}
 		ids = append(ids, m.ID)
-		now = now.Add(time.Second)
+		clk.Advance(time.Second)
 	}
 	list := s.List()
 	if len(list) != 3 {

@@ -76,6 +76,29 @@
 //	                            and results.
 //	DELETE /v1/jobs/{id}      → cancel (if still running) and remove
 //	                            the job record; 204, or 404.
+//	GET    /v1/audit          → audit-log summary: the Merkle chain
+//	                            head, pending verdict count and sealed
+//	                            batch index. 404 unless the service is
+//	                            durable (Config.DataDir).
+//	GET    /v1/audit/{id}/proof → inclusion proof for one inspection
+//	                            verdict (ScanResult.audit_id): the
+//	                            verdict, its Merkle audit path, the
+//	                            batch root and the chain link — enough
+//	                            to verify offline against a pinned
+//	                            chain head (auditctl verify-proof).
+//
+// # Durability
+//
+// With Config.DataDir set the service survives kill -9: references
+// persist in a content-addressed blob store (re-hydrated at startup,
+// so ref=<id> works across restarts with zero re-uploads),
+// acknowledged batch jobs are write-ahead journaled (incomplete scans
+// re-run at the next start; finished jobs come back pollable and
+// never re-run) and every successful inspect verdict is sealed into
+// the Merkle audit log. /readyz gains a "storage" probe that fails
+// while any persistence component holds a sticky write error. Without
+// DataDir everything above is in-memory and this paragraph does not
+// apply.
 //
 // # Async API contract
 //
@@ -120,6 +143,7 @@ import (
 	"time"
 
 	"sysrle"
+	"sysrle/internal/auditlog"
 	"sysrle/internal/core"
 	"sysrle/internal/fault"
 	"sysrle/internal/imageio"
@@ -127,7 +151,9 @@ import (
 	"sysrle/internal/jobs"
 	"sysrle/internal/refstore"
 	"sysrle/internal/rle"
+	"sysrle/internal/store"
 	"sysrle/internal/telemetry"
+	"sysrle/internal/wal"
 )
 
 // MaxUploadBytes is the default bound on one multipart upload.
@@ -187,6 +213,33 @@ type Config struct {
 	// sysrle_fault_recovered_total) and recomputed on the sequential
 	// baseline. Dev/test only — it roughly doubles scan cost.
 	FaultPlan *fault.Plan
+
+	// DataDir, when non-empty, makes the service durable: references
+	// persist in a content-addressed blob store under DataDir/refs,
+	// the job lifecycle is write-ahead journaled under DataDir/wal
+	// (acknowledged submissions survive kill -9 and resume at the next
+	// start), and inspection verdicts land in the Merkle audit log
+	// under DataDir/audit. Empty (the default) keeps everything
+	// in-memory, zero-config.
+	DataDir string
+	// FS substitutes the filesystem persistence runs on (crash and
+	// chaos tests); nil means the real disk. Ignored without DataDir.
+	FS store.FS
+	// WALSync is the journal fsync policy (always/batch/none); the
+	// zero value is wal.SyncAlways. WALSyncEvery is the batch-policy
+	// cadence in appends.
+	WALSync      wal.SyncPolicy
+	WALSyncEvery int
+	// AuditBatch is the audit-log Merkle batch size and
+	// AuditFlushInterval the timer that seals a partial batch; zero
+	// values get auditlog defaults, a negative interval disables the
+	// timer.
+	AuditBatch         int
+	AuditFlushInterval time.Duration
+	// DiskFaultPlan, when non-nil, wraps the persistence filesystem
+	// with seeded disk-fault injection (torn writes, ENOSPC, bit rot,
+	// fsync failures, latency) per the plan. Dev/test only.
+	DiskFaultPlan *fault.DiskPlan
 }
 
 // Default limits for Config zero values.
@@ -207,6 +260,12 @@ type Server struct {
 	jobs    *jobs.Manager
 	handler http.Handler
 
+	// Durable tier (nil without Config.DataDir).
+	refBlobs *store.Store
+	jobBlobs *store.Store
+	journal  *wal.WAL
+	audit    *auditlog.Log
+
 	probeMu   sync.Mutex
 	probes    []probe
 	inFlight  *telemetry.Gauge
@@ -218,9 +277,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
-// Close stops the batch-job worker pool. In-flight and queued scans
-// finish; new submissions get 503.
-func (s *Server) Close() { s.jobs.Close() }
+// Close stops the batch-job worker pool (in-flight and queued scans
+// finish; new submissions get 503) and then, when the service is
+// durable, seals the persistence tier: the audit log flushes its
+// pending batch and the journal syncs and closes — in that order, so
+// every verdict recorded by a finishing scan is on disk before the
+// journal that references it stops accepting records.
+func (s *Server) Close() {
+	s.jobs.Close()
+	if s.audit != nil {
+		if err := s.audit.Close(); err != nil {
+			s.log.Warn("audit log close", "err", err)
+		}
+	}
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil {
+			s.log.Warn("journal close", "err", err)
+		}
+	}
+}
 
 // Refs exposes the reference registry (tests, preloading a golden
 // reference at startup).
@@ -231,7 +306,22 @@ func (s *Server) Refs() *refstore.Store { return s.refs }
 func New() *Server { return NewWith(Config{}) }
 
 // NewWith returns the service handler for the given configuration.
+// It panics when Open would fail, which only a Config with DataDir
+// set can cause — durable deployments should call Open and handle the
+// error.
 func NewWith(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("server.NewWith: %v", err))
+	}
+	return s
+}
+
+// Open returns the service handler for the given configuration,
+// opening the durable tier (blob stores, journal, audit log) and
+// replaying interrupted jobs when Config.DataDir is set. The only
+// error paths are storage ones, so a memory-only Config never fails.
+func Open(cfg Config) (*Server, error) {
 	if cfg.MaxUploadBytes == 0 {
 		cfg.MaxUploadBytes = MaxUploadBytes
 	}
@@ -250,12 +340,17 @@ func NewWith(cfg Config) *Server {
 	}
 	s.inFlight = s.reg.Gauge("sysrle_http_in_flight")
 	s.notReadyC = s.reg.Counter("sysrle_http_not_ready_total")
+	if err := s.openStorage(); err != nil {
+		return nil, err
+	}
 	s.refs = refstore.New(refstore.Config{
 		CacheBytes: cfg.RefCacheBytes,
 		TTL:        cfg.RefTTL,
 		Registry:   s.reg,
+		Disk:       s.refBlobs,
 	})
-	s.jobs = jobs.New(jobs.Config{
+	var err error
+	s.jobs, err = jobs.Open(jobs.Config{
 		Workers:     cfg.JobWorkers,
 		QueueDepth:  cfg.JobQueueDepth,
 		Retention:   cfg.JobRetention,
@@ -265,7 +360,13 @@ func NewWith(cfg Config) *Server {
 		ScanRetries: cfg.ScanRetries,
 		StuckAfter:  cfg.StuckAfter,
 		WrapEngine:  s.engineWrapper(),
+		Journal:     s.journal,
+		Blobs:       s.jobBlobs,
+		Audit:       s.audit,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("server: job recovery: %w", err)
+	}
 	s.registerBuiltinProbes()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -293,8 +394,10 @@ func NewWith(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	mux.HandleFunc("GET /v1/audit", s.handleAuditBatches)
+	mux.HandleFunc("GET /v1/audit/{id}/proof", s.handleAuditProof)
 	s.handler = s.wrap(mux)
-	return s
+	return s, nil
 }
 
 // engineWrapper builds the jobs engine hook for chaos mode: inject

@@ -1,0 +1,109 @@
+package store
+
+// The FS interface is the narrow slice of a POSIX filesystem the
+// durability layer needs: create/append/rename/remove plus explicit
+// file and directory fsync. Everything in internal/store,
+// internal/wal and internal/auditlog goes through it, which is what
+// makes the whole persistence stack testable against MemFS (crash
+// simulation with per-file sync tracking) and chaos-testable against
+// the disk fault injector in internal/fault.
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is one open file handle.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes written data to stable storage. Data written but
+	// not synced may be lost — wholly or as a torn tail — on crash.
+	Sync() error
+	// Name returns the path the file was opened under.
+	Name() string
+}
+
+// FS is the filesystem the persistence layer runs on.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string) error
+	// Create opens a new file for writing, truncating any existing one.
+	Create(path string) (File, error)
+	// Open opens an existing file for reading.
+	Open(path string) (File, error)
+	// OpenAppend opens a file for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// ReadFile returns the full contents of a file.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// ReadDir lists the names (not paths) of a directory's entries —
+	// files and immediate subdirectories — sorted. A missing directory
+	// returns os.ErrNotExist.
+	ReadDir(path string) ([]string, error)
+	// Stat returns the size of a file.
+	Stat(path string) (int64, error)
+	// SyncDir flushes directory metadata (created, renamed and removed
+	// entries) to stable storage.
+	SyncDir(path string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Open(path string) (File, error) { return os.Open(path) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Stat(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(filepath.Clean(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,356 @@
+package store
+
+// MemFS is an in-memory FS with crash semantics: it tracks, per
+// file, which byte prefix has been fsynced and which directory
+// entries have been committed by SyncDir, so a test can run any
+// sequence of operations, call Crash, and observe exactly the state
+// a kill -9 could leave behind — unsynced tails gone (or torn),
+// uncommitted creates/renames/removes undone. The chaos suites drive
+// the store, WAL and audit log on top of it and assert the recovered
+// state is always a durable prefix.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path"
+	"sort"
+	"sync"
+)
+
+// memFile is one file: live contents plus the durable view.
+type memFile struct {
+	name        string // current live path
+	durableName string // path the file survives a crash under; "" = lost
+	data        []byte // live contents
+	synced      int    // prefix of data that has been fsynced
+}
+
+// MemFS implements FS in memory. All methods are safe for concurrent
+// use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile // live namespace
+	all   []*memFile          // every file object ever created
+	dirs  map[string]bool
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), dirs: map[string]bool{".": true}}
+}
+
+func (m *MemFS) MkdirAll(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for d := path.Clean(p); d != "." && d != "/"; d = path.Dir(d) {
+		m.dirs[d] = true
+	}
+	return nil
+}
+
+func (m *MemFS) dirExists(p string) bool {
+	d := path.Dir(path.Clean(p))
+	return d == "." || d == "/" || m.dirs[d]
+}
+
+func (m *MemFS) Create(p string) (File, error) {
+	p = path.Clean(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirExists(p) {
+		return nil, &os.PathError{Op: "create", Path: p, Err: os.ErrNotExist}
+	}
+	f := &memFile{name: p}
+	m.files[p] = f
+	m.all = append(m.all, f)
+	return &memHandle{fs: m, f: f, write: true}, nil
+}
+
+func (m *MemFS) Open(p string) (File, error) {
+	p = path.Clean(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[p]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: p, Err: os.ErrNotExist}
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) OpenAppend(p string) (File, error) {
+	p = path.Clean(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[p]
+	if !ok {
+		if !m.dirExists(p) {
+			return nil, &os.PathError{Op: "append", Path: p, Err: os.ErrNotExist}
+		}
+		f = &memFile{name: p}
+		m.files[p] = f
+		m.all = append(m.all, f)
+	}
+	return &memHandle{fs: m, f: f, write: true}, nil
+}
+
+func (m *MemFS) ReadFile(p string) ([]byte, error) {
+	p = path.Clean(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[p]
+	if !ok {
+		return nil, &os.PathError{Op: "read", Path: p, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = path.Clean(oldpath), path.Clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	if !m.dirExists(newpath) {
+		return &os.PathError{Op: "rename", Path: newpath, Err: os.ErrNotExist}
+	}
+	delete(m.files, oldpath)
+	f.name = newpath
+	m.files[newpath] = f
+	return nil
+}
+
+func (m *MemFS) Remove(p string) error {
+	p = path.Clean(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[p]; !ok {
+		return &os.PathError{Op: "remove", Path: p, Err: os.ErrNotExist}
+	}
+	delete(m.files, p)
+	return nil
+}
+
+func (m *MemFS) ReadDir(p string) ([]string, error) {
+	p = path.Clean(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p != "." && !m.dirs[p] {
+		return nil, &os.PathError{Op: "readdir", Path: p, Err: os.ErrNotExist}
+	}
+	seen := make(map[string]bool)
+	for name := range m.files {
+		if path.Dir(name) == p {
+			seen[path.Base(name)] = true
+		}
+	}
+	for d := range m.dirs {
+		if path.Dir(d) == p {
+			seen[path.Base(d)] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Stat(p string) (int64, error) {
+	p = path.Clean(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[p]
+	if !ok {
+		return 0, &os.PathError{Op: "stat", Path: p, Err: os.ErrNotExist}
+	}
+	return int64(len(f.data)), nil
+}
+
+// SyncDir commits the directory's namespace: files currently linked
+// in the directory become durable under their current names, and
+// renames-away or removals of previously durable entries are
+// committed (the old entry no longer resurrects on crash).
+func (m *MemFS) SyncDir(p string) error {
+	p = path.Clean(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// First commit disappearances: any file whose durable name is in
+	// this directory but which no longer lives there under that name.
+	for _, f := range m.all {
+		if f.durableName != "" && path.Dir(f.durableName) == p && m.files[f.durableName] != f {
+			f.durableName = ""
+		}
+	}
+	// Then commit the live entries.
+	for name, f := range m.files {
+		if path.Dir(name) == p {
+			f.durableName = name
+		}
+	}
+	return nil
+}
+
+// CrashOpts tunes Crash.
+type CrashOpts struct {
+	// Torn, when set, lets each file keep a random extra prefix of its
+	// unsynced tail — the blocks that happened to hit disk before the
+	// power went.
+	Torn bool
+	// BitRot, when set with Torn, flips one random bit inside the torn
+	// extension of one file, modeling a partially written sector.
+	BitRot bool
+	// Seed makes the torn-tail draws deterministic.
+	Seed int64
+}
+
+// Crash reverts the filesystem to what stable storage would hold
+// after a kill -9: every file shrinks to its synced prefix (plus an
+// optional torn tail), uncommitted creates and renames are undone,
+// and uncommitted removals resurrect. Open handles are orphaned.
+//
+// Crash mutates the receiver in place, so it is only faithful when
+// every writer has been quiesced first: a goroutine of the "killed"
+// process that is still running would keep writing into the rebooted
+// namespace, which no real dead process can do. When the old process
+// is abandoned alive (the chaos suites), use Reboot instead.
+func (m *MemFS) Crash(opts CrashOpts) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	survivors := m.durableViewLocked(opts)
+	m.files = survivors
+	m.all = m.all[:0]
+	for _, f := range survivors {
+		m.all = append(m.all, f)
+	}
+}
+
+// Reboot returns the filesystem a freshly booted process would see
+// after a kill -9, leaving the receiver untouched. Goroutines of the
+// killed process keep operating on the old namespace, where their
+// writes can no longer reach the rebooted disk — exactly the
+// isolation a real kill -9 provides.
+func (m *MemFS) Reboot(opts CrashOpts) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	survivors := m.durableViewLocked(opts)
+	n := &MemFS{files: survivors, dirs: make(map[string]bool, len(m.dirs))}
+	for d := range m.dirs {
+		n.dirs[d] = true
+	}
+	for _, f := range survivors {
+		n.all = append(n.all, f)
+	}
+	return n
+}
+
+// durableViewLocked computes the post-crash namespace: fresh file
+// objects holding each durable entry's synced prefix (plus an
+// optional torn tail). Caller holds m.mu.
+func (m *MemFS) durableViewLocked(opts CrashOpts) map[string]*memFile {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	survivors := make(map[string]*memFile)
+	rotBudget := 0
+	if opts.BitRot {
+		rotBudget = 1
+	}
+	for _, f := range m.all {
+		if f.durableName == "" {
+			continue
+		}
+		keep := f.synced
+		if opts.Torn && keep < len(f.data) {
+			extra := rng.Intn(len(f.data) - keep + 1)
+			data := append([]byte(nil), f.data[:keep+extra]...)
+			if rotBudget > 0 && extra > 0 {
+				i := keep + rng.Intn(extra)
+				data[i] ^= 1 << uint(rng.Intn(8))
+				rotBudget--
+			}
+			survivors[f.durableName] = &memFile{
+				name: f.durableName, durableName: f.durableName,
+				data: data, synced: keep,
+			}
+			continue
+		}
+		survivors[f.durableName] = &memFile{
+			name: f.durableName, durableName: f.durableName,
+			data: append([]byte(nil), f.data[:keep]...), synced: keep,
+		}
+	}
+	return survivors
+}
+
+// Tamper mutates a file's bytes in place — durable view included —
+// for bit-rot tests. The mutation survives Crash up to the synced
+// prefix.
+func (m *MemFS) Tamper(p string, fn func(data []byte)) error {
+	p = path.Clean(p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[p]
+	if !ok {
+		return &os.PathError{Op: "tamper", Path: p, Err: os.ErrNotExist}
+	}
+	fn(f.data)
+	return nil
+}
+
+// memHandle is one open handle.
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	off    int
+	write  bool
+	closed bool
+}
+
+func (h *memHandle) Name() string { return h.f.name }
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if h.off >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if !h.write {
+		return 0, fmt.Errorf("memfs: %s not open for writing", h.f.name)
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

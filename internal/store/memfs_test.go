@@ -1,0 +1,182 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestMemFSUnsyncedDataLostOnCrash(t *testing.T) {
+	fs := NewMemFS()
+	_ = fs.MkdirAll("d")
+	f, _ := fs.Create("d/a")
+	_, _ = f.Write([]byte("synced"))
+	_ = f.Sync()
+	_, _ = f.Write([]byte(" unsynced tail"))
+	_ = f.Close()
+	_ = fs.SyncDir("d")
+	fs.Crash(CrashOpts{})
+	got, err := fs.ReadFile("d/a")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, []byte("synced")) {
+		t.Fatalf("after crash = %q, want synced prefix only", got)
+	}
+}
+
+func TestMemFSUncommittedCreateLostOnCrash(t *testing.T) {
+	fs := NewMemFS()
+	_ = fs.MkdirAll("d")
+	f, _ := fs.Create("d/a")
+	_, _ = f.Write([]byte("x"))
+	_ = f.Sync()
+	_ = f.Close()
+	// No SyncDir: the directory entry was never committed.
+	fs.Crash(CrashOpts{})
+	if _, err := fs.ReadFile("d/a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("uncommitted create survived crash: %v", err)
+	}
+}
+
+func TestMemFSRenameCommitSemantics(t *testing.T) {
+	fs := NewMemFS()
+	_ = fs.MkdirAll("d")
+	f, _ := fs.Create("d/tmp")
+	_, _ = f.Write([]byte("payload"))
+	_ = f.Sync()
+	_ = f.Close()
+	_ = fs.SyncDir("d")
+
+	// Rename without SyncDir: crash reverts to the old name.
+	_ = fs.Rename("d/tmp", "d/final")
+	fs.Crash(CrashOpts{})
+	if _, err := fs.ReadFile("d/tmp"); err != nil {
+		t.Fatalf("old name gone though rename was uncommitted: %v", err)
+	}
+	if _, err := fs.ReadFile("d/final"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("new name survived uncommitted rename")
+	}
+
+	// Rename plus SyncDir: crash keeps the new name only.
+	_ = fs.Rename("d/tmp", "d/final")
+	_ = fs.SyncDir("d")
+	fs.Crash(CrashOpts{})
+	if _, err := fs.ReadFile("d/final"); err != nil {
+		t.Fatalf("committed rename lost: %v", err)
+	}
+	if _, err := fs.ReadFile("d/tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("old name resurrected after committed rename")
+	}
+}
+
+func TestMemFSUncommittedRemoveResurrects(t *testing.T) {
+	fs := NewMemFS()
+	_ = fs.MkdirAll("d")
+	f, _ := fs.Create("d/a")
+	_, _ = f.Write([]byte("keep"))
+	_ = f.Sync()
+	_ = f.Close()
+	_ = fs.SyncDir("d")
+	_ = fs.Remove("d/a")
+	fs.Crash(CrashOpts{})
+	if got, err := fs.ReadFile("d/a"); err != nil || !bytes.Equal(got, []byte("keep")) {
+		t.Fatalf("uncommitted remove did not resurrect: %q, %v", got, err)
+	}
+	// Committed remove stays removed.
+	_ = fs.Remove("d/a")
+	_ = fs.SyncDir("d")
+	fs.Crash(CrashOpts{})
+	if _, err := fs.ReadFile("d/a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("committed remove resurrected")
+	}
+}
+
+func TestMemFSTornTailBounded(t *testing.T) {
+	fs := NewMemFS()
+	_ = fs.MkdirAll("d")
+	f, _ := fs.Create("d/a")
+	_, _ = f.Write([]byte("synced-part"))
+	_ = f.Sync()
+	_, _ = f.Write([]byte("-torn-tail"))
+	_ = f.Close()
+	_ = fs.SyncDir("d")
+	for seed := int64(0); seed < 20; seed++ {
+		clone := NewMemFS()
+		_ = clone.MkdirAll("d")
+		g, _ := clone.Create("d/a")
+		_, _ = g.Write([]byte("synced-part"))
+		_ = g.Sync()
+		_, _ = g.Write([]byte("-torn-tail"))
+		_ = g.Close()
+		_ = clone.SyncDir("d")
+		clone.Crash(CrashOpts{Torn: true, Seed: seed})
+		got, err := clone.ReadFile("d/a")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		full := []byte("synced-part-torn-tail")
+		if len(got) < len("synced-part") || len(got) > len(full) {
+			t.Fatalf("seed %d: torn length %d out of range", seed, len(got))
+		}
+		if !bytes.Equal(got[:len("synced-part")], []byte("synced-part")) {
+			t.Fatalf("seed %d: synced prefix corrupted: %q", seed, got)
+		}
+	}
+}
+
+func TestMemFSOpenAppendExtends(t *testing.T) {
+	fs := NewMemFS()
+	_ = fs.MkdirAll("d")
+	f, _ := fs.OpenAppend("d/log")
+	_, _ = f.Write([]byte("one"))
+	_ = f.Close()
+	g, _ := fs.OpenAppend("d/log")
+	_, _ = g.Write([]byte("two"))
+	_ = g.Close()
+	got, _ := fs.ReadFile("d/log")
+	if !bytes.Equal(got, []byte("onetwo")) {
+		t.Fatalf("append = %q, want onetwo", got)
+	}
+}
+
+// TestMemFSRebootIsolatesZombieWriters pins the property the chaos
+// suite depends on: after Reboot, writes from goroutines of the
+// "killed" process — still holding the old *MemFS — never reach the
+// rebooted namespace.
+func TestMemFSRebootIsolatesZombieWriters(t *testing.T) {
+	old := NewMemFS()
+	_ = old.MkdirAll("d")
+	f, _ := old.Create("d/a")
+	_, _ = f.Write([]byte("durable"))
+	_ = f.Sync()
+	_ = f.Close()
+	_ = old.SyncDir("d")
+
+	fresh := old.Reboot(CrashOpts{})
+
+	// The zombie overwrites, renames and creates in its old universe.
+	g, _ := old.Create("d/a")
+	_, _ = g.Write([]byte("zombie"))
+	_ = g.Sync()
+	_ = g.Close()
+	h, _ := old.Create("d/b")
+	_, _ = h.Write([]byte("late"))
+	_ = h.Sync()
+	_ = h.Close()
+	_ = old.SyncDir("d")
+
+	got, err := fresh.ReadFile("d/a")
+	if err != nil || !bytes.Equal(got, []byte("durable")) {
+		t.Fatalf("rebooted d/a = %q, %v; want pre-crash contents", got, err)
+	}
+	if _, err := fresh.ReadFile("d/b"); err == nil {
+		t.Fatal("zombie's post-crash create is visible after reboot")
+	}
+	// And the receiver keeps working for the zombie — its universe is
+	// intact, just unreachable from the rebooted disk.
+	if got, _ := old.ReadFile("d/a"); !bytes.Equal(got, []byte("zombie")) {
+		t.Fatalf("zombie's own view = %q", got)
+	}
+}

@@ -1,0 +1,355 @@
+// Package store is the content-addressed disk blob store under the
+// durable persistence layer: references, archived job scans and audit
+// batches all live in one of these. A blob's id is the hex SHA-256 of
+// its bytes, so the store inherits the registry's identity-is-content
+// property (refstore ids are SHA-256 over canonical RLEB — the same
+// bytes stored here). Writes are crash-safe by construction: temp
+// file → write → fsync → atomic rename into a fan-out shard directory
+// → directory fsync, so a reader never observes a partial blob and a
+// crash leaves either the whole blob or nothing. Reads re-hash and
+// quarantine on mismatch; Fsck does the same for every blob at once
+// (the startup integrity pass behind sysdiffd -fsck).
+//
+// Telemetry (when a registry is configured):
+//
+//	sysrle_store_puts_total / gets_total     blob writes / reads
+//	sysrle_store_corrupt_total               blobs failing re-hash (quarantined)
+//	sysrle_store_blobs / bytes               stored blobs and bytes (gauges)
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sysrle/internal/telemetry"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound = errors.New("store: blob not found")
+	ErrCorrupt  = errors.New("store: blob corrupt (hash mismatch)")
+)
+
+// Store is a content-addressed blob store rooted at one directory.
+// All methods are safe for concurrent use.
+type Store struct {
+	fs   FS
+	root string
+
+	mu      sync.Mutex // serializes namespace-changing ops per store
+	tmpSeq  atomic.Uint64
+	lastErr atomic.Value // error — sticky, for readiness probes
+
+	puts, gets, corrupt *telemetry.Counter
+	blobsG, bytesG      *telemetry.Gauge
+}
+
+const (
+	blobsDir      = "blobs"
+	tmpDir        = "tmp"
+	quarantineDir = "quarantine"
+)
+
+// Open initializes (creating if needed) a store rooted at dir, and
+// clears any temp files a previous crash left behind. The registry
+// receives telemetry; nil records nothing.
+func Open(fsys FS, dir string, reg *telemetry.Registry) (*Store, error) {
+	s := &Store{fs: fsys, root: dir}
+	for _, d := range []string{dir, path.Join(dir, blobsDir), path.Join(dir, tmpDir), path.Join(dir, quarantineDir)} {
+		if err := fsys.MkdirAll(d); err != nil {
+			return nil, fmt.Errorf("store: init %s: %w", d, err)
+		}
+	}
+	// A crash mid-Put can strand temp files; they are garbage by
+	// definition (the rename never happened).
+	if names, err := fsys.ReadDir(path.Join(dir, tmpDir)); err == nil {
+		for _, name := range names {
+			_ = fsys.Remove(path.Join(dir, tmpDir, name))
+		}
+	}
+	if reg != nil {
+		reg.Help("sysrle_store_corrupt_total", "Blobs that failed content re-hash and were quarantined.")
+		s.puts = reg.Counter("sysrle_store_puts_total")
+		s.gets = reg.Counter("sysrle_store_gets_total")
+		s.corrupt = reg.Counter("sysrle_store_corrupt_total")
+		s.blobsG = reg.Gauge("sysrle_store_blobs")
+		s.bytesG = reg.Gauge("sysrle_store_bytes")
+		n, b, _ := s.usage()
+		s.blobsG.Set(n)
+		s.bytesG.Set(b)
+	}
+	return s, nil
+}
+
+// ID returns the content address of a byte slice: hex SHA-256.
+func ID(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Store) blobPath(id string) string {
+	return path.Join(s.root, blobsDir, id[:2], id)
+}
+
+// errBox wraps errors for atomic.Value, which requires a consistent
+// concrete type across stores.
+type errBox struct{ err error }
+
+// note records a sticky error for the readiness probe.
+func (s *Store) note(err error) {
+	if err != nil {
+		s.lastErr.Store(errBox{err})
+	}
+}
+
+// Err returns the last persistent-write or integrity error the store
+// hit, or nil. It is sticky: once storage has misbehaved the
+// readiness probe stays down until the process is recycled or
+// ClearErr is called after operator intervention.
+func (s *Store) Err() error {
+	if v := s.lastErr.Load(); v != nil {
+		return v.(errBox).err
+	}
+	return nil
+}
+
+// ClearErr resets the sticky error.
+func (s *Store) ClearErr() { s.lastErr.Store(errBox{}) }
+
+// Put stores a blob and returns its content address. Storing bytes
+// that already exist is a cheap no-op returning the same id. The blob
+// is durable when Put returns: the temp file is fsynced before the
+// rename and the shard directory after it.
+func (s *Store) Put(data []byte) (string, error) {
+	id := ID(data)
+	if s.Has(id) {
+		return id, nil
+	}
+	shard := path.Join(s.root, blobsDir, id[:2])
+	if err := s.fs.MkdirAll(shard); err != nil {
+		s.note(err)
+		return "", fmt.Errorf("store: shard %s: %w", shard, err)
+	}
+	tmp := path.Join(s.root, tmpDir, fmt.Sprintf("put-%d-%s", s.tmpSeq.Add(1), id[:8]))
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		s.note(err)
+		return "", fmt.Errorf("store: create temp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = s.fs.Remove(tmp)
+		s.note(err)
+		return "", fmt.Errorf("store: write temp: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = s.fs.Remove(tmp)
+		s.note(err)
+		return "", fmt.Errorf("store: fsync temp: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = s.fs.Remove(tmp)
+		s.note(err)
+		return "", fmt.Errorf("store: close temp: %w", err)
+	}
+	if err := s.fs.Rename(tmp, s.blobPath(id)); err != nil {
+		_ = s.fs.Remove(tmp)
+		s.note(err)
+		return "", fmt.Errorf("store: rename: %w", err)
+	}
+	if err := s.fs.SyncDir(shard); err != nil {
+		s.note(err)
+		return "", fmt.Errorf("store: fsync dir: %w", err)
+	}
+	if s.puts != nil {
+		s.puts.Inc()
+		s.blobsG.Inc()
+		s.bytesG.Add(int64(len(data)))
+	}
+	return id, nil
+}
+
+// Get returns a blob's bytes, re-hashing them first: a mismatch
+// quarantines the blob and returns ErrCorrupt, so bit-rot is caught
+// at the read boundary rather than handed to a decoder.
+func (s *Store) Get(id string) ([]byte, error) {
+	if len(id) < 3 {
+		return nil, ErrNotFound
+	}
+	data, err := s.fs.ReadFile(s.blobPath(id))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		s.note(err)
+		return nil, fmt.Errorf("store: read %s: %w", id, err)
+	}
+	if ID(data) != id {
+		s.quarantine(id, int64(len(data)))
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, id)
+	}
+	if s.gets != nil {
+		s.gets.Inc()
+	}
+	return data, nil
+}
+
+// Has reports whether a blob exists (without integrity checking).
+func (s *Store) Has(id string) bool {
+	if len(id) < 3 {
+		return false
+	}
+	_, err := s.fs.Stat(s.blobPath(id))
+	return err == nil
+}
+
+// Delete removes a blob; deleting an absent id is a no-op.
+func (s *Store) Delete(id string) error {
+	if len(id) < 3 {
+		return nil
+	}
+	size, err := s.fs.Stat(s.blobPath(id))
+	if err != nil {
+		return nil
+	}
+	if err := s.fs.Remove(s.blobPath(id)); err != nil {
+		s.note(err)
+		return fmt.Errorf("store: delete %s: %w", id, err)
+	}
+	if err := s.fs.SyncDir(path.Join(s.root, blobsDir, id[:2])); err != nil {
+		s.note(err)
+		return fmt.Errorf("store: fsync dir: %w", err)
+	}
+	if s.blobsG != nil {
+		s.blobsG.Dec()
+		s.bytesG.Add(-size)
+	}
+	return nil
+}
+
+// List returns every stored blob id, sorted.
+func (s *Store) List() ([]string, error) {
+	shards, err := s.fs.ReadDir(path.Join(s.root, blobsDir))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var ids []string
+	for _, shard := range shards {
+		names, err := s.fs.ReadDir(path.Join(s.root, blobsDir, shard))
+		if err != nil {
+			continue
+		}
+		ids = append(ids, names...)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// usage walks the store counting blobs and bytes.
+func (s *Store) usage() (blobs, bytes int64, err error) {
+	ids, err := s.List()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, id := range ids {
+		size, err := s.fs.Stat(s.blobPath(id))
+		if err != nil {
+			continue
+		}
+		blobs++
+		bytes += size
+	}
+	return blobs, bytes, nil
+}
+
+// quarantine moves a corrupt blob aside (best-effort) so later reads
+// fail fast with ErrNotFound and the bytes stay available for
+// forensics.
+func (s *Store) quarantine(id string, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.fs.Rename(s.blobPath(id), path.Join(s.root, quarantineDir, id)); err == nil {
+		_ = s.fs.SyncDir(path.Join(s.root, quarantineDir))
+		_ = s.fs.SyncDir(path.Join(s.root, blobsDir, id[:2]))
+		if s.blobsG != nil {
+			s.blobsG.Dec()
+			s.bytesG.Add(-size)
+		}
+	}
+	if s.corrupt != nil {
+		s.corrupt.Inc()
+	}
+	s.note(fmt.Errorf("%w: %s", ErrCorrupt, id))
+}
+
+// FsckReport is what an integrity pass found.
+type FsckReport struct {
+	Checked     int      `json:"checked"`
+	Bytes       int64    `json:"bytes"`
+	Corrupt     []string `json:"corrupt,omitempty"`
+	Misnamed    []string `json:"misnamed,omitempty"`
+	Quarantined int      `json:"quarantined"`
+}
+
+// Fsck re-hashes every blob, quarantining any whose contents no
+// longer match their id (bit-rot) and any whose name is not a valid
+// content address. It returns what it found; the error is reserved
+// for I/O failures of the walk itself.
+func (s *Store) Fsck() (FsckReport, error) {
+	var rep FsckReport
+	ids, err := s.List()
+	if err != nil {
+		return rep, err
+	}
+	for _, id := range ids {
+		if len(id) != 64 || !isHex(id) {
+			rep.Misnamed = append(rep.Misnamed, id)
+			s.quarantineRaw(id)
+			rep.Quarantined++
+			continue
+		}
+		data, err := s.fs.ReadFile(s.blobPath(id))
+		if err != nil {
+			continue
+		}
+		rep.Checked++
+		rep.Bytes += int64(len(data))
+		if ID(data) != id {
+			rep.Corrupt = append(rep.Corrupt, id)
+			s.quarantine(id, int64(len(data)))
+			rep.Quarantined++
+		}
+	}
+	return rep, nil
+}
+
+// quarantineRaw moves a file that is not even a valid blob name.
+func (s *Store) quarantineRaw(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src := path.Join(s.root, blobsDir, name[:2], name)
+	if err := s.fs.Rename(src, path.Join(s.root, quarantineDir, name)); err == nil {
+		_ = s.fs.SyncDir(path.Join(s.root, quarantineDir))
+	}
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			return false
+		}
+	}
+	return true
+}

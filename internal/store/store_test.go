@@ -1,0 +1,216 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path"
+	"testing"
+
+	"sysrle/internal/telemetry"
+)
+
+func openMem(t *testing.T) (*MemFS, *Store, *telemetry.Registry) {
+	t.Helper()
+	fs := NewMemFS()
+	reg := telemetry.NewRegistry()
+	s, err := Open(fs, "data/store", reg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return fs, s, reg
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	_, s, _ := openMem(t)
+	blob := []byte("the canonical RLEB bytes of a reference image")
+	id, err := s.Put(blob)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if id != ID(blob) {
+		t.Fatalf("Put id = %s, want %s", id, ID(blob))
+	}
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("Get returned different bytes")
+	}
+	// Idempotent re-put.
+	id2, err := s.Put(blob)
+	if err != nil || id2 != id {
+		t.Fatalf("re-Put = %s, %v", id2, err)
+	}
+	if !s.Has(id) {
+		t.Fatal("Has(id) = false after Put")
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	_, s, _ := openMem(t)
+	if _, err := s.Get(ID([]byte("absent"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get absent = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	_, s, _ := openMem(t)
+	id, _ := s.Put([]byte("doomed"))
+	if err := s.Delete(id); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if s.Has(id) {
+		t.Fatal("Has after Delete")
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatalf("double Delete: %v", err)
+	}
+}
+
+func TestCorruptBlobQuarantined(t *testing.T) {
+	fs, s, reg := openMem(t)
+	blob := []byte("pristine reference bytes")
+	id, _ := s.Put(blob)
+	if err := fs.Tamper(path.Join("data/store/blobs", id[:2], id), func(d []byte) { d[0] ^= 0x40 }); err != nil {
+		t.Fatalf("Tamper: %v", err)
+	}
+	if _, err := s.Get(id); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get tampered = %v, want ErrCorrupt", err)
+	}
+	// Quarantined: later reads fail fast, bytes kept for forensics.
+	if _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after quarantine = %v, want ErrNotFound", err)
+	}
+	if _, err := fs.ReadFile(path.Join("data/store/quarantine", id)); err != nil {
+		t.Fatalf("quarantined bytes missing: %v", err)
+	}
+	if s.Err() == nil {
+		t.Fatal("sticky Err not set after corruption")
+	}
+	s.ClearErr()
+	if s.Err() != nil {
+		t.Fatal("ClearErr did not clear")
+	}
+	if got := reg.Counter("sysrle_store_corrupt_total").Value(); got != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", got)
+	}
+}
+
+func TestFsck(t *testing.T) {
+	fs, s, _ := openMem(t)
+	good, _ := s.Put([]byte("good blob"))
+	bad, _ := s.Put([]byte("soon to rot"))
+	_ = fs.Tamper(path.Join("data/store/blobs", bad[:2], bad), func(d []byte) { d[len(d)-1] ^= 1 })
+	// A stray file that is not even a content address.
+	_ = fs.MkdirAll("data/store/blobs/zz")
+	f, _ := fs.Create("data/store/blobs/zz/zz-not-a-hash")
+	_, _ = f.Write([]byte("junk"))
+	_ = f.Close()
+
+	rep, err := s.Fsck()
+	if err != nil {
+		t.Fatalf("Fsck: %v", err)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != bad {
+		t.Fatalf("Corrupt = %v, want [%s]", rep.Corrupt, bad)
+	}
+	if len(rep.Misnamed) != 1 {
+		t.Fatalf("Misnamed = %v, want one entry", rep.Misnamed)
+	}
+	if rep.Quarantined != 2 {
+		t.Fatalf("Quarantined = %d, want 2", rep.Quarantined)
+	}
+	if !s.Has(good) {
+		t.Fatal("good blob gone after Fsck")
+	}
+	if s.Has(bad) {
+		t.Fatal("corrupt blob still present after Fsck")
+	}
+}
+
+func TestPutSurvivesCrash(t *testing.T) {
+	fs, s, _ := openMem(t)
+	blob := []byte("acknowledged means durable")
+	id, err := s.Put(blob)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	fs.Crash(CrashOpts{Torn: true, Seed: 1})
+	s2, err := Open(fs, "data/store", nil)
+	if err != nil {
+		t.Fatalf("re-Open: %v", err)
+	}
+	got, err := s2.Get(id)
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("blob lost across crash: %v", err)
+	}
+}
+
+func TestCrashBeforeRenameLosesNothingVisible(t *testing.T) {
+	// Simulate a crash mid-Put: temp file written but never renamed.
+	fs, s, _ := openMem(t)
+	f, err := fs.Create("data/store/tmp/put-999-deadbeef")
+	if err != nil {
+		t.Fatalf("create temp: %v", err)
+	}
+	_, _ = f.Write([]byte("half a blob"))
+	_ = f.Sync()
+	_ = f.Close()
+	_ = fs.SyncDir("data/store/tmp")
+	fs.Crash(CrashOpts{})
+	s, err = Open(fs, "data/store", nil)
+	if err != nil {
+		t.Fatalf("re-Open: %v", err)
+	}
+	// The stranded temp was cleared and no blob materialized.
+	names, _ := fs.ReadDir("data/store/tmp")
+	if len(names) != 0 {
+		t.Fatalf("temp files survived Open: %v", names)
+	}
+	ids, _ := s.List()
+	if len(ids) != 0 {
+		t.Fatalf("phantom blobs after crash: %v", ids)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	_, s, _ := openMem(t)
+	var want []string
+	for i := 0; i < 8; i++ {
+		id, _ := s.Put([]byte(fmt.Sprintf("blob %d", i)))
+		want = append(want, id)
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("List len = %d, want %d", len(ids), len(want))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("List not sorted at %d", i)
+		}
+	}
+}
+
+func TestGaugesTrackUsage(t *testing.T) {
+	_, s, reg := openMem(t)
+	id, _ := s.Put([]byte("12345678"))
+	if got := reg.Gauge("sysrle_store_blobs").Value(); got != 1 {
+		t.Fatalf("blobs gauge = %d, want 1", got)
+	}
+	if got := reg.Gauge("sysrle_store_bytes").Value(); got != 8 {
+		t.Fatalf("bytes gauge = %d, want 8", got)
+	}
+	_ = s.Delete(id)
+	_ = s.Delete(id) // double delete must not drift the gauge
+	if got := reg.Gauge("sysrle_store_blobs").Value(); got != 0 {
+		t.Fatalf("blobs gauge after delete = %d, want 0", got)
+	}
+	if got := reg.Gauge("sysrle_store_bytes").Value(); got != 0 {
+		t.Fatalf("bytes gauge after delete = %d, want 0", got)
+	}
+}

@@ -63,6 +63,9 @@ func (g *Gauge) Inc() { g.v.Add(1) }
 // Dec decrements the gauge.
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
+// Add moves the gauge by n (either sign).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
 // Set replaces the gauge value.
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 

@@ -1,0 +1,532 @@
+// Package wal is the write-ahead journal under the jobs queue: every
+// acknowledged submission, scan outcome and job completion is
+// appended as a length-prefixed, CRC-32C-checksummed record before
+// the caller sees success, so a kill -9 at any instant loses at most
+// the unsynced tail — and replay recovers exactly the durable prefix.
+//
+// Layout: a directory of fixed-capacity segment files
+// (seg-00000001.wal, …) plus a MANIFEST naming the first live
+// segment. Appends go to a segment created fresh at Open (never to a
+// possibly-torn tail from the previous run); rotation closes one
+// segment and fsyncs the directory before the next is used. Replay
+// walks the live segments in order and stops at the first record
+// whose length or checksum does not verify — everything after a torn
+// write is by definition unacknowledged, so a truncated tail is
+// recovery, not data loss. Checkpoint compacts: it writes a snapshot
+// of live state as a fresh segment, commits it by atomically
+// replacing the MANIFEST, and deletes the history it subsumes.
+//
+// Record format, little-endian:
+//
+//	u32 payload length | u32 CRC-32C(payload) | payload
+//
+// Sync policy is configurable (always / batch / none) because fsync
+// dominates append latency; benchtab -wal-bench measures the cost of
+// each policy on the deployment's disk.
+//
+// Telemetry (when a registry is configured):
+//
+//	sysrle_wal_appends_total / bytes_total   records and bytes journaled
+//	sysrle_wal_syncs_total / rotations_total fsyncs and segment rotations
+//	sysrle_wal_replay_records_total          records recovered at Open
+//	sysrle_wal_replay_truncated_total        replays that hit a torn tail
+//	sysrle_wal_append_seconds                append latency histogram
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sysrle/internal/store"
+	"sysrle/internal/telemetry"
+)
+
+// SyncPolicy says when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record is
+	// durable. The safe default.
+	SyncAlways SyncPolicy = iota
+	// SyncBatch fsyncs every Options.BatchEvery appends (and on Sync,
+	// Checkpoint and Close): bounded loss window, much cheaper.
+	SyncBatch
+	// SyncNone never fsyncs on append (the OS flushes when it
+	// pleases): fastest, weakest. Dev and benchmarking only.
+	SyncNone
+)
+
+// ParseSyncPolicy parses the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "always":
+		return SyncAlways, nil
+	case "batch", "interval":
+		return SyncBatch, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always|batch|none)", s)
+}
+
+// String renders the policy as its flag value.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncBatch:
+		return "batch"
+	case SyncNone:
+		return "none"
+	}
+	return "always"
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultSegmentBytes = 4 << 20
+	DefaultBatchEvery   = 64
+	// maxRecordBytes rejects absurd lengths during replay — a torn or
+	// rotted header must not drive a multi-gigabyte allocation.
+	maxRecordBytes = 16 << 20
+)
+
+const (
+	manifestName = "MANIFEST"
+	headerSize   = 8
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTooLarge reports an Append payload over the record size bound.
+var ErrTooLarge = errors.New("wal: record too large")
+
+// Options tunes a WAL; the zero value gets production defaults.
+type Options struct {
+	// SegmentBytes rotates the active segment beyond this size. 0
+	// means DefaultSegmentBytes.
+	SegmentBytes int64
+	// Policy is the append sync policy; the zero value is SyncAlways.
+	Policy SyncPolicy
+	// BatchEvery is the SyncBatch fsync cadence in appends. 0 means
+	// DefaultBatchEvery.
+	BatchEvery int
+	// Registry receives telemetry; nil records nothing.
+	Registry *telemetry.Registry
+}
+
+// ReplayStats summarizes one Replay.
+type ReplayStats struct {
+	// Records is how many intact records were recovered.
+	Records int
+	// Segments is how many live segments were read.
+	Segments int
+	// Truncated reports that replay stopped at a corrupt or torn
+	// record; TruncatedAt names the segment.
+	Truncated   bool
+	TruncatedAt string
+}
+
+// WAL is one journal. Append/Sync/Checkpoint are safe for concurrent
+// use; Replay must complete before the first Append.
+type WAL struct {
+	fs   store.FS
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	seg        store.File // active segment, nil until first Append
+	segIndex   int        // index of the active (or next) segment
+	segSize    int64
+	start      int // first live segment per MANIFEST
+	unsynced   int // appends since last fsync (SyncBatch)
+	replayed   bool
+	closed     bool
+	lastErr    atomic.Value // error — sticky, for readiness probes
+	segsAtOpen []int        // live segments found at Open, for Replay
+
+	appends, bytesC  *telemetry.Counter
+	syncs, rotations *telemetry.Counter
+	replayRecs       *telemetry.Counter
+	replayTrunc      *telemetry.Counter
+	appendLatency    *telemetry.Histogram
+}
+
+// Open scans (creating if needed) a journal directory. Existing
+// segments stay read-only history for Replay; the first Append goes
+// to a fresh segment, so a torn tail from the previous run is never
+// appended to.
+func Open(fsys store.FS, dir string, opts Options) (*WAL, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.BatchEvery <= 0 {
+		opts.BatchEvery = DefaultBatchEvery
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: init %s: %w", dir, err)
+	}
+	w := &WAL{fs: fsys, dir: dir, opts: opts, start: 1}
+	if data, err := fsys.ReadFile(path.Join(dir, manifestName)); err == nil {
+		if _, err := fmt.Sscanf(string(data), "start %d", &w.start); err != nil {
+			// An unreadable manifest is treated as "replay everything":
+			// strictly more conservative than skipping history.
+			w.start = 1
+		}
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: scan %s: %w", dir, err)
+	}
+	maxIndex := 0
+	for _, name := range names {
+		var n int
+		if _, err := fmt.Sscanf(name, "seg-%08d.wal", &n); err == nil {
+			if n > maxIndex {
+				maxIndex = n
+			}
+			if n >= w.start {
+				w.segsAtOpen = append(w.segsAtOpen, n)
+			}
+		}
+	}
+	sort.Ints(w.segsAtOpen)
+	w.segIndex = maxIndex + 1
+	if reg := opts.Registry; reg != nil {
+		reg.Help("sysrle_wal_appends_total", "Records appended to the job journal.")
+		reg.Help("sysrle_wal_replay_truncated_total", "Journal replays that stopped at a torn or corrupt record.")
+		w.appends = reg.Counter("sysrle_wal_appends_total")
+		w.bytesC = reg.Counter("sysrle_wal_bytes_total")
+		w.syncs = reg.Counter("sysrle_wal_syncs_total")
+		w.rotations = reg.Counter("sysrle_wal_rotations_total")
+		w.replayRecs = reg.Counter("sysrle_wal_replay_records_total")
+		w.replayTrunc = reg.Counter("sysrle_wal_replay_truncated_total")
+		w.appendLatency = reg.Histogram("sysrle_wal_append_seconds",
+			[]float64{1e-5, 1e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5})
+	}
+	return w, nil
+}
+
+// Dir returns the journal directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// errBox wraps errors for atomic.Value, which requires a consistent
+// concrete type across stores.
+type errBox struct{ err error }
+
+// Err returns the last append/sync failure, or nil; sticky, for the
+// readiness probe.
+func (w *WAL) Err() error {
+	if v := w.lastErr.Load(); v != nil {
+		return v.(errBox).err
+	}
+	return nil
+}
+
+func (w *WAL) note(err error) {
+	if err != nil {
+		w.lastErr.Store(errBox{err})
+	}
+}
+
+func segName(n int) string { return fmt.Sprintf("seg-%08d.wal", n) }
+
+// Replay streams every intact record of the live segments, in append
+// order, stopping cleanly at the first length or checksum failure
+// (the durable-prefix contract). It must be called before the first
+// Append; fn errors abort the replay.
+func (w *WAL) Replay(fn func(payload []byte) error) (ReplayStats, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var stats ReplayStats
+	if w.replayed || w.seg != nil {
+		return stats, errors.New("wal: Replay must run before the first Append")
+	}
+	w.replayed = true
+	for _, n := range w.segsAtOpen {
+		name := segName(n)
+		data, err := w.fs.ReadFile(path.Join(w.dir, name))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			return stats, fmt.Errorf("wal: read %s: %w", name, err)
+		}
+		stats.Segments++
+		off := 0
+		for off+headerSize <= len(data) {
+			length := binary.LittleEndian.Uint32(data[off:])
+			sum := binary.LittleEndian.Uint32(data[off+4:])
+			if length > maxRecordBytes || off+headerSize+int(length) > len(data) {
+				stats.Truncated, stats.TruncatedAt = true, name
+				break
+			}
+			payload := data[off+headerSize : off+headerSize+int(length)]
+			if crc32.Checksum(payload, crcTable) != sum {
+				stats.Truncated, stats.TruncatedAt = true, name
+				break
+			}
+			if err := fn(payload); err != nil {
+				return stats, err
+			}
+			stats.Records++
+			off += headerSize + int(length)
+		}
+		if off < len(data) && !stats.Truncated {
+			// A trailing partial header is a torn write too.
+			stats.Truncated, stats.TruncatedAt = true, name
+		}
+		if stats.Truncated {
+			// Anything past a tear was never acknowledged durable;
+			// later segments (possible under SyncNone) are not trusted.
+			break
+		}
+	}
+	if w.replayRecs != nil {
+		w.replayRecs.Add(int64(stats.Records))
+		if stats.Truncated {
+			w.replayTrunc.Inc()
+		}
+	}
+	return stats, nil
+}
+
+// openSegmentLocked makes the active segment writable.
+func (w *WAL) openSegmentLocked() error {
+	if w.seg != nil {
+		return nil
+	}
+	f, err := w.fs.Create(path.Join(w.dir, segName(w.segIndex)))
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: fsync dir: %w", err)
+	}
+	w.seg, w.segSize = f, 0
+	return nil
+}
+
+// Append journals one record. When it returns nil under SyncAlways,
+// the record is durable; under SyncBatch/SyncNone durability lags by
+// the policy's window.
+func (w *WAL) Append(payload []byte) error {
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	startT := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("wal: closed")
+	}
+	w.replayed = true // appends foreclose replay
+	if err := w.appendLocked(payload); err != nil {
+		w.note(err)
+		return err
+	}
+	switch w.opts.Policy {
+	case SyncAlways:
+		if err := w.syncLocked(); err != nil {
+			w.note(err)
+			return err
+		}
+	case SyncBatch:
+		w.unsynced++
+		if w.unsynced >= w.opts.BatchEvery {
+			if err := w.syncLocked(); err != nil {
+				w.note(err)
+				return err
+			}
+		}
+	}
+	if w.appends != nil {
+		w.appends.Inc()
+		w.bytesC.Add(int64(headerSize + len(payload)))
+		w.appendLatency.ObserveDuration(time.Since(startT))
+	}
+	return nil
+}
+
+func (w *WAL) appendLocked(payload []byte) error {
+	if err := w.openSegmentLocked(); err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := w.seg.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := w.seg.Write(payload); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	w.segSize += int64(headerSize + len(payload))
+	if w.segSize >= w.opts.SegmentBytes {
+		return w.rotateLocked()
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and steps to the next index.
+func (w *WAL) rotateLocked() error {
+	if err := w.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: rotate sync: %w", err)
+	}
+	if err := w.seg.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	w.seg = nil
+	w.segIndex++
+	w.unsynced = 0
+	if w.rotations != nil {
+		w.rotations.Inc()
+	}
+	return nil
+}
+
+func (w *WAL) syncLocked() error {
+	if w.seg == nil {
+		return nil
+	}
+	if err := w.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	w.unsynced = 0
+	if w.syncs != nil {
+		w.syncs.Inc()
+	}
+	return nil
+}
+
+// Sync forces the active segment to stable storage regardless of
+// policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.syncLocked()
+	w.note(err)
+	return err
+}
+
+// Checkpoint compacts the journal: records (a snapshot of live state)
+// are written as a fresh sealed segment, the MANIFEST is atomically
+// replaced to name it as the new start, and older segments are
+// deleted. Crash-safe at every step — until the MANIFEST rename
+// lands, replay still sees the full history (the snapshot segment
+// simply replays after it, which the caller's replay must tolerate;
+// the jobs replay is last-write-wins, so it does).
+func (w *WAL) Checkpoint(records [][]byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("wal: closed")
+	}
+	w.replayed = true
+	// Seal whatever is in flight so the snapshot segment is the
+	// newest.
+	if w.seg != nil {
+		if err := w.rotateLocked(); err != nil {
+			w.note(err)
+			return err
+		}
+	}
+	snapIndex := w.segIndex
+	w.segIndex++
+	tmp := path.Join(w.dir, "checkpoint.tmp")
+	f, err := w.fs.Create(tmp)
+	if err != nil {
+		w.note(err)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	for _, rec := range records {
+		var hdr [headerSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(rec)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(rec, crcTable))
+		if _, err := f.Write(hdr[:]); err == nil {
+			_, err = f.Write(rec)
+		}
+		if err != nil {
+			_ = f.Close()
+			w.note(err)
+			return fmt.Errorf("wal: checkpoint write: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		w.note(err)
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		w.note(err)
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	if err := w.fs.Rename(tmp, path.Join(w.dir, segName(snapIndex))); err != nil {
+		w.note(err)
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		w.note(err)
+		return fmt.Errorf("wal: checkpoint fsync dir: %w", err)
+	}
+	// Commit: the manifest rename is the atomic switch.
+	mTmp := path.Join(w.dir, manifestName+".tmp")
+	mf, err := w.fs.Create(mTmp)
+	if err == nil {
+		_, err = fmt.Fprintf(mf, "start %d\n", snapIndex)
+		if err == nil {
+			err = mf.Sync()
+		}
+		cerr := mf.Close()
+		if err == nil {
+			err = cerr
+		}
+	}
+	if err == nil {
+		err = w.fs.Rename(mTmp, path.Join(w.dir, manifestName))
+	}
+	if err == nil {
+		err = w.fs.SyncDir(w.dir)
+	}
+	if err != nil {
+		w.note(err)
+		return fmt.Errorf("wal: checkpoint manifest: %w", err)
+	}
+	oldStart := w.start
+	w.start = snapIndex
+	// History the snapshot subsumes; best-effort, retried implicitly
+	// by the next checkpoint if a crash interrupts.
+	for n := oldStart; n < snapIndex; n++ {
+		_ = w.fs.Remove(path.Join(w.dir, segName(n)))
+	}
+	_ = w.fs.SyncDir(w.dir)
+	return nil
+}
+
+// Close syncs and seals the journal.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.seg == nil {
+		return nil
+	}
+	err := w.seg.Sync()
+	if cerr := w.seg.Close(); err == nil {
+		err = cerr
+	}
+	w.seg = nil
+	w.note(err)
+	return err
+}
