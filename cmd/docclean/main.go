@@ -5,9 +5,14 @@
 //	docclean -in page.pbm                      # JSON report to stdout
 //	docclean -in page.pbm -o clean.pbm         # also write the cleaned page
 //	docclean -gen a4 -seed 7 -o clean.png      # synthetic A4 test page
+//	docclean -in page.pbm -server http://host:8422   # clean remotely
 //
 // Tuning flags mirror the /v1/docclean query parameters; flags left
-// at 0 default from the page size inside the pipeline.
+// at 0 default from the page size inside the pipeline. With -server
+// the pipeline runs on a sysdiffd instance (or cluster coordinator)
+// through the typed v1 client; the JSON report prints the same way,
+// but -o is unavailable remotely (the report endpoint returns no
+// cleaned image).
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"math/rand"
 	"os"
 
+	"sysrle/internal/apiclient"
 	"sysrle/internal/docclean"
 	"sysrle/internal/imageio"
 	"sysrle/internal/rle"
@@ -47,12 +53,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		closeY     = fs.Int("close-y", 0, "segmentation closing height (0 = auto)")
 		minBlock   = fs.Int("min-block", 0, "report blocks of at least this area (0 = auto)")
 		keepLines  = fs.Bool("keep-lines", false, "keep extracted ruled lines in the cleaned page")
+		server     = fs.String("server", "", "run the pipeline on this sysdiffd (or coordinator) instead of locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*in == "") == (*gen == "") {
 		return fmt.Errorf("exactly one of -in and -gen is required")
+	}
+	if *server != "" && *output != "" {
+		return fmt.Errorf("-o is unavailable with -server: the remote report mode returns no cleaned image")
 	}
 
 	var img *rle.Image
@@ -69,6 +79,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	default:
 		return fmt.Errorf("unknown -gen %q (have a4)", *gen)
+	}
+
+	if *server != "" {
+		c, err := apiclient.New(*server, apiclient.Options{})
+		if err != nil {
+			return err
+		}
+		rep, err := c.DocClean(context.Background(), apiclient.DocCleanRequest{
+			Image:          img,
+			MaxSpeckleArea: *maxSpeckle,
+			MinLineLen:     *minLine,
+			CloseGapX:      *closeX,
+			CloseGapY:      *closeY,
+			MinBlockArea:   *minBlock,
+			KeepLines:      *keepLines,
+		})
+		if err != nil {
+			return err
+		}
+		if rep.Blocks == nil {
+			rep.Blocks = []apiclient.DocCleanBlock{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
 
 	res, err := docclean.Clean(context.Background(), img, docclean.Config{

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"sysrle/internal/docclean"
 	"sysrle/internal/imageio"
 	"sysrle/internal/rle"
+	"sysrle/internal/server"
 )
 
 // fixture writes the standard cleanup test page to disk: a solid
@@ -95,5 +97,34 @@ func TestRunFlagErrors(t *testing.T) {
 		if err := run(args, &stdout, &stderr); err == nil {
 			t.Errorf("case %d (%s): no error", i, strings.Join(args, " "))
 		}
+	}
+}
+
+func TestRunRemoteServer(t *testing.T) {
+	srv := server.New()
+	ts := httptest.NewServer(srv)
+	defer func() { ts.Close(); srv.Close() }()
+
+	page := fixture(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-in", page, "-server", ts.URL,
+		"-max-speckle", "4", "-min-line", "40",
+		"-close-x", "5", "-close-y", "3", "-min-block", "10",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("remote run: %v (stderr %q)", err, stderr.String())
+	}
+	var rep docclean.Result
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("remote report not JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.SpecklesRemoved != 3 || rep.LinesH != 1 || len(rep.Blocks) != 1 {
+		t.Errorf("remote report %+v", rep)
+	}
+
+	// -o with -server is rejected up front.
+	if err := run([]string{"-in", page, "-server", ts.URL, "-o", "x.pbm"}, &stdout, &stderr); err == nil {
+		t.Error("-o with -server accepted")
 	}
 }

@@ -1,0 +1,343 @@
+// Command loadgen drives a sysdiffd instance or a cluster coordinator
+// with a seeded open-loop diff workload and reports latency
+// percentiles — the measurement harness behind BENCH_PR9.json.
+//
+//	loadgen -targets single=http://localhost:8422 \
+//	        [-workload refhot|similar] [-rate 50] [-duration 5s] \
+//	        [-seed 1] [-width 512] [-height 512] [-refs 8] \
+//	        [-o bench.json]
+//
+// Open loop means requests launch on a fixed clock regardless of how
+// fast earlier ones complete, so a slow server accumulates in-flight
+// work instead of silently lowering the offered rate (no coordinated
+// omission). Two workloads:
+//
+//   - similar: every request uploads two seeded similar images to
+//     /v1/diff — exercises the scatter-gather path on a coordinator.
+//   - refhot: registers -refs references up front, then diffs seeded
+//     scans against them via ?ref= — exercises ring placement and the
+//     decoded-reference cache.
+//
+// -targets takes comma-separated label=url pairs; each target gets
+// the identical seeded burst, and the combined JSON report (one entry
+// per target, plus the scraped ref-placement cache-hit ratio where
+// the target exposes cluster telemetry) goes to -o or stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sysrle/internal/apiclient"
+	"sysrle/internal/rle"
+	"sysrle/internal/workload"
+)
+
+type options struct {
+	targets  string
+	workload string
+	rate     float64
+	duration time.Duration
+	seed     int64
+	width    int
+	height   int
+	refs     int
+	out      string
+	timeout  time.Duration
+}
+
+type target struct {
+	label string
+	url   string
+}
+
+// report is the JSON document loadgen emits (BENCH_PR9.json's shape).
+type report struct {
+	Tool     string         `json:"tool"`
+	Workload string         `json:"workload"`
+	Seed     int64          `json:"seed"`
+	RateHz   float64        `json:"rate_hz"`
+	Duration string         `json:"duration"`
+	Image    string         `json:"image"`
+	Targets  []targetReport `json:"targets"`
+}
+
+type targetReport struct {
+	Label    string  `json:"label"`
+	URL      string  `json:"url"`
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	// RefCacheHitRatio is scraped from the target's cluster telemetry
+	// (ref-routed requests answered by the ring owner); nil when the
+	// target does not expose it (single node) or under -workload
+	// similar (no ref routing happens).
+	RefCacheHitRatio *float64 `json:"ref_cache_hit_ratio,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func parseTargets(s string) ([]target, error) {
+	var out []target
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item == "" {
+			continue
+		}
+		label, url, ok := strings.Cut(item, "=")
+		if !ok || label == "" || url == "" {
+			return nil, fmt.Errorf("-targets entry %q is not label=url", item)
+		}
+		out = append(out, target{label: label, url: url})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-targets requires at least one label=url entry")
+	}
+	return out, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.targets, "targets", "", `comma-separated label=url pairs, e.g. "single=http://:8422,cluster=http://:9000"`)
+	fs.StringVar(&o.workload, "workload", "refhot", "workload: refhot | similar")
+	fs.Float64Var(&o.rate, "rate", 50, "offered request rate per second (open loop)")
+	fs.DurationVar(&o.duration, "duration", 5*time.Second, "burst length per target")
+	fs.Int64Var(&o.seed, "seed", 1, "RNG seed for the image corpus and request sequence")
+	fs.IntVar(&o.width, "width", 512, "image width")
+	fs.IntVar(&o.height, "height", 512, "image height")
+	fs.IntVar(&o.refs, "refs", 8, "references registered up front under -workload refhot")
+	fs.StringVar(&o.out, "o", "", "write the JSON report here (default stdout)")
+	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets, err := parseTargets(o.targets)
+	if err != nil {
+		return err
+	}
+	if o.workload != "refhot" && o.workload != "similar" {
+		return fmt.Errorf("unknown -workload %q (have refhot, similar)", o.workload)
+	}
+	if o.rate <= 0 || o.duration <= 0 {
+		return fmt.Errorf("-rate and -duration must be positive")
+	}
+
+	rep := report{
+		Tool:     "loadgen",
+		Workload: o.workload,
+		Seed:     o.seed,
+		RateHz:   o.rate,
+		Duration: o.duration.String(),
+		Image:    fmt.Sprintf("%dx%d", o.width, o.height),
+	}
+	for _, tgt := range targets {
+		fmt.Fprintf(stderr, "loadgen: %s (%s): %s burst at %.0f req/s...\n",
+			tgt.label, tgt.url, o.duration, o.rate)
+		tr, err := runTarget(o, tgt)
+		if err != nil {
+			return fmt.Errorf("target %s: %w", tgt.label, err)
+		}
+		fmt.Fprintf(stderr, "loadgen: %s: %d requests, %d errors, p50 %.1fms p99 %.1fms\n",
+			tgt.label, tr.Requests, tr.Errors, tr.P50Ms, tr.P99Ms)
+		rep.Targets = append(rep.Targets, tr)
+	}
+
+	w := stdout
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// corpus holds the seeded images every target sees identically.
+type corpus struct {
+	refs  []*rle.Image
+	refID []string
+	scans []*rle.Image
+}
+
+func buildCorpus(o options) (*corpus, error) {
+	rng := rand.New(rand.NewSource(o.seed))
+	n := o.refs
+	if o.workload == "similar" {
+		n = 4 // base images to perturb
+	}
+	c := &corpus{}
+	for i := 0; i < n; i++ {
+		img, err := workload.GenerateImage(rng, workload.PaperRow(o.width, 0.3), o.height)
+		if err != nil {
+			return nil, err
+		}
+		c.refs = append(c.refs, img)
+	}
+	// Scans are independent draws: diffs are dense enough to be real
+	// work but every target sees the same bytes.
+	for i := 0; i < 2*n; i++ {
+		img, err := workload.GenerateImage(rng, workload.PaperRow(o.width, 0.3), o.height)
+		if err != nil {
+			return nil, err
+		}
+		c.scans = append(c.scans, img)
+	}
+	return c, nil
+}
+
+func runTarget(o options, tgt target) (targetReport, error) {
+	tr := targetReport{Label: tgt.label, URL: tgt.url}
+	client, err := apiclient.New(tgt.url, apiclient.Options{Timeout: o.timeout})
+	if err != nil {
+		return tr, err
+	}
+	ctx := context.Background()
+	crp, err := buildCorpus(o)
+	if err != nil {
+		return tr, err
+	}
+	if o.workload == "refhot" {
+		for _, ref := range crp.refs {
+			meta, err := client.PutReference(ctx, ref)
+			if err != nil {
+				return tr, fmt.Errorf("registering reference: %w", err)
+			}
+			crp.refID = append(crp.refID, meta.ID)
+		}
+	}
+
+	// Pre-roll the request sequence so the offered load is a pure
+	// function of the seed, independent of timing.
+	total := int(o.rate * o.duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	seq := rand.New(rand.NewSource(o.seed + 1))
+	picks := make([][2]int, total)
+	for i := range picks {
+		picks[i] = [2]int{seq.Intn(len(crp.refs)), seq.Intn(len(crp.scans))}
+	}
+
+	var (
+		mu    sync.Mutex
+		durs  []time.Duration
+		nerrs int
+		wg    sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / o.rate)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; i < total; i++ {
+		if i > 0 {
+			<-tick.C
+		}
+		wg.Add(1)
+		go func(pick [2]int) {
+			defer wg.Done()
+			req := apiclient.DiffRequest{B: crp.scans[pick[1]]}
+			if o.workload == "refhot" {
+				req.RefID = crp.refID[pick[0]]
+			} else {
+				req.A = crp.refs[pick[0]]
+			}
+			start := time.Now()
+			_, err := client.Diff(ctx, req)
+			d := time.Since(start)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				nerrs++
+				return
+			}
+			durs = append(durs, d)
+		}(picks[i])
+	}
+	wg.Wait()
+
+	tr.Requests = total
+	tr.Errors = nerrs
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	tr.P50Ms = percentileMs(durs, 0.50)
+	tr.P90Ms = percentileMs(durs, 0.90)
+	tr.P99Ms = percentileMs(durs, 0.99)
+	if len(durs) > 0 {
+		tr.MaxMs = float64(durs[len(durs)-1]) / float64(time.Millisecond)
+	}
+	if o.workload == "refhot" {
+		if ratio, ok := scrapeHitRatio(ctx, client); ok {
+			tr.RefCacheHitRatio = &ratio
+		}
+	}
+	return tr, nil
+}
+
+// percentileMs reads the q-quantile from sorted durations using the
+// nearest-rank method.
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// scrapeHitRatio reads the coordinator's ref-placement counters from
+// /debug/vars: hits/(hits+misses). Single-node targets lack the
+// family and report nothing.
+func scrapeHitRatio(ctx context.Context, client *apiclient.Client) (float64, bool) {
+	vars, err := client.Vars(ctx)
+	if err != nil {
+		return 0, false
+	}
+	hits, ok1 := counterValue(vars, "sysrle_cluster_ref_route_hits_total")
+	misses, ok2 := counterValue(vars, "sysrle_cluster_ref_route_misses_total")
+	if !ok1 && !ok2 || hits+misses == 0 {
+		return 0, false
+	}
+	return float64(hits) / float64(hits+misses), true
+}
+
+func counterValue(vars map[string]map[string]json.RawMessage, family string) (int64, bool) {
+	fm, ok := vars[family]
+	if !ok {
+		return 0, false
+	}
+	var total int64
+	found := false
+	for _, raw := range fm {
+		var v int64
+		if err := json.Unmarshal(raw, &v); err == nil {
+			total += v
+			found = true
+		}
+	}
+	return total, found
+}

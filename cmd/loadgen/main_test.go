@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sysrle/internal/cluster"
+	"sysrle/internal/server"
+)
+
+func startNode(t *testing.T) string {
+	t.Helper()
+	srv := server.New()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts.URL
+}
+
+// burst keeps unit runs fast: tiny images, short window.
+var burst = []string{
+	"-rate", "40", "-duration", "500ms",
+	"-width", "96", "-height", "64", "-refs", "3", "-seed", "7",
+}
+
+func TestLoadgenRefhotSingleNode(t *testing.T) {
+	url := startNode(t)
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-targets", "single=" + url, "-o", out}, burst...)
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	rep := readReport(t, out)
+	if rep.Workload != "refhot" || rep.Seed != 7 || len(rep.Targets) != 1 {
+		t.Fatalf("report header %+v", rep)
+	}
+	tr := rep.Targets[0]
+	if tr.Label != "single" || tr.Requests < 10 || tr.Errors != 0 {
+		t.Fatalf("target report %+v (stderr: %s)", tr, stderr.String())
+	}
+	if tr.P50Ms <= 0 || tr.P99Ms < tr.P50Ms {
+		t.Fatalf("implausible percentiles %+v", tr)
+	}
+	if tr.RefCacheHitRatio != nil {
+		t.Fatalf("single node should expose no ref-placement ratio, got %v", *tr.RefCacheHitRatio)
+	}
+}
+
+func TestLoadgenCompareScrapesClusterTelemetry(t *testing.T) {
+	shards := []string{startNode(t), startNode(t)}
+	coord, err := cluster.New(cluster.Config{Peers: shards, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(coord)
+	t.Cleanup(cts.Close)
+	single := startNode(t)
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	args := append([]string{
+		"-targets", "single=" + single + ",cluster=" + cts.URL, "-o", out,
+	}, burst...)
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	rep := readReport(t, out)
+	if len(rep.Targets) != 2 {
+		t.Fatalf("want 2 targets, got %+v", rep.Targets)
+	}
+	cl := rep.Targets[1]
+	if cl.Label != "cluster" || cl.Errors != 0 {
+		t.Fatalf("cluster target %+v (stderr: %s)", cl, stderr.String())
+	}
+	if cl.RefCacheHitRatio == nil {
+		t.Fatal("cluster target missing ref-placement cache-hit ratio")
+	}
+	if r := *cl.RefCacheHitRatio; r <= 0 || r > 1 {
+		t.Fatalf("hit ratio %v out of range", r)
+	}
+}
+
+func TestLoadgenSimilarWorkload(t *testing.T) {
+	url := startNode(t)
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-targets", "node=" + url, "-workload", "similar"}, burst...)
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout not JSON: %v", err)
+	}
+	if rep.Targets[0].Errors != 0 || rep.Targets[0].RefCacheHitRatio != nil {
+		t.Fatalf("similar-workload report %+v", rep.Targets[0])
+	}
+}
+
+func TestLoadgenFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	cases := [][]string{
+		{},                                    // no targets
+		{"-targets", "nourl"},                 // malformed pair
+		{"-targets", "a=x", "-workload", "?"}, // unknown workload
+		{"-targets", "a=x", "-rate", "0"},     // bad rate
+		{"-targets", "a=::bad::"},             // unparseable URL
+	}
+	for i, args := range cases {
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("case %d (%s): no error", i, strings.Join(args, " "))
+		}
+	}
+}
+
+func readReport(t *testing.T, path string) report {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, data)
+	}
+	return rep
+}

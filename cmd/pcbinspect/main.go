@@ -5,10 +5,17 @@
 //
 //	pcbinspect [-width 800] [-height 600] [-defects 8] [-seed 1]
 //	           [-engine lockstep|channel|sequential|sparse|stream|bus|verified]
+//	           [-server http://host:8422]
 //	           [-save-ref ref.pbm] [-save-scan scan.pbm]
+//
+// With -server the comparison runs remotely on a sysdiffd instance
+// (or cluster coordinator) through the typed v1 client; generation
+// and defect injection stay local so the run remains reproducible
+// from -seed alone.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -17,8 +24,10 @@ import (
 	"strings"
 
 	"sysrle"
+	"sysrle/internal/apiclient"
 	"sysrle/internal/bitmap"
 	"sysrle/internal/inspect"
+	"sysrle/internal/rle"
 )
 
 // run executes one inspection against explicit streams, so tests can
@@ -35,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		saveRef  = fs.String("save-ref", "", "write the reference artwork as PBM")
 		saveScan = fs.String("save-scan", "", "write the defective scan as PBM")
 		misalign = fs.Int("misalign", 0, "shift the scan by this many pixels to exercise auto-registration")
+		server   = fs.String("server", "", "run the comparison on this sysdiffd (or coordinator) instead of locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,16 +80,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxShift++
 		fmt.Fprintf(stdout, "scan deliberately misaligned by (%d,%d)\n", *misalign, -*misalign)
 	}
-	ins := &inspect.Inspector{Engine: eng, MinDefectArea: 2, MaxAlignShift: maxShift}
-	rep, err := ins.Compare(layout.Art.ToRLE(), scanImg)
-	if err != nil {
-		return err
+	if *server != "" {
+		if err := remoteInspect(*server, *engine, layout.Art.ToRLE(), scanImg, maxShift, stdout); err != nil {
+			return err
+		}
+	} else {
+		ins := &inspect.Inspector{Engine: eng, MinDefectArea: 2, MaxAlignShift: maxShift}
+		rep, err := ins.Compare(layout.Art.ToRLE(), scanImg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if rep.AlignDX != 0 || rep.AlignDY != 0 {
+			fmt.Fprintf(stdout, "auto-registration recovered offset (%d,%d)\n", rep.AlignDX, rep.AlignDY)
+		}
+		fmt.Fprint(stdout, inspect.FormatReport(rep))
 	}
-	fmt.Fprintln(stdout)
-	if rep.AlignDX != 0 || rep.AlignDY != 0 {
-		fmt.Fprintf(stdout, "auto-registration recovered offset (%d,%d)\n", rep.AlignDX, rep.AlignDY)
-	}
-	fmt.Fprint(stdout, inspect.FormatReport(rep))
 
 	if *saveRef != "" {
 		if err := savePBM(*saveRef, layout.Art); err != nil {
@@ -99,6 +115,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pcbinspect:", err)
 		os.Exit(1)
 	}
+}
+
+// remoteInspect registers the reference on the server, inspects the
+// scan against it through the typed client, and prints a report in
+// the same spirit as the local path.
+func remoteInspect(serverURL, engine string, ref, scan *rle.Image, maxShift int, stdout io.Writer) error {
+	c, err := apiclient.New(serverURL, apiclient.Options{})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	meta, err := c.PutReference(ctx, ref)
+	if err != nil {
+		return fmt.Errorf("registering reference: %w", err)
+	}
+	rep, err := c.Inspect(ctx, apiclient.InspectRequest{
+		RefID: meta.ID, Scan: scan, Engine: engine,
+		MinDefectArea: 2, MaxAlignShift: maxShift,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nremote inspection via %s (reference %s)\n", serverURL, meta.ID[:12])
+	if rep.AlignDX != 0 || rep.AlignDY != 0 {
+		fmt.Fprintf(stdout, "auto-registration recovered offset (%d,%d)\n", rep.AlignDX, rep.AlignDY)
+	}
+	fmt.Fprintf(stdout, "engine=%s rows=%d differing=%d diff-pixels=%d iterations=%d\n",
+		rep.Engine, rep.RowsCompared, rep.RowsDiffering, rep.DiffPixels, rep.TotalIterations)
+	if rep.Clean {
+		fmt.Fprintln(stdout, "PASS: no defects above threshold")
+		return nil
+	}
+	fmt.Fprintf(stdout, "FAIL: %d defect(s)\n", len(rep.Defects))
+	for i, d := range rep.Defects {
+		fmt.Fprintf(stdout, "  %2d. %-7s %-12s area=%-4d at (%d,%d)-(%d,%d)\n",
+			i+1, d.Kind, d.Type, d.Area, d.X0, d.Y0, d.X1, d.Y1)
+	}
+	return nil
 }
 
 func savePBM(path string, b *bitmap.Bitmap) error {

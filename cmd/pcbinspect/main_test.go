@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"sysrle/internal/imageio"
+	"sysrle/internal/server"
 )
 
 // smallBoard keeps the smoke tests fast.
@@ -87,5 +89,33 @@ func TestRunErrors(t *testing.T) {
 	}
 	if _, err := os.Stat(bad); err == nil {
 		t.Error("file created despite error")
+	}
+}
+
+func TestRunRemoteServer(t *testing.T) {
+	srv := server.New()
+	ts := httptest.NewServer(srv)
+	defer func() { ts.Close(); srv.Close() }()
+
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-defects", "4", "-server", ts.URL}, smallBoard...)
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("remote run: %v (stderr: %s)", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"remote inspection via", "FAIL:", "engine=systolic-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("remote output missing %q in:\n%s", want, out)
+		}
+	}
+
+	// A clean board passes remotely too.
+	stdout.Reset()
+	args = append([]string{"-defects", "0", "-server", ts.URL}, smallBoard...)
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("remote clean run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "PASS: no defects") {
+		t.Errorf("clean board not reported remotely:\n%s", stdout.String())
 	}
 }

@@ -3,6 +3,7 @@
 //
 //	sysdiff [-engine lockstep|channel|sequential|sparse|stream|bus|verified] \
 //	        [-o out.pbm] [-format pbm|pbm-plain|png|rlet|rleb] \
+//	        [-server http://host:8422] [-ref <id>] \
 //	        [-stats] a.pbm b.pbm
 //
 // Inputs may be PBM (P1/P4), PNG, or this repository's RLE
@@ -10,9 +11,15 @@
 // The output defaults to PBM on stdout. With -stats, per-image
 // engine statistics (iterations, rows differing) go to stderr — the
 // numbers the paper's evaluation is about.
+//
+// With -server the diff is computed remotely by a sysdiffd instance
+// (or a cluster coordinator) through the typed v1 client; -ref names
+// a registered reference in place of the first image argument, so the
+// golden artwork is never re-uploaded.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,7 +27,9 @@ import (
 	"strings"
 
 	"sysrle"
+	"sysrle/internal/apiclient"
 	"sysrle/internal/imageio"
+	"sysrle/internal/rle"
 )
 
 func main() {
@@ -39,37 +48,58 @@ func run(args []string, stdout, stderr io.Writer) error {
 		format     = fs.String("format", "pbm", fmt.Sprintf("output format: %v", imageio.Formats()))
 		stats      = fs.Bool("stats", false, "print engine statistics to stderr")
 		workers    = fs.Int("workers", 0, "row-parallel workers (0 = GOMAXPROCS)")
+		serverURL  = fs.String("server", "", "compute the diff on this sysdiffd (or coordinator) instead of locally")
+		refID      = fs.String("ref", "", "with -server: use this registered reference as the first image")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 2 {
+	wantArgs := 2
+	if *refID != "" {
+		if *serverURL == "" {
+			return fmt.Errorf("-ref requires -server")
+		}
+		wantArgs = 1
+	}
+	if fs.NArg() != wantArgs {
 		fs.Usage()
-		return fmt.Errorf("expected two image arguments, got %d", fs.NArg())
+		return fmt.Errorf("expected %d image argument(s), got %d", wantArgs, fs.NArg())
 	}
 
-	engine, err := sysrle.NewEngineByName(*engineName)
-	if err != nil {
-		return err
-	}
-	a, err := imageio.ReadFile(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	b, err := imageio.ReadFile(fs.Arg(1))
-	if err != nil {
-		return err
-	}
-
-	diff, st, err := sysrle.DiffImage(a, b,
-		sysrle.WithEngine(engine),
-		sysrle.WithWorkers(*workers))
-	if err != nil {
-		return err
+	var diff *rle.Image
+	var st sysrle.ImageStats
+	var engineUsed string
+	if *serverURL != "" {
+		res, err := remoteDiff(*serverURL, *engineName, *refID, fs.Args())
+		if err != nil {
+			return err
+		}
+		diff, st, engineUsed = res.Image, res.Stats, res.Engine
+	} else {
+		engine, err := sysrle.NewEngineByName(*engineName)
+		if err != nil {
+			return err
+		}
+		a, err := imageio.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		b, err := imageio.ReadFile(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		var stp *sysrle.ImageStats
+		diff, stp, err = sysrle.DiffImage(a, b,
+			sysrle.WithEngine(engine),
+			sysrle.WithWorkers(*workers))
+		if err != nil {
+			return err
+		}
+		st, engineUsed = *stp, engine.Name()
 	}
 	if *stats {
 		fmt.Fprintf(stderr, "engine=%s rows=%d differing=%d diff-runs=%d diff-pixels=%d\n",
-			engine.Name(), diff.Height, st.RowsDiffering, diff.RunCount(), diff.Area())
+			engineUsed, diff.Height, st.RowsDiffering, diff.RunCount(), diff.Area())
 		fmt.Fprintf(stderr, "iterations: total=%d max-per-row=%d cells: total=%d max-per-row=%d\n",
 			st.TotalIterations, st.MaxRowIterations, st.TotalCells, st.MaxRowCells)
 	}
@@ -83,4 +113,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		w = f
 	}
 	return imageio.Write(w, *format, diff)
+}
+
+// remoteDiff ships the diff to a sysdiffd or coordinator through the
+// typed client. With a -ref id only the scan is uploaded.
+func remoteDiff(serverURL, engineName, refID string, files []string) (*apiclient.DiffResult, error) {
+	c, err := apiclient.New(serverURL, apiclient.Options{})
+	if err != nil {
+		return nil, err
+	}
+	req := apiclient.DiffRequest{RefID: refID}
+	if engineName != "lockstep" { // flag default means "server default" remotely
+		req.Engine = engineName
+	}
+	scanIdx := 0
+	if refID == "" {
+		if req.A, err = imageio.ReadFile(files[0]); err != nil {
+			return nil, err
+		}
+		scanIdx = 1
+	}
+	if req.B, err = imageio.ReadFile(files[scanIdx]); err != nil {
+		return nil, err
+	}
+	return c.Diff(context.Background(), req)
 }

@@ -2,14 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"sysrle"
+	"sysrle/internal/apiclient"
 	"sysrle/internal/imageio"
 	"sysrle/internal/rle"
+	"sysrle/internal/server"
 )
 
 func TestPickEngine(t *testing.T) {
@@ -110,5 +114,60 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args, &out, &errBuf); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+func TestRunRemoteServer(t *testing.T) {
+	srv := server.New()
+	ts := httptest.NewServer(srv)
+	defer func() { ts.Close(); srv.Close() }()
+
+	pathA, pathB, want := testPair(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-server", ts.URL, "-stats", "-format", "rleb", pathA, pathB}, &stdout, &stderr); err != nil {
+		t.Fatalf("remote run: %v (stderr: %s)", err, stderr.String())
+	}
+	got, err := imageio.Read(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("remote diff output wrong")
+	}
+	if !strings.Contains(stderr.String(), "engine=systolic-") {
+		t.Errorf("remote stats missing engine: %q", stderr.String())
+	}
+}
+
+func TestRunRemoteRef(t *testing.T) {
+	srv := server.New()
+	ts := httptest.NewServer(srv)
+	defer func() { ts.Close(); srv.Close() }()
+
+	pathA, pathB, want := testPair(t)
+	a, err := imageio.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := apiclient.MustNew(ts.URL, apiclient.Options{}).PutReference(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-server", ts.URL, "-ref", meta.ID, "-format", "rleb", pathB}, &stdout, &stderr); err != nil {
+		t.Fatalf("ref run: %v (stderr: %s)", err, stderr.String())
+	}
+	got, err := imageio.Read(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("ref-based diff output wrong")
+	}
+
+	// -ref without -server is rejected.
+	if err := run([]string{"-ref", meta.ID, pathB}, &stdout, &stderr); err == nil {
+		t.Error("-ref without -server accepted")
 	}
 }

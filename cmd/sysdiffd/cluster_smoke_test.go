@@ -1,0 +1,215 @@
+package main
+
+// Multi-process cluster smoke: build the real binaries, boot a
+// coordinator fronting two shard processes, drive a seeded loadgen
+// burst, and check the coordinator's scatter-gather diff answers
+// byte-identically to a single node. Gated behind
+// SYSRLE_CLUSTER_SMOKE=1 because it compiles two binaries and forks
+// three daemons — `make cluster-smoke` sets the gate.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"mime/multipart"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sysrle/internal/apiclient"
+	"sysrle/internal/imageio"
+	"sysrle/internal/rle"
+	"sysrle/internal/workload"
+)
+
+func buildBinary(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// startDaemon launches one sysdiffd process on an ephemeral port and
+// returns its base URL, parsed from the "sysdiffd listening" log line.
+func startDaemon(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "sysdiffd listening") {
+				for _, f := range strings.Fields(line) {
+					if a, ok := strings.CutPrefix(f, "addr="); ok {
+						addrCh <- a
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr
+	case <-time.After(15 * time.Second):
+		t.Fatalf("%s %v never logged its listen address", bin, args)
+		return ""
+	}
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	c := apiclient.MustNew(base, apiclient.Options{Timeout: 2 * time.Second})
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.Ready(context.Background())
+		if err == nil && st.Ready {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready", base)
+}
+
+func TestClusterSmoke(t *testing.T) {
+	if os.Getenv("SYSRLE_CLUSTER_SMOKE") != "1" {
+		t.Skip("set SYSRLE_CLUSTER_SMOKE=1 (or run `make cluster-smoke`) to run the multi-process smoke")
+	}
+	dir := t.TempDir()
+	sysdiffd := buildBinary(t, dir, "./cmd/sysdiffd")
+	loadgen := buildBinary(t, dir, "./cmd/loadgen")
+
+	shard1 := startDaemon(t, sysdiffd)
+	shard2 := startDaemon(t, sysdiffd)
+	coord := startDaemon(t, sysdiffd,
+		"-coordinator", "-peers", shard1+","+shard2, "-split-rows", "48")
+	for _, base := range []string{shard1, shard2, coord} {
+		waitReady(t, base)
+	}
+
+	// Scatter-gather correctness: the coordinator's diff of a tall
+	// image must be byte-identical to a single shard's answer.
+	rng := workloadRNG(41)
+	a, err := workload.GenerateImage(rng, workload.PaperRow(320, 0.3), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.GenerateImage(rng, workload.PaperRow(320, 0.3), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := rawDiff(t, shard1, a, b)
+	clustered := rawDiff(t, coord, a, b)
+	if !bytes.Equal(single, clustered) {
+		t.Fatalf("coordinator scatter-gather diff differs from single node (%d vs %d bytes)",
+			len(single), len(clustered))
+	}
+
+	// Seeded loadgen burst against the coordinator: no errors, and the
+	// refhot workload leaves a ref-placement hit ratio in telemetry.
+	benchOut := filepath.Join(dir, "smoke-bench.json")
+	cmd := exec.Command(loadgen,
+		"-targets", "cluster="+coord,
+		"-workload", "refhot", "-rate", "40", "-duration", "2s",
+		"-width", "256", "-height", "128", "-refs", "4", "-seed", "5",
+		"-o", benchOut)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(benchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Targets []struct {
+			Requests         int      `json:"requests"`
+			Errors           int      `json:"errors"`
+			P50Ms            float64  `json:"p50_ms"`
+			RefCacheHitRatio *float64 `json:"ref_cache_hit_ratio"`
+		} `json:"targets"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench report: %v\n%s", err, data)
+	}
+	if len(rep.Targets) != 1 || rep.Targets[0].Errors != 0 || rep.Targets[0].Requests < 10 {
+		t.Fatalf("loadgen burst: %+v", rep.Targets)
+	}
+	if rep.Targets[0].RefCacheHitRatio == nil || *rep.Targets[0].RefCacheHitRatio <= 0 {
+		t.Fatalf("coordinator exposed no ref-placement hit ratio: %+v", rep.Targets[0])
+	}
+}
+
+// rawDiff posts a diff and returns the raw rleb body, so byte-level
+// equality is checked rather than decoded equality.
+func rawDiff(t *testing.T, base string, a, b *rle.Image) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	mw, err := multipartImages(&buf, map[string]*rle.Image{"a": a, "b": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/diff?format=rleb", mw, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff via %s: %d %s", base, resp.StatusCode, body)
+	}
+	return body
+}
+
+func multipartImages(buf *bytes.Buffer, images map[string]*rle.Image) (contentType string, err error) {
+	w := multipart.NewWriter(buf)
+	for field, img := range images {
+		part, err := w.CreateFormFile(field, field+".rleb")
+		if err != nil {
+			return "", err
+		}
+		if err := imageio.Write(part, "rleb", img); err != nil {
+			return "", err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return "", err
+	}
+	return w.FormDataContentType(), nil
+}
+
+func workloadRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -41,6 +41,22 @@
 //	                         re-hash, journal replay, audit chain and
 //	                         proof verification), then exit 0 if clean,
 //	                         1 if anything is corrupt
+//	-coordinator             cluster mode: serve as a coordinator that
+//	                         fronts the shard ring named by -peers
+//	                         instead of processing images locally.
+//	                         References are placed by consistent
+//	                         hashing; huge diffs scatter by row range
+//	                         and merge back exactly
+//	-peers ""                comma-separated shard base URLs for
+//	                         -coordinator, e.g.
+//	                         "http://10.0.0.1:8422,http://10.0.0.2:8422"
+//	-split-rows 64           minimum rows per band before a diff
+//	                         scatters across shards (<0 disables
+//	                         splitting)
+//	-peer-timeout 30s        per-shard call deadline in coordinator mode
+//	-peer-retries 2          retry budget for idempotent shard calls
+//	-hedge 0                 launch a duplicate shard call if the first
+//	                         is still pending after this long (0 = off)
 //
 // Liveness is GET /healthz; readiness is GET /readyz, which aggregates
 // worker-pool, job-queue, reference-cache and load-shed probes — plus
@@ -70,9 +86,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"sysrle/internal/cluster"
 	"sysrle/internal/fault"
 	"sysrle/internal/jobs"
 	"sysrle/internal/refstore"
@@ -108,6 +126,13 @@ type options struct {
 	auditInterval   time.Duration
 	diskFaultInject string
 	fsck            bool
+
+	coordinator bool
+	peers       string
+	splitRows   int
+	peerTimeout time.Duration
+	peerRetries int
+	hedge       time.Duration
 }
 
 func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
@@ -155,8 +180,37 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 		`chaos mode: seeded disk-fault plan for the durable tier, e.g. "rate=0.01,seed=7,kinds=torn-write+bitrot" (dev/test only)`)
 	fs.BoolVar(&o.fsck, "fsck", false,
 		"check -data-dir integrity (blob hashes, journal, audit chain) and exit")
+	fs.BoolVar(&o.coordinator, "coordinator", false,
+		"serve as a cluster coordinator fronting the shards named by -peers")
+	fs.StringVar(&o.peers, "peers", "",
+		"comma-separated shard base URLs for -coordinator")
+	fs.IntVar(&o.splitRows, "split-rows", cluster.DefaultSplitRows,
+		"minimum rows per band before a diff scatters across shards (<0 disables)")
+	fs.DurationVar(&o.peerTimeout, "peer-timeout", cluster.DefaultPeerTimeout,
+		"per-shard call deadline in coordinator mode")
+	fs.IntVar(&o.peerRetries, "peer-retries", 2,
+		"retry budget for idempotent shard calls in coordinator mode")
+	fs.DurationVar(&o.hedge, "hedge", 0,
+		"duplicate a shard call still pending after this long (0 = off)")
 	err := fs.Parse(args)
 	return o, err
+}
+
+// splitPeers parses the -peers flag into shard base URLs. Bare
+// host:port entries get an http:// scheme so operators can paste the
+// same addresses they handed to the shards' -addr flags.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		peers = append(peers, p)
+	}
+	return peers
 }
 
 // unlimited maps a 0 flag value onto the Config convention where 0
@@ -168,14 +222,43 @@ func unlimited[T int | int64 | time.Duration](v T) T {
 	return v
 }
 
-// run serves until ctx is canceled, then drains gracefully. If ready
-// is non-nil, the bound listener address is sent once serving.
-func run(ctx context.Context, o options, log *slog.Logger, ready chan<- net.Addr) error {
+// buildHandler assembles either a local processing server or, under
+// -coordinator, a cluster coordinator fronting the -peers ring.
+func buildHandler(o options, log *slog.Logger) (http.Handler, func(), error) {
+	if o.coordinator {
+		peers := splitPeers(o.peers)
+		if len(peers) == 0 {
+			return nil, nil, fmt.Errorf("-coordinator requires -peers")
+		}
+		c, err := cluster.New(cluster.Config{
+			Peers:          peers,
+			SplitRows:      o.splitRows,
+			PeerTimeout:    o.peerTimeout,
+			Retries:        o.peerRetries,
+			HedgeDelay:     o.hedge,
+			MaxUploadBytes: o.maxUpload,
+			Logger:         log,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		log.Info("coordinator mode", "peers", len(peers),
+			"split_rows", o.splitRows, "hedge", o.hedge.String())
+		return c, func() {}, nil
+	}
+	h, err := localServer(o, log)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, h.Close, nil
+}
+
+func localServer(o options, log *slog.Logger) (*server.Server, error) {
 	var faultPlan *fault.Plan
 	if o.faultInject != "" {
 		plan, err := fault.ParsePlan(o.faultInject)
 		if err != nil {
-			return fmt.Errorf("-fault-inject: %w", err)
+			return nil, fmt.Errorf("-fault-inject: %w", err)
 		}
 		faultPlan = &plan
 	}
@@ -183,15 +266,15 @@ func run(ctx context.Context, o options, log *slog.Logger, ready chan<- net.Addr
 	if o.diskFaultInject != "" {
 		plan, err := fault.ParseDiskPlan(o.diskFaultInject)
 		if err != nil {
-			return fmt.Errorf("-disk-fault-inject: %w", err)
+			return nil, fmt.Errorf("-disk-fault-inject: %w", err)
 		}
 		diskPlan = &plan
 	}
 	walSync, err := wal.ParseSyncPolicy(o.walSync)
 	if err != nil {
-		return fmt.Errorf("-wal-sync: %w", err)
+		return nil, fmt.Errorf("-wal-sync: %w", err)
 	}
-	handler, err := server.Open(server.Config{
+	return server.Open(server.Config{
 		MaxUploadBytes: unlimited(o.maxUpload),
 		MaxInFlight:    unlimited(o.maxInFlight),
 		RequestTimeout: unlimited(o.requestTimeout),
@@ -212,10 +295,16 @@ func run(ctx context.Context, o options, log *slog.Logger, ready chan<- net.Addr
 		AuditFlushInterval: o.auditInterval,
 		DiskFaultPlan:      diskPlan,
 	})
+}
+
+// run serves until ctx is canceled, then drains gracefully. If ready
+// is non-nil, the bound listener address is sent once serving.
+func run(ctx context.Context, o options, log *slog.Logger, ready chan<- net.Addr) error {
+	handler, closeHandler, err := buildHandler(o, log)
 	if err != nil {
 		return err
 	}
-	defer handler.Close()
+	defer closeHandler()
 	srv := &http.Server{
 		Addr:              o.addr,
 		Handler:           handler,

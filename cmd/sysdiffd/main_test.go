@@ -169,3 +169,19 @@ func TestFaultInjectServes(t *testing.T) {
 		t.Fatalf("run returned %v", err)
 	}
 }
+
+func TestSplitPeers(t *testing.T) {
+	got := splitPeers(" http://a:1 , b:2,, https://c:3 ")
+	want := []string{"http://a:1", "http://b:2", "https://c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("splitPeers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("peer[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if splitPeers("  ,  ") != nil {
+		t.Error("blank peer list should be nil")
+	}
+}

@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sysrle/internal/apiclient"
+	"sysrle/internal/telemetry"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultSplitRows is the minimum rows per band: an image only
+	// scatters across shards when every shard gets at least this many
+	// rows, so small images never pay the fan-out overhead.
+	DefaultSplitRows = 64
+	// DefaultPeerTimeout bounds one coordinator→shard call.
+	DefaultPeerTimeout = 30 * time.Second
+	// DefaultMaxUploadBytes caps one inbound request body.
+	DefaultMaxUploadBytes = 64 << 20
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Peers are the shard base URLs (scheme://host:port). At least one
+	// is required.
+	Peers []string
+	// VirtualNodes per peer on the ring; 0 means DefaultVirtualNodes.
+	VirtualNodes int
+	// SplitRows is the minimum band height for row-range scatter;
+	// 0 means DefaultSplitRows, negative disables splitting.
+	SplitRows int
+	// PeerTimeout bounds each shard call; 0 means DefaultPeerTimeout.
+	PeerTimeout time.Duration
+	// HedgeDelay arms the client's slow-shard hedging for idempotent
+	// calls; 0 disables it.
+	HedgeDelay time.Duration
+	// Retries is the per-call retry budget for idempotent shard calls
+	// (see apiclient.Options.Retries).
+	Retries int
+	// Seed pins the client's retry jitter (chaos tests); 0 uses the clock.
+	Seed int64
+	// MaxUploadBytes caps one inbound body; 0 means DefaultMaxUploadBytes.
+	MaxUploadBytes int64
+	// Transport, when non-nil, is installed in every peer client —
+	// chaos tests wrap it with fault.WrapTransport.
+	Transport http.RoundTripper
+	// Registry receives the coordinator's telemetry; nil means a
+	// private registry.
+	Registry *telemetry.Registry
+	// Logger receives structured logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Coordinator fronts a ring of sysdiffd shards: references are placed
+// by consistent hashing, huge diffs scatter by row range, and
+// everything a shard answers flows back through the same v1 API
+// surface the shards themselves expose.
+type Coordinator struct {
+	cfg  Config
+	ring *Ring
+	log  *slog.Logger
+	reg  *telemetry.Registry
+
+	mu      sync.RWMutex
+	clients map[string]*apiclient.Client
+	// draining holds clients for peers removed from the ring whose
+	// references have not yet been moved off by Rebalance.
+	draining map[string]*apiclient.Client
+
+	rr      atomic.Uint64 // round-robin cursor for unplaced work
+	handler http.Handler
+
+	routeHits    *telemetry.Counter
+	routeMisses  *telemetry.Counter
+	scatterDiffs *telemetry.Counter
+	movedRefs    *telemetry.Counter
+}
+
+// New returns a coordinator for the given shard set.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers configured")
+	}
+	if cfg.SplitRows == 0 {
+		cfg.SplitRows = DefaultSplitRows
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = DefaultPeerTimeout
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		ring:     NewRing(nil, cfg.VirtualNodes),
+		log:      cfg.Logger,
+		reg:      cfg.Registry,
+		clients:  make(map[string]*apiclient.Client),
+		draining: make(map[string]*apiclient.Client),
+	}
+	if c.log == nil {
+		c.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.reg == nil {
+		c.reg = telemetry.NewRegistry()
+	}
+	c.reg.Help("sysrle_cluster_ref_route_hits_total",
+		"Ref-routed requests whose ring owner held the reference.")
+	c.reg.Help("sysrle_cluster_ref_route_misses_total",
+		"Ref-routed requests 404ed by the ring owner (placement miss).")
+	c.reg.Help("sysrle_cluster_scatter_diffs_total",
+		"Diff requests split by row range across shards.")
+	c.reg.Help("sysrle_cluster_rebalance_moved_total",
+		"References moved to their ring owner by rebalancing.")
+	c.reg.Help("sysrle_cluster_peer_request_seconds",
+		"Coordinator→shard call latency, by peer.")
+	c.reg.Help("sysrle_cluster_peer_requests_total",
+		"Coordinator→shard calls, by peer and status class.")
+	c.routeHits = c.reg.Counter("sysrle_cluster_ref_route_hits_total")
+	c.routeMisses = c.reg.Counter("sysrle_cluster_ref_route_misses_total")
+	c.scatterDiffs = c.reg.Counter("sysrle_cluster_scatter_diffs_total")
+	c.movedRefs = c.reg.Counter("sysrle_cluster_rebalance_moved_total")
+	if err := c.SetPeers(cfg.Peers); err != nil {
+		return nil, err
+	}
+	c.handler = c.middleware(c.routes())
+	return c, nil
+}
+
+// peerLabel folds a base URL to host:port for bounded metric labels.
+func peerLabel(base string) string {
+	if u, err := url.Parse(base); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return base
+}
+
+// newClient builds the typed client for one peer, feeding the
+// per-peer latency histogram from the client's Observe hook.
+func (c *Coordinator) newClient(peer string) (*apiclient.Client, error) {
+	label := telemetry.L("peer", peerLabel(peer))
+	hist := c.reg.Histogram("sysrle_cluster_peer_request_seconds", nil, label)
+	return apiclient.New(peer, apiclient.Options{
+		HTTPClient: &http.Client{Transport: c.cfg.Transport},
+		Timeout:    c.cfg.PeerTimeout,
+		Retries:    c.cfg.Retries,
+		HedgeDelay: c.cfg.HedgeDelay,
+		Seed:       c.cfg.Seed,
+		UserAgent:  "sysrle-cluster/1",
+		Observe: func(route string, d time.Duration, status int) {
+			hist.ObserveDuration(d)
+			c.reg.Counter("sysrle_cluster_peer_requests_total",
+				label, telemetry.L("class", statusClass(status))).Inc()
+		},
+	})
+}
+
+func statusClass(status int) string {
+	switch {
+	case status == 0:
+		return "error"
+	case status < 300:
+		return "2xx"
+	case status < 400:
+		return "3xx"
+	case status < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// SetPeers replaces the membership. Existing clients for surviving
+// peers are kept (their metrics series stay hot); removed peers move
+// to a draining set so the next Rebalance can pull their references
+// onto the survivors. Placement follows the ring's
+// bounded-rebalancing property, and actually moving the misplaced
+// references is Rebalance's job.
+func (c *Coordinator) SetPeers(peers []string) error {
+	fresh := make(map[string]*apiclient.Client, len(peers))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range peers {
+		if p == "" {
+			continue
+		}
+		delete(c.draining, p) // re-added peer is no longer draining
+		if cl, ok := c.clients[p]; ok {
+			fresh[p] = cl
+			continue
+		}
+		cl, err := c.newClient(p)
+		if err != nil {
+			return err
+		}
+		fresh[p] = cl
+	}
+	if len(fresh) == 0 {
+		return fmt.Errorf("cluster: no valid peers")
+	}
+	for p, cl := range c.clients {
+		if _, kept := fresh[p]; !kept {
+			c.draining[p] = cl
+		}
+	}
+	c.clients = fresh
+	c.ring.SetPeers(peers)
+	c.log.Info("cluster membership set", "peers", c.ring.Peers(), "draining", len(c.draining))
+	return nil
+}
+
+// drainingPeers snapshots the draining set.
+func (c *Coordinator) drainingPeers() map[string]*apiclient.Client {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]*apiclient.Client, len(c.draining))
+	for p, cl := range c.draining {
+		out[p] = cl
+	}
+	return out
+}
+
+// drained marks a removed peer as fully evacuated.
+func (c *Coordinator) drained(peer string) {
+	c.mu.Lock()
+	delete(c.draining, peer)
+	c.mu.Unlock()
+}
+
+// Peers returns the current membership.
+func (c *Coordinator) Peers() []string { return c.ring.Peers() }
+
+// client returns the typed client for a peer URL.
+func (c *Coordinator) client(peer string) *apiclient.Client {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.clients[peer]
+}
+
+// ownerClient resolves a placement key to its owning peer's client.
+func (c *Coordinator) ownerClient(key string) (string, *apiclient.Client) {
+	peer := c.ring.Owner(key)
+	return peer, c.client(peer)
+}
+
+// nextClient picks the next peer round-robin, for work with no
+// placement affinity (inline-upload compares, job submission).
+func (c *Coordinator) nextClient() (string, *apiclient.Client) {
+	peers := c.ring.Peers()
+	if len(peers) == 0 {
+		return "", nil
+	}
+	peer := peers[int(c.rr.Add(1)-1)%len(peers)]
+	return peer, c.client(peer)
+}
+
+// ServeHTTP dispatches through the coordinator's middleware and mux.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.handler.ServeHTTP(w, r)
+}
+
+// middleware is the coordinator's thin stack: panic recovery, request
+// id, access log. Shard calls carry their own deadlines, so there is
+// no separate coordinator timeout tier.
+func (c *Coordinator) middleware(next http.Handler) http.Handler {
+	panics := c.reg.Counter("sysrle_cluster_http_panics_total")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("coord-%06d", c.rr.Add(1))
+			r.Header.Set("X-Request-Id", id)
+		}
+		w.Header().Set("X-Request-Id", id)
+		start := time.Now()
+		defer func() {
+			if v := recover(); v != nil {
+				panics.Inc()
+				c.log.Error("panic serving request", "path", r.URL.Path, "panic", fmt.Sprint(v))
+				writeError(w, http.StatusInternalServerError, "internal", "internal error", id)
+			}
+			c.log.Info("request", "method", r.Method, "path", r.URL.Path,
+				"duration", time.Since(start), "request_id", id)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writeJSON renders one response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders the unified v1 error envelope.
+func writeError(w http.ResponseWriter, status int, code, msg, rid string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{
+			"code": code, "message": msg, "request_id": rid,
+		},
+	})
+}
+
+// relayError maps a shard-call failure onto the coordinator's own
+// response: API errors pass through status, code and message (the
+// shard already sanitized them); transport failures — a dead or
+// unreachable shard — become 503 unavailable, so a killed shard fails
+// only the requests its ring span owns.
+func (c *Coordinator) relayError(w http.ResponseWriter, r *http.Request, peer string, err error) {
+	rid := r.Header.Get("X-Request-Id")
+	if ae, ok := apiErr(err); ok {
+		id := ae.RequestID
+		if id == "" {
+			id = rid
+		}
+		writeError(w, ae.Status, ae.Code, ae.Message, id)
+		return
+	}
+	c.log.Warn("peer unreachable", "peer", peerLabel(peer), "err", err, "request_id", rid)
+	writeError(w, http.StatusServiceUnavailable, "unavailable",
+		fmt.Sprintf("shard %s unavailable", peerLabel(peer)), rid)
+}
+
+func apiErr(err error) (*apiclient.Error, bool) {
+	var ae *apiclient.Error
+	if errors.As(err, &ae) {
+		return ae, true
+	}
+	return nil, false
+}

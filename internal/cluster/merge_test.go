@@ -1,0 +1,130 @@
+package cluster
+
+// The scatter-gather correctness satellite: ImageStats merging must be
+// associative and commutative, and any row-range split of a diff —
+// including the degenerate single-band split and zero-row bands —
+// must merge back to exactly the single-node statistics.
+
+import (
+	"math/rand"
+	"testing"
+
+	"sysrle"
+	"sysrle/internal/rle"
+	"sysrle/internal/workload"
+)
+
+// diffStats runs the library diff over one band and returns its stats.
+func diffStats(t *testing.T, a, b *rle.Image) sysrle.ImageStats {
+	t.Helper()
+	_, stats, err := sysrle.DiffImage(a, b)
+	if err != nil {
+		t.Fatalf("DiffImage: %v", err)
+	}
+	return *stats
+}
+
+// corpus builds image pairs covering the shapes the oracle exercises:
+// dense text-like rows, sparse rows, empty images, single-row images.
+func corpus(t *testing.T) [][2]*rle.Image {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	pair := func(width, height int, density float64) [2]*rle.Image {
+		a, err := workload.GenerateImage(rng, workload.PaperRow(width, density), height)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := workload.GenerateImage(rng, workload.PaperRow(width, density), height)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [2]*rle.Image{a, b}
+	}
+	empty := &rle.Image{Width: 64, Height: 3, Rows: make([]rle.Row, 3)}
+	return [][2]*rle.Image{
+		pair(256, 100, 0.3),
+		pair(512, 37, 0.05), // sparse, odd height
+		pair(64, 1, 0.5),    // single row
+		{empty, empty},      // nothing differs
+		pair(96, 8, 0.9),    // dense
+	}
+}
+
+func TestMergeImageStatsIdentityAndZeroRange(t *testing.T) {
+	var zero sysrle.ImageStats
+	for _, pair := range corpus(t) {
+		s := diffStats(t, pair[0], pair[1])
+		if got := sysrle.MergeImageStats(zero, s); got != s {
+			t.Fatalf("Merge(zero, s) = %+v, want %+v", got, s)
+		}
+		if got := sysrle.MergeImageStats(s, zero); got != s {
+			t.Fatalf("Merge(s, zero) = %+v, want %+v", got, s)
+		}
+		// A zero-row band diff really is the merge identity.
+		h := pair[0].Height
+		zband := diffStats(t, band(pair[0], h, h), band(pair[1], h, h))
+		if zband != zero {
+			t.Fatalf("zero-row band stats = %+v, want zero value", zband)
+		}
+	}
+}
+
+func TestMergeImageStatsCommutative(t *testing.T) {
+	for _, pair := range corpus(t) {
+		a, b := pair[0], pair[1]
+		if a.Height < 2 {
+			continue
+		}
+		mid := a.Height / 2
+		s1 := diffStats(t, band(a, 0, mid), band(b, 0, mid))
+		s2 := diffStats(t, band(a, mid, a.Height), band(b, mid, a.Height))
+		if sysrle.MergeImageStats(s1, s2) != sysrle.MergeImageStats(s2, s1) {
+			t.Fatalf("merge not commutative: %+v vs %+v", s1, s2)
+		}
+	}
+}
+
+// TestMergeMatchesSingleShard is the core scatter-gather invariant:
+// split → per-band diff → merge equals the unsplit diff, for every
+// split arity including the single-shard degenerate case, and
+// regardless of merge grouping (associativity).
+func TestMergeMatchesSingleShard(t *testing.T) {
+	for _, pair := range corpus(t) {
+		a, b := pair[0], pair[1]
+		want := diffStats(t, a, b)
+		for _, bands := range []int{1, 2, 3, 7} {
+			ranges := splitRows(a.Height, bands, 1)
+			stats := make([]sysrle.ImageStats, len(ranges))
+			for i, rng := range ranges {
+				stats[i] = diffStats(t, band(a, rng[0], rng[1]), band(b, rng[0], rng[1]))
+			}
+			// Left fold.
+			var left sysrle.ImageStats
+			for _, s := range stats {
+				left = sysrle.MergeImageStats(left, s)
+			}
+			if left != want {
+				t.Fatalf("%d-band left fold = %+v, want %+v (image %dx%d)",
+					len(ranges), left, want, a.Width, a.Height)
+			}
+			// Right fold — associativity means the grouping cannot matter.
+			var right sysrle.ImageStats
+			for i := len(stats) - 1; i >= 0; i-- {
+				right = sysrle.MergeImageStats(stats[i], right)
+			}
+			if right != want {
+				t.Fatalf("%d-band right fold = %+v, want %+v", len(ranges), right, want)
+			}
+			// Shuffled pairwise merge order.
+			rng := rand.New(rand.NewSource(int64(bands)))
+			perm := rng.Perm(len(stats))
+			var shuffled sysrle.ImageStats
+			for _, i := range perm {
+				shuffled = sysrle.MergeImageStats(shuffled, stats[i])
+			}
+			if shuffled != want {
+				t.Fatalf("%d-band shuffled merge = %+v, want %+v", len(ranges), shuffled, want)
+			}
+		}
+	}
+}

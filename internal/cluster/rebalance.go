@@ -1,0 +1,100 @@
+package cluster
+
+// Membership-change rebalancing. Consistent hashing bounds how many
+// references a membership change displaces (~1/n of the keyspace per
+// peer added or removed); Rebalance does the actual moving for the
+// displaced minority: list every shard, find references whose ring
+// owner is a different shard, copy each to its owner and delete the
+// stray copy. Content addressing makes the copy idempotent — a crash
+// mid-move leaves at worst a duplicate that the next rebalance clears,
+// never a lost reference.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"sysrle/internal/apiclient"
+)
+
+// Rebalance moves misplaced references to their ring owners: strays
+// on ring members (a peer was added and took over part of their span)
+// and everything on draining peers (removed from the ring but still
+// reachable). It returns how many references moved and how many were
+// scanned. Safe to run while traffic flows: reads against a reference
+// that is mid-move fall back through relayError as a 404 placement
+// miss, and re-registration is idempotent.
+func (c *Coordinator) Rebalance(ctx context.Context) (moved, scanned int, err error) {
+	sources := make(map[string]*apiclient.Client)
+	for _, peer := range c.ring.Peers() {
+		sources[peer] = c.client(peer)
+	}
+	draining := c.drainingPeers()
+	for peer, cl := range draining {
+		sources[peer] = cl
+	}
+	peers := make([]string, 0, len(sources))
+	for p := range sources {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	// Snapshot every shard's listing before moving anything, so a
+	// reference relocated early is not re-scanned on its destination.
+	// A draining peer that cannot be listed is a dead shard: its
+	// references died with it, so there is nothing to evacuate — mark
+	// it drained and move on rather than wedging the membership
+	// change. A ring member that cannot be listed still aborts; its
+	// span is live and skipping it could strand misplaced references.
+	listings := make(map[string][]apiclient.RefMeta, len(peers))
+	for _, peer := range peers {
+		refs, lerr := sources[peer].ListReferences(ctx)
+		if lerr != nil {
+			if _, wasDraining := draining[peer]; wasDraining {
+				c.log.Warn("draining peer unreachable, dropping without evacuation",
+					"peer", peerLabel(peer), "err", lerr)
+				c.drained(peer)
+				delete(draining, peer)
+				delete(sources, peer)
+				continue
+			}
+			return 0, 0, fmt.Errorf("cluster: listing %s: %w", peerLabel(peer), lerr)
+		}
+		listings[peer] = refs
+	}
+	for _, peer := range peers {
+		cl := sources[peer]
+		for _, ref := range listings[peer] {
+			scanned++
+			owner := c.ring.Owner(ref.ID)
+			if owner == peer {
+				continue
+			}
+			img, gerr := cl.ReferenceContent(ctx, ref.ID)
+			if gerr != nil {
+				return moved, scanned, fmt.Errorf("cluster: fetching %s from %s: %w",
+					ref.ID[:12], peerLabel(peer), gerr)
+			}
+			ocl := c.client(owner)
+			if ocl == nil {
+				return moved, scanned, fmt.Errorf("cluster: no client for owner %s", peerLabel(owner))
+			}
+			if _, perr := ocl.PutReference(ctx, img); perr != nil {
+				return moved, scanned, fmt.Errorf("cluster: placing %s on %s: %w",
+					ref.ID[:12], peerLabel(owner), perr)
+			}
+			// Only after the owner holds the copy is the stray removed.
+			if derr := cl.DeleteReference(ctx, ref.ID); derr != nil {
+				return moved, scanned, fmt.Errorf("cluster: removing stray %s from %s: %w",
+					ref.ID[:12], peerLabel(peer), derr)
+			}
+			moved++
+			c.movedRefs.Inc()
+			c.log.Info("reference rebalanced", "ref", ref.ID[:12],
+				"from", peerLabel(peer), "to", peerLabel(owner))
+		}
+		if _, wasDraining := draining[peer]; wasDraining {
+			c.drained(peer)
+		}
+	}
+	return moved, scanned, nil
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ref-%064d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := NewRing(peers, 0)
+	r2 := NewRing([]string{"http://c:1", "http://a:1", "http://b:1"}, 0) // order-independent
+	for _, k := range ringKeys(500) {
+		o1, o2 := r1.Owner(k), r2.Owner(k)
+		if o1 == "" {
+			t.Fatalf("key %q unowned", k)
+		}
+		if o1 != o2 {
+			t.Fatalf("placement depends on peer order: %q vs %q", o1, o2)
+		}
+	}
+}
+
+func TestRingEmptyAndSinglePeer(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if o := empty.Owner("k"); o != "" {
+		t.Fatalf("empty ring owner = %q, want empty", o)
+	}
+	solo := NewRing([]string{"http://only:1"}, 0)
+	for _, k := range ringKeys(100) {
+		if o := solo.Owner(k); o != "http://only:1" {
+			t.Fatalf("single-peer ring routed %q to %q", k, o)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(peers, 0)
+	counts := map[string]int{}
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	want := len(keys) / len(peers)
+	for p, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Fatalf("peer %s owns %d of %d keys (want roughly %d): imbalanced ring", p, n, len(keys), want)
+		}
+	}
+}
+
+func TestRingBoundedRebalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	before := NewRing(peers, 0)
+	after := NewRing(append(append([]string{}, peers...), "http://e:1"), 0)
+
+	keys := ringKeys(4000)
+	moved, toNew := 0, 0
+	for _, k := range keys {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob != oa {
+			moved++
+			if oa != "http://e:1" {
+				t.Fatalf("key %q moved between surviving peers (%q → %q) on peer add", k, ob, oa)
+			}
+			toNew++
+		}
+	}
+	// Ideal share for the new peer is 1/5 of keys; allow 2x slack but
+	// fail a full reshuffle (which would move ~4/5).
+	if moved == 0 || moved > len(keys)*2/5 {
+		t.Fatalf("peer add moved %d of %d keys, want ~%d (bounded rebalance)", moved, len(keys), len(keys)/5)
+	}
+
+	// Removing a peer moves only that peer's keys.
+	removed := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	for _, k := range keys {
+		ob, oa := before.Owner(k), removed.Owner(k)
+		if ob != "http://d:1" && ob != oa {
+			t.Fatalf("key %q moved (%q → %q) though its owner survived removal", k, ob, oa)
+		}
+		if ob == "http://d:1" && oa == "http://d:1" {
+			t.Fatalf("key %q still routed to removed peer", k)
+		}
+	}
+}
+
+func TestRingSetPeersDedup(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://a:1", "", "http://b:1"}, 4)
+	if got := r.Peers(); len(got) != 2 {
+		t.Fatalf("peers = %v, want deduped 2", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+}

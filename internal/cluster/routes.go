@@ -1,0 +1,745 @@
+package cluster
+
+// The coordinator's HTTP surface. It mirrors the shard v1 API so
+// clients cannot tell a coordinator from a single node, plus two
+// cluster-admin endpoints:
+//
+//	GET  /v1/cluster/ring       → membership and vnode count
+//	POST /v1/cluster/rebalance  → optional {"peers":[...]} body applies
+//	                              a membership change, then misplaced
+//	                              references move to their ring owner;
+//	                              {"moved": n, "scanned": m, "peers": [...]}
+//
+// Routing policy per endpoint:
+//
+//	/v1/diff, /v1/inspect, /v1/align with ?ref=<id>
+//	    → the ring owner of the reference (its decoded cache lives
+//	      there and nowhere else). An owner 404 counts as a placement
+//	      miss in telemetry.
+//	/v1/diff with inline uploads
+//	    → split by row range across every shard when the image is tall
+//	      enough (each band ≥ SplitRows rows), per-band ImageStats
+//	      merged associatively; otherwise round-robin to one shard.
+//	/v1/inspect, /v1/align, /v1/docclean with inline uploads
+//	    → round-robin (defect grouping crosses rows, so these never
+//	      split).
+//	/v1/references
+//	    → placed by content id: POST hashes the canonical RLEB locally
+//	      and forwards to the owner; GET list scatter-gathers all
+//	      shards; id-addressed calls go to the owner.
+//	/v1/jobs
+//	    → submission follows the reference owner (ref jobs) or
+//	      round-robin (inline/docclean jobs); id-addressed reads
+//	      scatter to every shard and the one that knows the id answers.
+//	/v1/audit
+//	    → 404: the audit chain is a per-shard artifact, query shards.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"sysrle"
+	"sysrle/internal/apiclient"
+	"sysrle/internal/imageio"
+	"sysrle/internal/refstore"
+	"sysrle/internal/rle"
+)
+
+func (c *Coordinator) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", c.handleReadyz)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = c.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = c.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("POST /v1/diff", c.handleDiff)
+	mux.HandleFunc("POST /v1/inspect", c.handleInspect)
+	mux.HandleFunc("POST /v1/align", c.handleAlign)
+	mux.HandleFunc("POST /v1/docclean", c.handleDocClean)
+	mux.HandleFunc("POST /v1/references", c.handleRefPut)
+	mux.HandleFunc("GET /v1/references", c.handleRefList)
+	mux.HandleFunc("GET /v1/references/{id}", c.handleRefGet)
+	mux.HandleFunc("GET /v1/references/{id}/content", c.handleRefContent)
+	mux.HandleFunc("DELETE /v1/references/{id}", c.handleRefDelete)
+	mux.HandleFunc("POST /v1/jobs", c.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", c.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleJobDelete)
+	mux.HandleFunc("GET /v1/audit", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not_found",
+			"audit logs are per-shard; query the shards directly", r.Header.Get("X-Request-Id"))
+	})
+	mux.HandleFunc("GET /v1/cluster/ring", c.handleRing)
+	mux.HandleFunc("POST /v1/cluster/rebalance", c.handleRebalance)
+	return mux
+}
+
+// formImages parses the multipart form and decodes the named file
+// parts; missing names simply come back absent from the map.
+func (c *Coordinator) formImages(w http.ResponseWriter, r *http.Request, names ...string) (map[string]*rle.Image, bool) {
+	rid := r.Header.Get("X-Request-Id")
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxUploadBytes)
+	if err := r.ParseMultipartForm(8 << 20); err != nil {
+		status := http.StatusBadRequest
+		code := "invalid_argument"
+		if _, ok := err.(*http.MaxBytesError); ok {
+			status, code = http.StatusRequestEntityTooLarge, "payload_too_large"
+		}
+		writeError(w, status, code, fmt.Sprintf("parsing multipart form: %v", err), rid)
+		return nil, false
+	}
+	out := make(map[string]*rle.Image, len(names))
+	for _, name := range names {
+		fhs := r.MultipartForm.File[name]
+		if len(fhs) == 0 {
+			continue
+		}
+		f, err := fhs[0].Open()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_argument",
+				fmt.Sprintf("opening %q upload: %v", name, err), rid)
+			return nil, false
+		}
+		img, err := imageio.Read(f)
+		f.Close()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_argument",
+				fmt.Sprintf("decoding %q upload: %v", name, err), rid)
+			return nil, false
+		}
+		out[name] = img
+	}
+	return out, true
+}
+
+// splitRows divides height rows into at most bands contiguous
+// near-equal [lo, hi) ranges, each at least minRows tall (the last
+// band absorbs the remainder). One band means "do not scatter".
+func splitRows(height, bands, minRows int) [][2]int {
+	if bands < 1 {
+		bands = 1
+	}
+	if minRows > 0 && bands > 1 {
+		if fit := height / minRows; fit < bands {
+			bands = fit
+		}
+	}
+	if bands <= 1 || height <= 0 {
+		return [][2]int{{0, height}}
+	}
+	out := make([][2]int, 0, bands)
+	per := height / bands
+	lo := 0
+	for i := 0; i < bands; i++ {
+		hi := lo + per
+		if i == bands-1 {
+			hi = height
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// band returns the sub-image covering rows [lo, hi). Rows are shared
+// slices, so a band is a header-only view — no pixel copying.
+func band(img *rle.Image, lo, hi int) *rle.Image {
+	return &rle.Image{Width: img.Width, Height: hi - lo, Rows: img.Rows[lo:hi]}
+}
+
+func (c *Coordinator) handleDiff(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get("X-Request-Id")
+	q := r.URL.Query()
+	engine := q.Get("engine")
+	format := q.Get("format")
+	if format == "" {
+		format = "pbm"
+	}
+	if !validFormat(format) {
+		writeError(w, http.StatusBadRequest, "invalid_argument",
+			fmt.Sprintf("unknown format %q (have %v)", format, imageio.Formats()), rid)
+		return
+	}
+
+	// Ref-routed: the whole call goes to the reference's ring owner.
+	if refID := q.Get("ref"); refID != "" {
+		images, ok := c.formImages(w, r, "b")
+		if !ok {
+			return
+		}
+		b := images["b"]
+		if b == nil {
+			writeError(w, http.StatusBadRequest, "invalid_argument", `no "b" upload in form`, rid)
+			return
+		}
+		peer, cl := c.ownerClient(refID)
+		if cl == nil {
+			writeError(w, http.StatusServiceUnavailable, "unavailable", "no shard owns this reference", rid)
+			return
+		}
+		res, err := cl.Diff(r.Context(), apiclient.DiffRequest{RefID: refID, B: b, Engine: engine})
+		if err != nil {
+			if apiclient.IsNotFound(err) {
+				c.routeMisses.Inc()
+			}
+			c.relayError(w, r, peer, err)
+			return
+		}
+		c.routeHits.Inc()
+		c.writeDiff(w, format, res.Image, res.Stats, res.Engine)
+		return
+	}
+
+	images, ok := c.formImages(w, r, "a", "b")
+	if !ok {
+		return
+	}
+	a, b := images["a"], images["b"]
+	if a == nil || b == nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", `form needs "a" and "b" uploads`, rid)
+		return
+	}
+	if a.Width != b.Width || a.Height != b.Height {
+		writeError(w, http.StatusUnprocessableEntity, "unprocessable",
+			fmt.Sprintf("size mismatch: %dx%d vs %dx%d", a.Width, a.Height, b.Width, b.Height), rid)
+		return
+	}
+
+	peers := c.ring.Peers()
+	bands := [][2]int{{0, a.Height}}
+	if c.cfg.SplitRows > 0 {
+		bands = splitRows(a.Height, len(peers), c.cfg.SplitRows)
+	}
+	if len(bands) == 1 {
+		peer, cl := c.nextClient()
+		res, err := cl.Diff(r.Context(), apiclient.DiffRequest{A: a, B: b, Engine: engine})
+		if err != nil {
+			c.relayError(w, r, peer, err)
+			return
+		}
+		c.writeDiff(w, format, res.Image, res.Stats, res.Engine)
+		return
+	}
+
+	// Scatter: band i → shard i, all in flight at once; gather rows in
+	// band order and fold the per-band stats with the associative
+	// merge. Row difference is row-independent, so the stitched result
+	// is byte-identical to a single-node diff.
+	c.scatterDiffs.Inc()
+	type bandResult struct {
+		res  *apiclient.DiffResult
+		peer string
+		err  error
+	}
+	results := make([]bandResult, len(bands))
+	var wg sync.WaitGroup
+	for i, rng := range bands {
+		peer := peers[i%len(peers)]
+		cl := c.client(peer)
+		wg.Add(1)
+		go func(i int, lo, hi int) {
+			defer wg.Done()
+			res, err := cl.Diff(r.Context(), apiclient.DiffRequest{
+				A: band(a, lo, hi), B: band(b, lo, hi), Engine: engine,
+			})
+			results[i] = bandResult{res, peer, err}
+		}(i, rng[0], rng[1])
+	}
+	wg.Wait()
+	stitched := &rle.Image{Width: a.Width, Height: a.Height, Rows: make([]rle.Row, 0, a.Height)}
+	var stats sysrle.ImageStats
+	engineName := ""
+	for _, br := range results {
+		if br.err != nil {
+			c.relayError(w, r, br.peer, br.err)
+			return
+		}
+		stitched.Rows = append(stitched.Rows, br.res.Image.Rows...)
+		stats = sysrle.MergeImageStats(stats, br.res.Stats)
+		engineName = br.res.Engine
+	}
+	c.writeDiff(w, format, stitched, stats, engineName)
+}
+
+// writeDiff renders a diff response exactly as a shard would: the
+// image in the requested format, statistics in X-Sysrle-* headers.
+func (c *Coordinator) writeDiff(w http.ResponseWriter, format string, diff *rle.Image, stats sysrle.ImageStats, engine string) {
+	w.Header().Set("Content-Type", imageio.ContentType(format))
+	w.Header().Set("X-Sysrle-Engine", engine)
+	w.Header().Set("X-Sysrle-Rows-Differing", strconv.Itoa(stats.RowsDiffering))
+	w.Header().Set("X-Sysrle-Iterations-Total", strconv.Itoa(stats.TotalIterations))
+	w.Header().Set("X-Sysrle-Iterations-Max-Row", strconv.Itoa(stats.MaxRowIterations))
+	w.Header().Set("X-Sysrle-Cells-Total", strconv.Itoa(stats.TotalCells))
+	w.Header().Set("X-Sysrle-Cells-Max-Row", strconv.Itoa(stats.MaxRowCells))
+	if stats.FaultsRecovered > 0 {
+		w.Header().Set("X-Sysrle-Faults-Recovered", strconv.Itoa(stats.FaultsRecovered))
+	}
+	w.Header().Set("X-Sysrle-Diff-Pixels", strconv.Itoa(diff.Area()))
+	_ = imageio.Write(w, format, diff)
+}
+
+func validFormat(format string) bool {
+	for _, f := range imageio.Formats() {
+		if f == format {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Coordinator) handleInspect(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get("X-Request-Id")
+	q := r.URL.Query()
+	req := apiclient.InspectRequest{Engine: q.Get("engine"), RefID: q.Get("ref")}
+	req.MinDefectArea, _ = strconv.Atoi(q.Get("min-area"))
+	req.MaxAlignShift, _ = strconv.Atoi(q.Get("align"))
+	images, ok := c.formImages(w, r, "ref", "scan")
+	if !ok {
+		return
+	}
+	req.Scan = images["scan"]
+	if req.Scan == nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", `no "scan" upload in form`, rid)
+		return
+	}
+	var peer string
+	var cl *apiclient.Client
+	if req.RefID != "" {
+		peer, cl = c.ownerClient(req.RefID)
+	} else {
+		req.Ref = images["ref"]
+		if req.Ref == nil {
+			writeError(w, http.StatusBadRequest, "invalid_argument", `form needs a "ref" upload or ?ref=<id>`, rid)
+			return
+		}
+		peer, cl = c.nextClient()
+	}
+	rep, err := cl.Inspect(r.Context(), req)
+	if err != nil {
+		if req.RefID != "" && apiclient.IsNotFound(err) {
+			c.routeMisses.Inc()
+		}
+		c.relayError(w, r, peer, err)
+		return
+	}
+	if req.RefID != "" {
+		c.routeHits.Inc()
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (c *Coordinator) handleAlign(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get("X-Request-Id")
+	q := r.URL.Query()
+	req := apiclient.AlignRequest{RefID: q.Get("ref")}
+	req.MaxShift, _ = strconv.Atoi(q.Get("max-shift"))
+	images, ok := c.formImages(w, r, "ref", "scan")
+	if !ok {
+		return
+	}
+	req.Scan = images["scan"]
+	if req.Scan == nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", `no "scan" upload in form`, rid)
+		return
+	}
+	var peer string
+	var cl *apiclient.Client
+	if req.RefID != "" {
+		peer, cl = c.ownerClient(req.RefID)
+	} else {
+		req.Ref = images["ref"]
+		if req.Ref == nil {
+			writeError(w, http.StatusBadRequest, "invalid_argument", `form needs a "ref" upload or ?ref=<id>`, rid)
+			return
+		}
+		peer, cl = c.nextClient()
+	}
+	res, err := cl.Align(r.Context(), req)
+	if err != nil {
+		if req.RefID != "" && apiclient.IsNotFound(err) {
+			c.routeMisses.Inc()
+		}
+		c.relayError(w, r, peer, err)
+		return
+	}
+	if req.RefID != "" {
+		c.routeHits.Inc()
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (c *Coordinator) handleDocClean(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get("X-Request-Id")
+	q := r.URL.Query()
+	if q.Get("format") != "" {
+		writeError(w, http.StatusBadRequest, "invalid_argument",
+			"the coordinator serves docclean JSON reports only; request image output from a shard", rid)
+		return
+	}
+	images, ok := c.formImages(w, r, "image")
+	if !ok {
+		return
+	}
+	img := images["image"]
+	if img == nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", `no "image" upload in form`, rid)
+		return
+	}
+	req := apiclient.DocCleanRequest{Image: img, KeepLines: q.Get("keep-lines") != ""}
+	req.MaxSpeckleArea, _ = strconv.Atoi(q.Get("max-speckle"))
+	req.MinLineLen, _ = strconv.Atoi(q.Get("min-line"))
+	req.CloseGapX, _ = strconv.Atoi(q.Get("close-x"))
+	req.CloseGapY, _ = strconv.Atoi(q.Get("close-y"))
+	req.MinBlockArea, _ = strconv.Atoi(q.Get("min-block"))
+	peer, cl := c.nextClient()
+	rep, err := cl.DocClean(r.Context(), req)
+	if err != nil {
+		c.relayError(w, r, peer, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (c *Coordinator) handleRefPut(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get("X-Request-Id")
+	images, ok := c.formImages(w, r, "image")
+	if !ok {
+		return
+	}
+	img := images["image"]
+	if img == nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument", `no "image" upload in form`, rid)
+		return
+	}
+	id, err := refstore.ContentID(img)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "unprocessable", err.Error(), rid)
+		return
+	}
+	peer, cl := c.ownerClient(id)
+	meta, err := cl.PutReference(r.Context(), img)
+	if err != nil {
+		c.relayError(w, r, peer, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, meta)
+}
+
+func (c *Coordinator) handleRefList(w http.ResponseWriter, r *http.Request) {
+	type peerRefs struct {
+		refs []apiclient.RefMeta
+		peer string
+		err  error
+	}
+	peers := c.ring.Peers()
+	results := make([]peerRefs, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		cl := c.client(peer)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			refs, err := cl.ListReferences(r.Context())
+			results[i] = peerRefs{refs, peers[i], err}
+		}(i)
+	}
+	wg.Wait()
+	all := []apiclient.RefMeta{}
+	for _, pr := range results {
+		if pr.err != nil {
+			c.relayError(w, r, pr.peer, pr.err)
+			return
+		}
+		all = append(all, pr.refs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"references": all})
+}
+
+func (c *Coordinator) handleRefGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	peer, cl := c.ownerClient(id)
+	meta, err := cl.GetReference(r.Context(), id)
+	if err != nil {
+		c.relayError(w, r, peer, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, meta)
+}
+
+func (c *Coordinator) handleRefContent(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	peer, cl := c.ownerClient(id)
+	img, err := cl.ReferenceContent(r.Context(), id)
+	if err != nil {
+		c.relayError(w, r, peer, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_ = imageio.Write(w, "rleb", img)
+}
+
+func (c *Coordinator) handleRefDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	peer, cl := c.ownerClient(id)
+	if err := cl.DeleteReference(r.Context(), id); err != nil {
+		c.relayError(w, r, peer, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get("X-Request-Id")
+	q := r.URL.Query()
+	req := apiclient.JobRequest{Type: q.Get("type"), Engine: q.Get("engine")}
+	req.MinDefectArea, _ = strconv.Atoi(q.Get("min-area"))
+	req.MaxAlignShift, _ = strconv.Atoi(q.Get("align"))
+	req.DocClean.KeepLines = q.Get("keep-lines") != ""
+	req.DocClean.MaxSpeckleArea, _ = strconv.Atoi(q.Get("max-speckle"))
+	req.DocClean.MinLineLen, _ = strconv.Atoi(q.Get("min-line"))
+	req.DocClean.CloseGapX, _ = strconv.Atoi(q.Get("close-x"))
+	req.DocClean.CloseGapY, _ = strconv.Atoi(q.Get("close-y"))
+	req.DocClean.MinBlockArea, _ = strconv.Atoi(q.Get("min-block"))
+
+	r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxUploadBytes)
+	if err := r.ParseMultipartForm(8 << 20); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument",
+			fmt.Sprintf("parsing multipart form: %v", err), rid)
+		return
+	}
+	req.RefID = q.Get("ref")
+	if req.RefID == "" {
+		if vs := r.MultipartForm.Value["ref"]; len(vs) > 0 {
+			req.RefID = vs[0]
+		}
+	}
+	for _, fh := range r.MultipartForm.File["scan"] {
+		f, err := fh.Open()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_argument",
+				fmt.Sprintf("opening scan %q: %v", fh.Filename, err), rid)
+			return
+		}
+		img, err := imageio.Read(f)
+		f.Close()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_argument",
+				fmt.Sprintf("decoding scan %q: %v", fh.Filename, err), rid)
+			return
+		}
+		req.Scans = append(req.Scans, img)
+	}
+	if fhs := r.MultipartForm.File["ref"]; len(fhs) > 0 && req.RefID == "" {
+		f, err := fhs[0].Open()
+		if err == nil {
+			img, rerr := imageio.Read(f)
+			f.Close()
+			if rerr != nil {
+				writeError(w, http.StatusBadRequest, "invalid_argument",
+					fmt.Sprintf("decoding ref upload: %v", rerr), rid)
+				return
+			}
+			req.Ref = img
+		}
+	}
+	var peer string
+	var cl *apiclient.Client
+	if req.RefID != "" {
+		peer, cl = c.ownerClient(req.RefID)
+	} else {
+		peer, cl = c.nextClient()
+	}
+	st, err := cl.SubmitJob(r.Context(), req)
+	if err != nil {
+		c.relayError(w, r, peer, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (c *Coordinator) handleJobList(w http.ResponseWriter, r *http.Request) {
+	peers := c.ring.Peers()
+	type peerJobs struct {
+		jobs []apiclient.JobStatus
+		peer string
+		err  error
+	}
+	results := make([]peerJobs, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		cl := c.client(peer)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jobs, err := cl.ListJobs(r.Context())
+			results[i] = peerJobs{jobs, peers[i], err}
+		}(i)
+	}
+	wg.Wait()
+	all := []apiclient.JobStatus{}
+	for _, pj := range results {
+		if pj.err != nil {
+			c.relayError(w, r, pj.peer, pj.err)
+			return
+		}
+		all = append(all, pj.jobs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": all})
+}
+
+// scatterJob asks every shard about a job id; the shard that knows it
+// answers. Job ids are shard-local, so exactly one shard should claim
+// any given id.
+func (c *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	peers := c.ring.Peers()
+	var lastPeer string
+	var lastErr error
+	for _, peer := range peers {
+		cl := c.client(peer)
+		st, err := cl.GetJob(r.Context(), id)
+		if err == nil {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		lastPeer, lastErr = peer, err
+		if !apiclient.IsNotFound(err) {
+			break
+		}
+	}
+	c.relayError(w, r, lastPeer, lastErr)
+}
+
+func (c *Coordinator) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var lastPeer string
+	var lastErr error
+	for _, peer := range c.ring.Peers() {
+		cl := c.client(peer)
+		err := cl.DeleteJob(r.Context(), id)
+		if err == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		lastPeer, lastErr = peer, err
+		if !apiclient.IsNotFound(err) {
+			break
+		}
+	}
+	c.relayError(w, r, lastPeer, lastErr)
+}
+
+// handleReadyz aggregates per-shard readiness: probe "peer:<host>"
+// for each shard (its own /readyz verdict) plus a "ring" probe with
+// the membership summary. The shape matches a shard's /readyz so
+// orchestrators need one parser.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	peers := c.ring.Peers()
+	type probe struct {
+		Name   string `json:"name"`
+		OK     bool   `json:"ok"`
+		Detail string `json:"detail,omitempty"`
+	}
+	probes := make([]probe, len(peers)+1)
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		cl := c.client(peer)
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			p := probe{Name: "peer:" + peerLabel(peer)}
+			st, err := cl.Ready(r.Context())
+			switch {
+			case err != nil:
+				p.Detail = "unreachable"
+			case !st.Ready:
+				for _, sp := range st.Probes {
+					if !sp.OK {
+						p.Detail = sp.Name + ": " + sp.Detail
+						break
+					}
+				}
+			default:
+				p.OK = true
+			}
+			probes[i] = p
+		}(i, peer)
+	}
+	wg.Wait()
+	ready := true
+	for _, p := range probes[:len(peers)] {
+		if !p.OK {
+			ready = false
+		}
+	}
+	probes[len(peers)] = probe{
+		Name: "ring", OK: len(peers) > 0,
+		Detail: fmt.Sprintf("peers=%d vnodes=%d", len(peers), c.ring.vnodes),
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": ready, "probes": probes})
+}
+
+func (c *Coordinator) handleRing(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"peers":         c.ring.Peers(),
+		"virtual_nodes": c.ring.vnodes,
+	})
+}
+
+// handleRebalance optionally applies a membership change first: a
+// JSON body {"peers": ["http://...", ...]} replaces the ring (removed
+// peers drain; unreachable ones are dropped without evacuation — a
+// dead shard's data died with it). An empty body keeps the current
+// membership and just moves misplaced references.
+func (c *Coordinator) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get("X-Request-Id")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_argument",
+			fmt.Sprintf("reading body: %v", err), rid)
+		return
+	}
+	if len(body) > 0 {
+		var req struct {
+			Peers []string `json:"peers"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_argument",
+				fmt.Sprintf("parsing body: %v", err), rid)
+			return
+		}
+		if req.Peers != nil {
+			if err := c.SetPeers(req.Peers); err != nil {
+				writeError(w, http.StatusBadRequest, "invalid_argument", err.Error(), rid)
+				return
+			}
+		}
+	}
+	moved, scanned, err := c.Rebalance(r.Context())
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error(), rid)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"moved": moved, "scanned": scanned, "peers": c.ring.Peers(),
+	})
+}

@@ -1,0 +1,58 @@
+package fault
+
+// HTTP-level fault injection: a http.RoundTripper wrapper that stalls
+// or fails outbound requests on the same seeded schedule the engine
+// wrapper uses. This is how cluster chaos tests model a slow or flaky
+// peer — the coordinator's client transport is wrapped, so hedging and
+// retry behaviour is exercised against deterministic misbehaviour.
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Transport injects transport-level faults into outbound HTTP calls.
+// Only KindSlow and KindError apply at this layer: a slow fault stalls
+// the request (respecting its context) before forwarding, an error
+// fault fails the round trip with an error wrapping ErrInjected.
+// Other kinds drawn from the plan pass the call through unharmed.
+type Transport struct {
+	inner http.RoundTripper
+	inj   *Injector
+}
+
+// WrapTransport returns inner with faults injected per the injector's
+// plan. A nil injector returns inner unchanged; a nil inner uses
+// http.DefaultTransport.
+func WrapTransport(inner http.RoundTripper, inj *Injector) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if inj == nil {
+		return inner
+	}
+	return &Transport{inner: inner, inj: inj}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	kind, _, fire := t.inj.roll()
+	if fire {
+		switch kind {
+		case KindError:
+			t.inj.note(kind)
+			return nil, fmt.Errorf("%w (%s %s)", ErrInjected, req.Method, req.URL.Path)
+		case KindSlow:
+			t.inj.note(kind)
+			timer := time.NewTimer(t.inj.plan.SlowFor)
+			select {
+			case <-timer.C:
+			case <-req.Context().Done():
+				timer.Stop()
+				return nil, req.Context().Err()
+			}
+		}
+	}
+	return t.inner.RoundTrip(req)
+}

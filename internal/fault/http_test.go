@@ -1,0 +1,100 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestWrapTransportNilInjectorPassthrough(t *testing.T) {
+	rt := WrapTransport(http.DefaultTransport, nil)
+	if rt != http.DefaultTransport {
+		t.Fatalf("nil injector should return inner unchanged")
+	}
+}
+
+func TestTransportInjectsErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	inj := NewInjector(Plan{Seed: 7, Rate: 1, Kinds: []Kind{KindError}}, nil)
+	client := &http.Client{Transport: WrapTransport(nil, inj)}
+	_, err := client.Get(srv.URL)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if n := inj.Injected()[KindError]; n != 1 {
+		t.Fatalf("injected count = %d, want 1", n)
+	}
+}
+
+func TestTransportSlowRespectsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	inj := NewInjector(Plan{Seed: 7, Rate: 1, Kinds: []Kind{KindSlow}, SlowFor: 5 * time.Second}, nil)
+	client := &http.Client{Transport: WrapTransport(nil, inj)}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatalf("want context deadline error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("slow fault ignored context cancellation (took %v)", elapsed)
+	}
+}
+
+func TestTransportSlowThenForwards(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	inj := NewInjector(Plan{Seed: 7, Rate: 1, Kinds: []Kind{KindSlow}, SlowFor: time.Millisecond}, nil)
+	client := &http.Client{Transport: WrapTransport(nil, inj)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("slow fault should still forward: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q, want ok", body)
+	}
+	if n := inj.Injected()[KindSlow]; n == 0 {
+		t.Fatalf("slow fault not recorded")
+	}
+}
+
+func TestTransportPassthroughKinds(t *testing.T) {
+	// Kinds that have no transport-level meaning must not break calls.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	inj := NewInjector(Plan{Seed: 7, Rate: 1, Kinds: []Kind{KindCorruptRun, KindDropRun, KindStuckEmpty, KindPanic}}, nil)
+	client := &http.Client{Transport: WrapTransport(nil, inj)}
+	for i := 0; i < 8; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if n := inj.Total(); n != 0 {
+		t.Fatalf("non-transport kinds recorded %d faults", n)
+	}
+}

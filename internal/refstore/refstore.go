@@ -203,6 +203,22 @@ func decodedSize(width, height, runs int) int64 {
 	return int64(runs)*16 + int64(height)*24 + 48
 }
 
+// ContentID computes the content address an image would be stored
+// under — the hex SHA-256 of its canonical RLEB encoding — without
+// registering it. A cluster coordinator uses this to place a
+// reference on its owning shard before forwarding the upload.
+func ContentID(img *rle.Image) (string, error) {
+	if err := img.Validate(); err != nil {
+		return "", fmt.Errorf("refstore: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := rle.WriteBinary(&buf, img.Canonicalize()); err != nil {
+		return "", fmt.Errorf("refstore: encoding: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // Put registers an image and returns its content address. The id is
 // the hex SHA-256 of the canonical RLEB encoding, so equal content
 // always maps to the same id regardless of upload format.

@@ -50,12 +50,12 @@ func docCleanConfigFromQuery(r *http.Request) (docclean.Config, error) {
 func (s *Server) handleDocClean(w http.ResponseWriter, r *http.Request) {
 	cfg, err := docCleanConfigFromQuery(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	format := r.URL.Query().Get("format")
 	if format != "" && !validFormat(format) {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (have %v)", format, imageio.Formats()))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("unknown format %q (have %v)", format, imageio.Formats()))
 		return
 	}
 	if !s.parseForm(w, r) {
@@ -64,12 +64,12 @@ func (s *Server) handleDocClean(w http.ResponseWriter, r *http.Request) {
 	defer cleanupForm(r.MultipartForm)
 	img, err := formImage(r, "image")
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	res, err := docclean.Clean(r.Context(), img, cfg)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		s.httpError(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
 	w.Header().Set("X-Sysrle-Speckles-Removed", strconv.Itoa(res.SpecklesRemoved))

@@ -84,7 +84,7 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 					"request_id", r.Header.Get(requestIDHeader), "panic", fmt.Sprint(v))
 				// Best effort: if the handler already wrote, the extra
 				// WriteHeader is a no-op warning, not a crash.
-				httpError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+				s.httpError(w, r, http.StatusInternalServerError, fmt.Errorf("internal error"))
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -143,16 +143,20 @@ func (cb *countingBody) Close() error { return cb.rc.Close() }
 func endpointLabel(path string) string {
 	switch path {
 	case "/healthz", "/readyz", "/metrics", "/debug/vars", "/v1/diff", "/v1/inspect", "/v1/align",
-		"/v1/references", "/v1/jobs":
+		"/v1/docclean", "/v1/references", "/v1/jobs", "/v1/audit":
 		return path
 	default:
 		// Ids are client-chosen content hashes and job counters; fold
 		// them so cardinality stays bounded.
 		switch {
+		case strings.HasPrefix(path, "/v1/references/") && strings.HasSuffix(path, "/content"):
+			return "/v1/references/{id}/content"
 		case strings.HasPrefix(path, "/v1/references/"):
 			return "/v1/references/{id}"
 		case strings.HasPrefix(path, "/v1/jobs/"):
 			return "/v1/jobs/{id}"
+		case strings.HasPrefix(path, "/v1/audit/"):
+			return "/v1/audit/{id}/proof"
 		}
 		return "other"
 	}
@@ -235,7 +239,7 @@ func (s *Server) withLimit(next http.Handler) http.Handler {
 		default:
 			throttled.Inc()
 			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusTooManyRequests,
+			s.httpError(w, r, http.StatusTooManyRequests,
 				fmt.Errorf("server at capacity (%d requests in flight)", s.cfg.MaxInFlight))
 		}
 	})
@@ -258,7 +262,7 @@ func exempt(mid, direct http.Handler) http.Handler {
 func (s *Server) wrap(mux http.Handler) http.Handler {
 	h := mux
 	if s.cfg.RequestTimeout > 0 {
-		h = exempt(http.TimeoutHandler(h, s.cfg.RequestTimeout, timeoutBody), mux)
+		h = exempt(jsonOnBareWrite(http.TimeoutHandler(h, s.cfg.RequestTimeout, timeoutBody)), mux)
 	}
 	h = exempt(s.withLimit(h), h)
 	h = s.withObserve(h)
@@ -267,8 +271,48 @@ func (s *Server) wrap(mux http.Handler) http.Handler {
 	return h
 }
 
-// timeoutBody is what http.TimeoutHandler writes with its 503.
-const timeoutBody = `{"error":"request timed out"}`
+// timeoutBody is what http.TimeoutHandler writes with its 503, in
+// the same envelope shape httpError renders.
+const timeoutBody = `{"error":{"code":"unavailable","message":"request timed out"}}`
+
+// jsonOnBareWrite defaults Content-Type to application/json when the
+// inner handler writes headers without setting one.
+// http.TimeoutHandler emits its static timeout body bare, which would
+// otherwise be content-sniffed as text/plain.
+func jsonOnBareWrite(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&jsonDefaultWriter{ResponseWriter: w}, r)
+	})
+}
+
+type jsonDefaultWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (jw *jsonDefaultWriter) WriteHeader(code int) {
+	if !jw.wrote {
+		jw.wrote = true
+		if jw.Header().Get("Content-Type") == "" {
+			jw.Header().Set("Content-Type", "application/json")
+		}
+	}
+	jw.ResponseWriter.WriteHeader(code)
+}
+
+func (jw *jsonDefaultWriter) Write(p []byte) (int, error) {
+	if !jw.wrote {
+		jw.WriteHeader(http.StatusOK)
+	}
+	return jw.ResponseWriter.Write(p)
+}
+
+// Flush forwards so streaming works through the wrapper.
+func (jw *jsonDefaultWriter) Flush() {
+	if f, ok := jw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
 
 // discardLogger drops everything; the default for handlers constructed
 // without an explicit logger (tests, library use).

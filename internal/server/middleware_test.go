@@ -77,7 +77,7 @@ func TestPanicRecovery(t *testing.T) {
 		t.Fatalf("status %d, want 500", rec.Code)
 	}
 	var e errorResponse
-	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error.Message == "" {
 		t.Errorf("panic response body %q", rec.Body.String())
 	}
 	if got := s.reg.Counter("sysrle_http_panics_total").Value(); got != 1 {
@@ -118,7 +118,7 @@ func TestLimiterSheds(t *testing.T) {
 		t.Error("missing Retry-After header")
 	}
 	var e errorResponse
-	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error.Message == "" {
 		t.Error("429 body is not the JSON error shape")
 	}
 	if got := s.reg.Counter("sysrle_http_throttled_total").Value(); got != 1 {
@@ -183,7 +183,7 @@ func TestTimeout(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	var e errorResponse
-	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" {
 		t.Errorf("timeout body %q is not the JSON error shape", body)
 	}
 }

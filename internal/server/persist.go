@@ -106,7 +106,7 @@ type auditListResponse struct {
 
 func (s *Server) handleAuditBatches(w http.ResponseWriter, r *http.Request) {
 	if s.audit == nil {
-		httpError(w, http.StatusNotFound, errors.New("audit log not enabled (start with -data-dir)"))
+		s.httpError(w, r, http.StatusNotFound, errors.New("audit log not enabled (start with -data-dir)"))
 		return
 	}
 	batches := s.audit.Batches()
@@ -122,7 +122,7 @@ func (s *Server) handleAuditBatches(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleAuditProof(w http.ResponseWriter, r *http.Request) {
 	if s.audit == nil {
-		httpError(w, http.StatusNotFound, errors.New("audit log not enabled (start with -data-dir)"))
+		s.httpError(w, r, http.StatusNotFound, errors.New("audit log not enabled (start with -data-dir)"))
 		return
 	}
 	id := r.PathValue("id")
@@ -132,7 +132,7 @@ func (s *Server) handleAuditProof(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, auditlog.ErrNotFound) {
 			code = http.StatusNotFound
 		}
-		httpError(w, code, fmt.Errorf("verdict %q: %w", id, err))
+		s.httpError(w, r, code, fmt.Errorf("verdict %q: %w", id, err))
 		return
 	}
 	writeJSON(w, http.StatusOK, proof)

@@ -34,12 +34,12 @@ func (s *Server) handleRefPut(w http.ResponseWriter, r *http.Request) {
 	defer cleanupForm(r.MultipartForm)
 	img, err := formImage(r, "image")
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	meta, err := s.refs.Put(img)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		s.httpError(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, meta)
@@ -58,16 +58,32 @@ func (s *Server) handleRefGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	meta, ok := s.refs.Meta(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("reference %q: %w", id, refstore.ErrNotFound))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("reference %q: %w", id, refstore.ErrNotFound))
 		return
 	}
 	writeJSON(w, http.StatusOK, meta)
 }
 
+// handleRefContent streams the canonical RLEB encoding of a stored
+// reference — what a cluster coordinator moves during rebalancing,
+// and exactly the bytes whose SHA-256 is the reference id.
+func (s *Server) handleRefContent(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	enc, ok := s.refs.Encoded(id)
+	if !ok {
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("reference %q: %w", id, refstore.ErrNotFound))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(enc)
+}
+
 func (s *Server) handleRefDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.refs.Delete(id) {
-		httpError(w, http.StatusNotFound, fmt.Errorf("reference %q: %w", id, refstore.ErrNotFound))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("reference %q: %w", id, refstore.ErrNotFound))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -95,21 +111,21 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	case "", jobs.TypeInspect:
 		var err error
 		if spec.MinDefectArea, err = intQuery(r, "min-area", 0, 1<<30); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		if spec.MaxAlignShift, err = intQuery(r, "align", 0, 256); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, r, http.StatusBadRequest, err)
 			return
 		}
 	case jobs.TypeDocClean:
 		var err error
 		if spec.Doc, err = docCleanConfigFromQuery(r); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, r, http.StatusBadRequest, err)
 			return
 		}
 	default:
-		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown job type %q (have inspect, docclean)", spec.Type))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("unknown job type %q (have inspect, docclean)", spec.Type))
 		return
 	}
 	if !s.parseForm(w, r) {
@@ -122,7 +138,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		// silently ignore one (same strictness as jobs.Submit applies
 		// to the engine parameter).
 		if r.URL.Query().Get("ref") != "" || r.FormValue("ref") != "" || len(r.MultipartForm.File["ref"]) > 0 {
-			httpError(w, http.StatusBadRequest, errors.New("docclean jobs take no reference"))
+			s.httpError(w, r, http.StatusBadRequest, errors.New("docclean jobs take no reference"))
 			return
 		}
 	} else {
@@ -134,7 +150,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			// No registered reference named: accept one uploaded inline.
 			ref, err := formImage(r, "ref")
 			if err != nil {
-				httpError(w, http.StatusBadRequest,
+				s.httpError(w, r, http.StatusBadRequest,
 					fmt.Errorf("need ?ref=<id>, form value \"ref\", or an uploaded \"ref\" file: %v", err))
 				return
 			}
@@ -144,20 +160,20 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	files := r.MultipartForm.File["scan"]
 	if len(files) == 0 {
-		httpError(w, http.StatusBadRequest, errors.New(`no "scan" uploads in form`))
+		s.httpError(w, r, http.StatusBadRequest, errors.New(`no "scan" uploads in form`))
 		return
 	}
 	spec.Scans = make([]*rle.Image, 0, len(files))
 	for i, fh := range files {
 		f, err := fh.Open()
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("scan %d: %v", i, err))
+			s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("scan %d: %v", i, err))
 			return
 		}
 		img, err := imageio.Read(f)
 		_ = f.Close()
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("scan %d (%s): %v", i, fh.Filename, err))
+			s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("scan %d (%s): %v", i, fh.Filename, err))
 			return
 		}
 		spec.Scans = append(spec.Scans, img)
@@ -168,23 +184,23 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 	case errors.Is(err, jobs.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, err)
+		s.httpError(w, r, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, refstore.ErrNotFound):
-		httpError(w, http.StatusNotFound, fmt.Errorf("reference %q: %w", spec.RefID, err))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("reference %q: %w", spec.RefID, err))
 		return
 	case errors.Is(err, jobs.ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, err)
+		s.httpError(w, r, http.StatusServiceUnavailable, err)
 		return
 	default:
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	status, err := s.jobs.Get(id)
 	if err != nil {
 		// Submitted and already collected is impossible within one
 		// request; report it rather than hide it.
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+id)
@@ -204,7 +220,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	status, err := s.jobs.Get(id)
 	if err != nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("job %q: %w", id, jobs.ErrNotFound))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("job %q: %w", id, jobs.ErrNotFound))
 		return
 	}
 	writeJSON(w, http.StatusOK, status)
@@ -213,7 +229,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.jobs.Delete(id); err != nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("job %q: %w", id, jobs.ErrNotFound))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("job %q: %w", id, jobs.ErrNotFound))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -389,6 +389,7 @@ func Open(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/references", s.handleRefPut)
 	mux.HandleFunc("GET /v1/references", s.handleRefList)
 	mux.HandleFunc("GET /v1/references/{id}", s.handleRefGet)
+	mux.HandleFunc("GET /v1/references/{id}/content", s.handleRefContent)
 	mux.HandleFunc("DELETE /v1/references/{id}", s.handleRefDelete)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
@@ -473,7 +474,7 @@ func (s *Server) parseForm(w http.ResponseWriter, r *http.Request) bool {
 		if errors.As(err, &mbe) {
 			code = http.StatusRequestEntityTooLarge
 		}
-		httpError(w, code, fmt.Errorf("parsing multipart form: %v", err))
+		s.httpError(w, r, code, fmt.Errorf("parsing multipart form: %v", err))
 		return false
 	}
 	return true
@@ -487,14 +488,14 @@ func cleanupForm(f *multipart.Form) {
 
 // storedRef resolves the ref=<id> query parameter through the
 // registry, writing 404 on an unknown or expired id.
-func (s *Server) storedRef(w http.ResponseWriter, id string) (*rle.Image, bool) {
+func (s *Server) storedRef(w http.ResponseWriter, r *http.Request, id string) (*rle.Image, bool) {
 	img, err := s.refs.Get(id)
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, refstore.ErrNotFound) {
 			code = http.StatusNotFound
 		}
-		httpError(w, code, fmt.Errorf("reference %q: %w", id, err))
+		s.httpError(w, r, code, fmt.Errorf("reference %q: %w", id, err))
 		return nil, false
 	}
 	return img, true
@@ -512,19 +513,19 @@ func (s *Server) parseUploads(w http.ResponseWriter, r *http.Request, fieldA, fi
 	var a *rle.Image
 	if id := r.URL.Query().Get("ref"); id != "" {
 		var ok bool
-		if a, ok = s.storedRef(w, id); !ok {
+		if a, ok = s.storedRef(w, r, id); !ok {
 			return nil, nil, false
 		}
 	} else {
 		var err error
 		if a, err = formImage(r, fieldA); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, r, http.StatusBadRequest, err)
 			return nil, nil, false
 		}
 	}
 	b, err := formImage(r, fieldB)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return nil, nil, false
 	}
 	return a, b, true
@@ -533,7 +534,7 @@ func (s *Server) parseUploads(w http.ResponseWriter, r *http.Request, fieldA, fi
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	engine, err := s.engineFromQuery(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	format := r.URL.Query().Get("format")
@@ -541,7 +542,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		format = "pbm"
 	}
 	if !validFormat(format) {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (have %v)", format, imageio.Formats()))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("unknown format %q (have %v)", format, imageio.Formats()))
 		return
 	}
 	a, b, ok := s.parseUploads(w, r, "a", "b")
@@ -552,7 +553,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		sysrle.WithEngine(engine),
 		sysrle.WithContext(r.Context()))
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		s.httpError(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
 	s.recordEngine(engine.Name(), stats.TotalIterations, stats.RowsDiffering)
@@ -599,14 +600,14 @@ type inspectResponse struct {
 func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
 	engine, err := s.engineFromQuery(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	minArea := 0
 	if q := r.URL.Query().Get("min-area"); q != "" {
 		minArea, err = strconv.Atoi(q)
 		if err != nil || minArea < 0 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad min-area %q", q))
+			s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad min-area %q", q))
 			return
 		}
 	}
@@ -614,7 +615,7 @@ func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("align"); q != "" {
 		maxAlign, err = strconv.Atoi(q)
 		if err != nil || maxAlign < 0 || maxAlign > 256 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad align %q (want 0..256)", q))
+			s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad align %q (want 0..256)", q))
 			return
 		}
 	}
@@ -625,7 +626,7 @@ func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
 	ins := &inspect.Inspector{Engine: engine, MinDefectArea: minArea, MaxAlignShift: maxAlign}
 	rep, err := ins.Compare(ref, scan)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err)
+		s.httpError(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
 	s.recordEngine(engine.Name(), rep.TotalIterations, rep.RowsDiffering)
@@ -664,7 +665,7 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		var err error
 		maxShift, err = strconv.Atoi(q)
 		if err != nil || maxShift < 1 || maxShift > 64 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad max-shift %q (want 1..64)", q))
+			s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad max-shift %q (want 1..64)", q))
 			return
 		}
 	}
@@ -673,7 +674,7 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if ref.Width != scan.Width || ref.Height != scan.Height {
-		httpError(w, http.StatusUnprocessableEntity,
+		s.httpError(w, r, http.StatusUnprocessableEntity,
 			fmt.Errorf("size mismatch %dx%d vs %dx%d", ref.Width, ref.Height, scan.Width, scan.Height))
 		return
 	}
@@ -682,12 +683,71 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(alignResponse{DX: dx, DY: dy, ResidualArea: area})
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// errorBody is the unified v1 error envelope: every error response
+// from every endpoint is {"error": {"code", "message", "request_id"}}
+// with the HTTP status unchanged from before the envelope existed.
+// Code is the stable machine-readable name for the status class
+// (clients switch on it instead of matching message text), Message is
+// human-readable, and RequestID correlates the failure with the access
+// log and the X-Request-Id response header.
+type errorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+// errorCodeForStatus maps an HTTP status onto its envelope code.
+func errorCodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "invalid_argument"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case http.StatusTooManyRequests:
+		return "resource_exhausted"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return fmt.Sprintf("http_%d", status)
+	}
+}
+
+// requestID extracts the middleware-assigned request id.
+func requestID(r *http.Request) string {
+	if r == nil {
+		return ""
+	}
+	return r.Header.Get(requestIDHeader)
+}
+
+// httpError renders the unified error envelope — the single helper
+// every handler's error path goes through. 500-class details never
+// reach the client: storage and registry errors can carry file paths
+// and addresses, so the wire message is generic and the real error
+// goes to the log under the same request id.
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	msg := err.Error()
+	if status == http.StatusInternalServerError {
+		s.log.Error("internal error", "status", status, "err", err, "request_id", requestID(r))
+		msg = "internal error"
+	}
+	writeErrorEnvelope(w, status, errorCodeForStatus(status), msg, requestID(r))
+}
+
+// writeErrorEnvelope writes the envelope itself; httpError is the
+// usual entry, this is for callers that already sanitized.
+func writeErrorEnvelope(w http.ResponseWriter, status int, code, msg, rid string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: errorBody{Code: code, Message: msg, RequestID: rid}})
 }

@@ -127,7 +127,7 @@ func TestDiffEndpointErrors(t *testing.T) {
 			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.code, raw)
 		}
 		var e errorResponse
-		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error.Message == "" {
 			t.Errorf("%s: error body %q", c.name, raw)
 		}
 	}
@@ -279,7 +279,7 @@ func TestAlignSizeMismatch(t *testing.T) {
 		t.Errorf("status %d, want 422 (%s)", resp.StatusCode, raw)
 	}
 	var e errorResponse
-	if err := json.Unmarshal(raw, &e); err != nil || !strings.Contains(e.Error, "size mismatch") {
+	if err := json.Unmarshal(raw, &e); err != nil || !strings.Contains(e.Error.Message, "size mismatch") {
 		t.Errorf("error body %q", raw)
 	}
 }

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# cluster_bench.sh — regenerate BENCH_PR9.json: the same seeded
+# open-loop loadgen burst against a single sysdiffd node and against a
+# coordinator fronting three shard processes, so the committed report
+# compares 1-node vs 3-shard latency percentiles plus the cluster's
+# ref-placement cache-hit ratio.
+#
+#   scripts/cluster_bench.sh [out.json]
+#
+# Tunables via environment: RATE (req/s, default 80), DURATION
+# (default 5s), WIDTH/HEIGHT (default 512x512), REFS (default 8),
+# SEED (default 1), BASE_PORT (default 18422).
+set -euo pipefail
+
+OUT=${1:-BENCH_PR9.json}
+RATE=${RATE:-80}
+DURATION=${DURATION:-5s}
+WIDTH=${WIDTH:-512}
+HEIGHT=${HEIGHT:-512}
+REFS=${REFS:-8}
+SEED=${SEED:-1}
+BASE_PORT=${BASE_PORT:-18422}
+
+SINGLE_PORT=$BASE_PORT
+SHARD1_PORT=$((BASE_PORT + 1))
+SHARD2_PORT=$((BASE_PORT + 2))
+SHARD3_PORT=$((BASE_PORT + 3))
+COORD_PORT=$((BASE_PORT + 4))
+
+cd "$(dirname "$0")/.."
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "building sysdiffd and loadgen..." >&2
+go build -o "$TMP/sysdiffd" ./cmd/sysdiffd
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+start() { # start <args...>
+    "$TMP/sysdiffd" "$@" >/dev/null 2>&1 &
+    PIDS+=($!)
+}
+
+wait_ready() { # wait_ready <port>
+    for _ in $(seq 1 100); do
+        if curl -sf "http://127.0.0.1:$1/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "daemon on port $1 never became ready" >&2
+    exit 1
+}
+
+echo "booting 1 single node + 3 shards + coordinator..." >&2
+start -addr "127.0.0.1:$SINGLE_PORT"
+start -addr "127.0.0.1:$SHARD1_PORT"
+start -addr "127.0.0.1:$SHARD2_PORT"
+start -addr "127.0.0.1:$SHARD3_PORT"
+for p in "$SINGLE_PORT" "$SHARD1_PORT" "$SHARD2_PORT" "$SHARD3_PORT"; do
+    wait_ready "$p"
+done
+start -addr "127.0.0.1:$COORD_PORT" -coordinator \
+    -peers "http://127.0.0.1:$SHARD1_PORT,http://127.0.0.1:$SHARD2_PORT,http://127.0.0.1:$SHARD3_PORT"
+wait_ready "$COORD_PORT"
+
+echo "running seeded loadgen burst (rate=$RATE duration=$DURATION ${WIDTH}x$HEIGHT refs=$REFS seed=$SEED)..." >&2
+"$TMP/loadgen" \
+    -targets "single-node=http://127.0.0.1:$SINGLE_PORT,cluster-3-shard=http://127.0.0.1:$COORD_PORT" \
+    -workload refhot -rate "$RATE" -duration "$DURATION" \
+    -width "$WIDTH" -height "$HEIGHT" -refs "$REFS" -seed "$SEED" \
+    -o "$OUT"
+echo "wrote $OUT" >&2
