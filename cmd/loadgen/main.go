@@ -85,6 +85,11 @@ type targetReport struct {
 	// target does not expose it (single node) or under -workload
 	// similar (no ref routing happens).
 	RefCacheHitRatio *float64 `json:"ref_cache_hit_ratio,omitempty"`
+	// Failovers is the coordinator's sysrle_cluster_failover_total
+	// after the burst — reads served by a replica because the primary
+	// failed or missed. Nil on targets without the family (single
+	// node); 0 on a healthy cluster.
+	Failovers *int64 `json:"failovers,omitempty"`
 }
 
 func main() {
@@ -286,8 +291,13 @@ func runTarget(o options, tgt target) (targetReport, error) {
 		tr.MaxMs = float64(durs[len(durs)-1]) / float64(time.Millisecond)
 	}
 	if o.workload == "refhot" {
-		if ratio, ok := scrapeHitRatio(ctx, client); ok {
-			tr.RefCacheHitRatio = &ratio
+		if vars, err := client.Vars(ctx); err == nil {
+			if ratio, ok := hitRatio(vars); ok {
+				tr.RefCacheHitRatio = &ratio
+			}
+			if n, ok := counterValue(vars, "sysrle_cluster_failover_total"); ok {
+				tr.Failovers = &n
+			}
 		}
 	}
 	return tr, nil
@@ -309,14 +319,10 @@ func percentileMs(sorted []time.Duration, q float64) float64 {
 	return float64(sorted[idx]) / float64(time.Millisecond)
 }
 
-// scrapeHitRatio reads the coordinator's ref-placement counters from
-// /debug/vars: hits/(hits+misses). Single-node targets lack the
-// family and report nothing.
-func scrapeHitRatio(ctx context.Context, client *apiclient.Client) (float64, bool) {
-	vars, err := client.Vars(ctx)
-	if err != nil {
-		return 0, false
-	}
+// hitRatio reads the coordinator's ref-placement counters from a
+// /debug/vars snapshot: hits/(hits+misses). Single-node targets lack
+// the family and report nothing.
+func hitRatio(vars map[string]map[string]json.RawMessage) (float64, bool) {
 	hits, ok1 := counterValue(vars, "sysrle_cluster_ref_route_hits_total")
 	misses, ok2 := counterValue(vars, "sysrle_cluster_ref_route_misses_total")
 	if !ok1 && !ok2 || hits+misses == 0 {

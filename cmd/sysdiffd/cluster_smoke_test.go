@@ -1,11 +1,13 @@
 package main
 
 // Multi-process cluster smoke: build the real binaries, boot a
-// coordinator fronting two shard processes, drive a seeded loadgen
-// burst, and check the coordinator's scatter-gather diff answers
-// byte-identically to a single node. Gated behind
-// SYSRLE_CLUSTER_SMOKE=1 because it compiles two binaries and forks
-// three daemons — `make cluster-smoke` sets the gate.
+// coordinator with -replicas=2 fronting three shard processes, drive
+// a seeded loadgen burst, check the coordinator's scatter-gather diff
+// answers byte-identically to a single node, then kill one shard and
+// check every reference still reads byte-identical from its replica —
+// zero 404s, before any rebalance. Gated behind SYSRLE_CLUSTER_SMOKE=1
+// because it compiles two binaries and forks four daemons —
+// `make cluster-smoke` sets the gate.
 
 import (
 	"bufio"
@@ -52,6 +54,13 @@ func moduleRoot(t *testing.T) string {
 // startDaemon launches one sysdiffd process on an ephemeral port and
 // returns its base URL, parsed from the "sysdiffd listening" log line.
 func startDaemon(t *testing.T, bin string, args ...string) string {
+	url, _ := startKillableDaemon(t, bin, args...)
+	return url
+}
+
+// startKillableDaemon is startDaemon plus a hard-kill switch, so the
+// smoke test can model shard death mid-run.
+func startKillableDaemon(t *testing.T, bin string, args ...string) (string, func()) {
 	t.Helper()
 	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
 	stderr, err := cmd.StderrPipe()
@@ -61,10 +70,15 @@ func startDaemon(t *testing.T, bin string, args ...string) string {
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("starting %s: %v", bin, err)
 	}
-	t.Cleanup(func() {
-		cmd.Process.Kill()
-		cmd.Wait()
-	})
+	var killed bool
+	kill := func() {
+		if !killed {
+			killed = true
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}
+	t.Cleanup(kill)
 
 	addrCh := make(chan string, 1)
 	go func() {
@@ -82,10 +96,10 @@ func startDaemon(t *testing.T, bin string, args ...string) string {
 	}()
 	select {
 	case addr := <-addrCh:
-		return "http://" + addr
+		return "http://" + addr, kill
 	case <-time.After(15 * time.Second):
 		t.Fatalf("%s %v never logged its listen address", bin, args)
-		return ""
+		return "", nil
 	}
 }
 
@@ -113,9 +127,11 @@ func TestClusterSmoke(t *testing.T) {
 
 	shard1 := startDaemon(t, sysdiffd)
 	shard2 := startDaemon(t, sysdiffd)
+	shard3, killShard3 := startKillableDaemon(t, sysdiffd)
 	coord := startDaemon(t, sysdiffd,
-		"-coordinator", "-peers", shard1+","+shard2, "-split-rows", "48")
-	for _, base := range []string{shard1, shard2, coord} {
+		"-coordinator", "-peers", shard1+","+shard2+","+shard3,
+		"-replicas", "2", "-split-rows", "48")
+	for _, base := range []string{shard1, shard2, shard3, coord} {
 		waitReady(t, base)
 	}
 
@@ -168,6 +184,68 @@ func TestClusterSmoke(t *testing.T) {
 	}
 	if rep.Targets[0].RefCacheHitRatio == nil || *rep.Targets[0].RefCacheHitRatio <= 0 {
 		t.Fatalf("coordinator exposed no ref-placement hit ratio: %+v", rep.Targets[0])
+	}
+
+	// Replication failover: register references, kill one shard, and
+	// every reference must still read byte-identical canonical RLEB
+	// through the coordinator — zero 404s — before any rebalance runs.
+	coordClient := apiclient.MustNew(coord, apiclient.Options{Timeout: 5 * time.Second})
+	ctx := context.Background()
+	content := map[string][]byte{}
+	for i := 0; i < 6; i++ {
+		img, err := workload.GenerateImage(workloadRNG(int64(90+i)), workload.PaperRow(128, 0.3), 96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta, err := coordClient.PutReference(ctx, img)
+		if err != nil {
+			t.Fatalf("PutReference %d: %v", i, err)
+		}
+		var buf bytes.Buffer
+		if err := imageio.Write(&buf, "rleb", img); err != nil {
+			t.Fatal(err)
+		}
+		content[meta.ID] = buf.Bytes()
+	}
+	killShard3()
+	for id, want := range content {
+		resp, err := http.Get(coord + "/v1/references/" + id + "/content")
+		if err != nil {
+			t.Fatalf("ref %s read after shard kill: %v", id[:12], err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ref %s after shard kill: status %d %s (want 200, zero 404s)",
+				id[:12], resp.StatusCode, body)
+		}
+		if !bytes.Equal(body, want) {
+			t.Fatalf("ref %s content differs after failover", id[:12])
+		}
+	}
+
+	// Membership change + rebalance restores full replication; reads
+	// stay byte-identical.
+	reb, _ := json.Marshal(map[string][]string{"peers": {shard1, shard2}})
+	resp, err := http.Post(coord+"/v1/cluster/rebalance", "application/json", bytes.NewReader(reb))
+	if err != nil {
+		t.Fatalf("POST rebalance: %v", err)
+	}
+	rebBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance status %d: %s", resp.StatusCode, rebBody)
+	}
+	for id, want := range content {
+		resp, err := http.Get(coord + "/v1/references/" + id + "/content")
+		if err != nil {
+			t.Fatalf("ref %s read after rebalance: %v", id[:12], err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(body, want) {
+			t.Fatalf("ref %s wrong after rebalance: status %d", id[:12], resp.StatusCode)
+		}
 	}
 }
 

@@ -57,6 +57,18 @@
 //	-peer-retries 2          retry budget for idempotent shard calls
 //	-hedge 0                 launch a duplicate shard call if the first
 //	                         is still pending after this long (0 = off)
+//	-replicas 1              copies of each reference across the ring;
+//	                         writes fan out to all copies, reads fail
+//	                         over between them when a shard dies
+//	-probe-interval 0        background shard health-probe period
+//	                         (0 = off unless -auto-eject, which
+//	                         defaults it to 2s)
+//	-probe-failures 3        consecutive probe failures before a shard
+//	                         is marked suspect
+//	-auto-eject              drain suspect shards from the ring
+//	                         automatically and repair replication, as
+//	                         if an operator had POSTed the membership
+//	                         change
 //
 // Liveness is GET /healthz; readiness is GET /readyz, which aggregates
 // worker-pool, job-queue, reference-cache and load-shed probes — plus
@@ -127,12 +139,16 @@ type options struct {
 	diskFaultInject string
 	fsck            bool
 
-	coordinator bool
-	peers       string
-	splitRows   int
-	peerTimeout time.Duration
-	peerRetries int
-	hedge       time.Duration
+	coordinator   bool
+	peers         string
+	splitRows     int
+	peerTimeout   time.Duration
+	peerRetries   int
+	hedge         time.Duration
+	replicas      int
+	probeInterval time.Duration
+	probeFailures int
+	autoEject     bool
 }
 
 func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
@@ -192,6 +208,14 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 		"retry budget for idempotent shard calls in coordinator mode")
 	fs.DurationVar(&o.hedge, "hedge", 0,
 		"duplicate a shard call still pending after this long (0 = off)")
+	fs.IntVar(&o.replicas, "replicas", 1,
+		"copies of each reference across the ring in coordinator mode; reads fail over between them")
+	fs.DurationVar(&o.probeInterval, "probe-interval", 0,
+		"background shard health-probe period in coordinator mode (0 = off unless -auto-eject)")
+	fs.IntVar(&o.probeFailures, "probe-failures", cluster.DefaultProbeFailures,
+		"consecutive probe failures before a shard is marked suspect")
+	fs.BoolVar(&o.autoEject, "auto-eject", false,
+		"drain suspect shards from the ring automatically and repair replication")
 	err := fs.Parse(args)
 	return o, err
 }
@@ -237,14 +261,18 @@ func buildHandler(o options, log *slog.Logger) (http.Handler, func(), error) {
 			Retries:        o.peerRetries,
 			HedgeDelay:     o.hedge,
 			MaxUploadBytes: o.maxUpload,
+			Replicas:       o.replicas,
+			ProbeInterval:  o.probeInterval,
+			ProbeFailures:  o.probeFailures,
+			AutoEject:      o.autoEject,
 			Logger:         log,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
-		log.Info("coordinator mode", "peers", len(peers),
-			"split_rows", o.splitRows, "hedge", o.hedge.String())
-		return c, func() {}, nil
+		log.Info("coordinator mode", "peers", len(peers), "replicas", o.replicas,
+			"split_rows", o.splitRows, "hedge", o.hedge.String(), "auto_eject", o.autoEject)
+		return c, c.Close, nil
 	}
 	h, err := localServer(o, log)
 	if err != nil {

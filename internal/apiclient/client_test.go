@@ -3,6 +3,7 @@ package apiclient
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -81,6 +82,42 @@ func TestErrorTextFallback(t *testing.T) {
 	}
 	if ae.Message != "plain text failure" || ae.Code != CodeInvalidArgument {
 		t.Fatalf("text fallback = %+v", ae)
+	}
+}
+
+func TestFailoverEligible(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("connection refused"), true}, // transport failure
+		{&Error{Status: 500}, true},
+		{&Error{Status: 503}, true},
+		{&Error{Status: 404}, true}, // placement miss: a replica may hold it
+		{&Error{Status: 400}, false},
+		{&Error{Status: 409}, false},
+		{&Error{Status: 422}, false},
+		{&Error{Status: 429}, false},
+		{fmt.Errorf("wrapped: %w", &Error{Status: 502}), true},
+		{fmt.Errorf("wrapped: %w", &Error{Status: 422}), false},
+	}
+	for _, tc := range cases {
+		if got := FailoverEligible(tc.err); got != tc.want {
+			t.Errorf("FailoverEligible(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestIsConflict(t *testing.T) {
+	if !IsConflict(&Error{Status: http.StatusConflict, Code: CodeConflict}) {
+		t.Fatal("409 not recognized as conflict")
+	}
+	if IsConflict(&Error{Status: 404}) || IsConflict(errors.New("x")) {
+		t.Fatal("non-409 recognized as conflict")
+	}
+	if got := codeForStatus(http.StatusConflict); got != CodeConflict {
+		t.Fatalf("codeForStatus(409) = %q, want %q", got, CodeConflict)
 	}
 }
 

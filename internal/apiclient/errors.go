@@ -15,6 +15,7 @@ import (
 const (
 	CodeInvalidArgument   = "invalid_argument"
 	CodeNotFound          = "not_found"
+	CodeConflict          = "conflict"
 	CodePayloadTooLarge   = "payload_too_large"
 	CodeUnprocessable     = "unprocessable"
 	CodeResourceExhausted = "resource_exhausted"
@@ -57,6 +58,24 @@ func IsNotFound(err error) bool { return statusIs(err, http.StatusNotFound) }
 
 // IsRetryAfter reports whether err is the 429 backpressure signal.
 func IsRetryAfter(err error) bool { return statusIs(err, http.StatusTooManyRequests) }
+
+// IsConflict reports whether err is an API error with HTTP 409.
+func IsConflict(err error) bool { return statusIs(err, http.StatusConflict) }
+
+// FailoverEligible reports whether a read that failed with err may be
+// retried against another replica of the same key. Transport failures
+// (no *Error at all) and 5xx responses say nothing about the data, and
+// a 404 from one replica may be a placement miss that another replica
+// can fill — all eligible. Definitive 4xx verdicts (bad argument,
+// unprocessable input, backpressure) would repeat identically on every
+// replica, so they are relayed at once instead.
+func FailoverEligible(err error) bool {
+	var ae *Error
+	if !errors.As(err, &ae) {
+		return err != nil
+	}
+	return ae.Status >= 500 || ae.Status == http.StatusNotFound
+}
 
 func statusIs(err error, status int) bool {
 	var ae *Error
@@ -117,6 +136,8 @@ func codeForStatus(status int) string {
 		return CodeInvalidArgument
 	case http.StatusNotFound:
 		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
 	case http.StatusRequestEntityTooLarge:
 		return CodePayloadTooLarge
 	case http.StatusUnprocessableEntity:

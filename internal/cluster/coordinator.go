@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/url"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +28,12 @@ const (
 	DefaultPeerTimeout = 30 * time.Second
 	// DefaultMaxUploadBytes caps one inbound request body.
 	DefaultMaxUploadBytes = 64 << 20
+	// DefaultProbeInterval is the health prober's period when probing
+	// is enabled implicitly by AutoEject.
+	DefaultProbeInterval = 2 * time.Second
+	// DefaultProbeFailures is how many consecutive probe failures mark
+	// a peer suspect.
+	DefaultProbeFailures = 3
 )
 
 // Config tunes a Coordinator.
@@ -35,6 +43,23 @@ type Config struct {
 	Peers []string
 	// VirtualNodes per peer on the ring; 0 means DefaultVirtualNodes.
 	VirtualNodes int
+	// Replicas is the replication factor R: each reference is written
+	// to this many distinct ring successors, and reads fail over along
+	// the same set. 0 or 1 means no replication. More replicas than
+	// peers degrades gracefully to every peer.
+	Replicas int
+	// ProbeInterval is the background health prober's period; 0
+	// disables probing (unless AutoEject forces DefaultProbeInterval).
+	ProbeInterval time.Duration
+	// ProbeFailures is how many consecutive failed probes mark a peer
+	// suspect; 0 means DefaultProbeFailures.
+	ProbeFailures int
+	// AutoEject, when set, drops a suspect peer from the ring
+	// automatically — the same drain path as an explicit membership
+	// change — and kicks a background replica repair. Opt-in: a
+	// flapping network ejecting healthy shards is worse than a dead
+	// one answering 503s.
+	AutoEject bool
 	// SplitRows is the minimum band height for row-range scatter;
 	// 0 means DefaultSplitRows, negative disables splitting.
 	SplitRows int
@@ -65,16 +90,34 @@ type Config struct {
 // everything a shard answers flows back through the same v1 API
 // surface the shards themselves expose.
 type Coordinator struct {
-	cfg  Config
-	ring *Ring
-	log  *slog.Logger
-	reg  *telemetry.Registry
+	cfg      Config
+	ring     *Ring
+	replicas int
+	log      *slog.Logger
+	reg      *telemetry.Registry
 
 	mu      sync.RWMutex
 	clients map[string]*apiclient.Client
 	// draining holds clients for peers removed from the ring whose
 	// references have not yet been moved off by Rebalance.
 	draining map[string]*apiclient.Client
+
+	// rebalanceMu serializes rebalances: overlapping runs would work
+	// from stale listings, double-count moves, and delete strays the
+	// other run is mid-fetching. The HTTP handler TryLocks and answers
+	// 409 when one is already running.
+	rebalanceMu sync.Mutex
+
+	// probeMu guards the health prober's bookkeeping. Never held while
+	// calling SetPeers (which takes mu) — the prober releases it before
+	// ejecting.
+	probeMu    sync.Mutex
+	probeFails map[string]int
+	suspects   map[string]bool
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+	closeOnce sync.Once
 
 	rr      atomic.Uint64 // round-robin cursor for unplaced work
 	handler http.Handler
@@ -83,6 +126,9 @@ type Coordinator struct {
 	routeMisses  *telemetry.Counter
 	scatterDiffs *telemetry.Counter
 	movedRefs    *telemetry.Counter
+	failovers    *telemetry.Counter
+	suspectPeers *telemetry.Gauge
+	ejections    *telemetry.Counter
 }
 
 // New returns a coordinator for the given shard set.
@@ -99,13 +145,25 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.MaxUploadBytes <= 0 {
 		cfg.MaxUploadBytes = DefaultMaxUploadBytes
 	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.ProbeFailures <= 0 {
+		cfg.ProbeFailures = DefaultProbeFailures
+	}
+	if cfg.AutoEject && cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
 	c := &Coordinator{
-		cfg:      cfg,
-		ring:     NewRing(nil, cfg.VirtualNodes),
-		log:      cfg.Logger,
-		reg:      cfg.Registry,
-		clients:  make(map[string]*apiclient.Client),
-		draining: make(map[string]*apiclient.Client),
+		cfg:        cfg,
+		ring:       NewRing(nil, cfg.VirtualNodes),
+		replicas:   cfg.Replicas,
+		log:        cfg.Logger,
+		reg:        cfg.Registry,
+		clients:    make(map[string]*apiclient.Client),
+		draining:   make(map[string]*apiclient.Client),
+		probeFails: make(map[string]int),
+		suspects:   make(map[string]bool),
 	}
 	if c.log == nil {
 		c.log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -120,20 +178,45 @@ func New(cfg Config) (*Coordinator, error) {
 	c.reg.Help("sysrle_cluster_scatter_diffs_total",
 		"Diff requests split by row range across shards.")
 	c.reg.Help("sysrle_cluster_rebalance_moved_total",
-		"References moved to their ring owner by rebalancing.")
+		"Reference copies created on ring owners by rebalancing (moves and replica repairs).")
 	c.reg.Help("sysrle_cluster_peer_request_seconds",
 		"Coordinator→shard call latency, by peer.")
 	c.reg.Help("sysrle_cluster_peer_requests_total",
 		"Coordinator→shard calls, by peer and status class.")
+	c.reg.Help("sysrle_cluster_failover_total",
+		"Reference reads served by a replica after the primary failed or missed.")
+	c.reg.Help("sysrle_cluster_suspect_peers",
+		"Peers currently suspected dead by the health prober.")
+	c.reg.Help("sysrle_cluster_auto_ejections_total",
+		"Suspect peers dropped from the ring by the prober under AutoEject.")
 	c.routeHits = c.reg.Counter("sysrle_cluster_ref_route_hits_total")
 	c.routeMisses = c.reg.Counter("sysrle_cluster_ref_route_misses_total")
 	c.scatterDiffs = c.reg.Counter("sysrle_cluster_scatter_diffs_total")
 	c.movedRefs = c.reg.Counter("sysrle_cluster_rebalance_moved_total")
+	c.failovers = c.reg.Counter("sysrle_cluster_failover_total")
+	c.suspectPeers = c.reg.Gauge("sysrle_cluster_suspect_peers")
+	c.ejections = c.reg.Counter("sysrle_cluster_auto_ejections_total")
 	if err := c.SetPeers(cfg.Peers); err != nil {
 		return nil, err
 	}
 	c.handler = c.middleware(c.routes())
+	if cfg.ProbeInterval > 0 {
+		c.probeStop = make(chan struct{})
+		c.probeDone = make(chan struct{})
+		go c.probeLoop(cfg.ProbeInterval)
+	}
 	return c, nil
+}
+
+// Close stops the background health prober, if one is running. Safe to
+// call more than once; the HTTP handler keeps working.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		if c.probeStop != nil {
+			close(c.probeStop)
+			<-c.probeDone
+		}
+	})
 }
 
 // peerLabel folds a base URL to host:port for bounded metric labels.
@@ -185,16 +268,37 @@ func statusClass(status int) string {
 // onto the survivors. Placement follows the ring's
 // bounded-rebalancing property, and actually moving the misplaced
 // references is Rebalance's job.
+//
+// The change is all-or-nothing: every new peer's client is staged
+// before any coordinator state mutates, so a failed change (bad peer
+// URL) leaves clients, the draining set and the ring exactly as they
+// were. An earlier version deleted peers from the draining set while
+// iterating, before client construction could fail — a rejected
+// membership change silently un-drained peers whose references then
+// never got evacuated.
 func (c *Coordinator) SetPeers(peers []string) error {
-	fresh := make(map[string]*apiclient.Client, len(peers))
+	if err := c.setPeers(peers); err != nil {
+		return err
+	}
+	c.pruneProbeState()
+	return nil
+}
+
+func (c *Coordinator) setPeers(peers []string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Stage: build the complete next client set without touching
+	// anything. A re-added draining peer gets its old client back.
+	fresh := make(map[string]*apiclient.Client, len(peers))
 	for _, p := range peers {
 		if p == "" {
 			continue
 		}
-		delete(c.draining, p) // re-added peer is no longer draining
 		if cl, ok := c.clients[p]; ok {
+			fresh[p] = cl
+			continue
+		}
+		if cl, ok := c.draining[p]; ok {
 			fresh[p] = cl
 			continue
 		}
@@ -207,6 +311,10 @@ func (c *Coordinator) SetPeers(peers []string) error {
 	if len(fresh) == 0 {
 		return fmt.Errorf("cluster: no valid peers")
 	}
+	// Commit: nothing below can fail.
+	for p := range fresh {
+		delete(c.draining, p) // re-added peer is no longer draining
+	}
 	for p, cl := range c.clients {
 		if _, kept := fresh[p]; !kept {
 			c.draining[p] = cl
@@ -216,6 +324,28 @@ func (c *Coordinator) SetPeers(peers []string) error {
 	c.ring.SetPeers(peers)
 	c.log.Info("cluster membership set", "peers", c.ring.Peers(), "draining", len(c.draining))
 	return nil
+}
+
+// pruneProbeState drops prober bookkeeping for peers no longer on the
+// ring, so a removed peer cannot linger as suspect.
+func (c *Coordinator) pruneProbeState() {
+	member := make(map[string]bool)
+	for _, p := range c.ring.Peers() {
+		member[p] = true
+	}
+	c.probeMu.Lock()
+	for p := range c.probeFails {
+		if !member[p] {
+			delete(c.probeFails, p)
+		}
+	}
+	for p := range c.suspects {
+		if !member[p] {
+			delete(c.suspects, p)
+		}
+	}
+	c.suspectPeers.Set(int64(len(c.suspects)))
+	c.probeMu.Unlock()
 }
 
 // drainingPeers snapshots the draining set.
@@ -250,6 +380,197 @@ func (c *Coordinator) client(peer string) *apiclient.Client {
 func (c *Coordinator) ownerClient(key string) (string, *apiclient.Client) {
 	peer := c.ring.Owner(key)
 	return peer, c.client(peer)
+}
+
+// ownerRef is one member of a key's replica set.
+type ownerRef struct {
+	peer string
+	cl   *apiclient.Client
+}
+
+// ownerRefs resolves a placement key to its replica set — the R ring
+// successors, primary first — with their clients.
+func (c *Coordinator) ownerRefs(key string) []ownerRef {
+	peers := c.ring.Owners(key, c.replicas)
+	out := make([]ownerRef, 0, len(peers))
+	c.mu.RLock()
+	for _, p := range peers {
+		out = append(out, ownerRef{p, c.clients[p]})
+	}
+	c.mu.RUnlock()
+	return out
+}
+
+// readOwners runs fn against the key's replica set in ring order:
+// primary first, failing over to the next replica when the attempt is
+// failover-eligible (unreachable peer, 5xx, or a 404 placement miss —
+// a replica may hold the copy the primary lost). A read served past
+// the primary counts in sysrle_cluster_failover_total. When every
+// owner fails, an availability error wins over a 404 — a 404 is only
+// definitive if every replica agreed the reference does not exist.
+// The returned peer is the one whose answer (or decisive error) the
+// caller relays.
+func (c *Coordinator) readOwners(key string, fn func(peer string, cl *apiclient.Client) error) (string, error) {
+	owners := c.ownerRefs(key)
+	var notFoundPeer, failedPeer string
+	var notFound, failed error
+	for i, o := range owners {
+		if o.cl == nil {
+			continue
+		}
+		err := fn(o.peer, o.cl)
+		if err == nil {
+			if i > 0 {
+				c.failovers.Inc()
+				c.log.Info("reference read failed over to replica",
+					"key", key, "replica", peerLabel(o.peer))
+			}
+			return o.peer, nil
+		}
+		if !apiclient.FailoverEligible(err) {
+			// Definitive client-level failure (422, 429, ...): every
+			// replica would answer the same; relay it as-is.
+			return o.peer, err
+		}
+		if apiclient.IsNotFound(err) {
+			notFoundPeer, notFound = o.peer, err
+		} else {
+			failedPeer, failed = o.peer, err
+		}
+	}
+	if failed != nil {
+		return failedPeer, failed
+	}
+	if notFound != nil {
+		return notFoundPeer, notFound
+	}
+	return "", fmt.Errorf("cluster: no shard owns this key")
+}
+
+// probeLoop is the background health prober: every interval it asks
+// each ring member's /readyz (the same per-shard probes the
+// coordinator's readyz aggregates) and counts consecutive transport
+// failures. A peer that cannot be reached ProbeFailures times in a row
+// is marked suspect; under AutoEject it is then dropped from the ring
+// — the identical drain path an operator's membership change takes —
+// and a background replica repair re-replicates what it held.
+func (c *Coordinator) probeLoop(interval time.Duration) {
+	defer close(c.probeDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.probeStop:
+			return
+		case <-t.C:
+			c.probeOnce(interval)
+		}
+	}
+}
+
+func (c *Coordinator) probeOnce(interval time.Duration) {
+	peers := c.ring.Peers()
+	type verdict struct {
+		peer string
+		ok   bool
+	}
+	verdicts := make([]verdict, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		cl := c.client(peer)
+		if cl == nil {
+			verdicts[i] = verdict{peer, false}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, peer string, cl *apiclient.Client) {
+			defer wg.Done()
+			// One probe must not outlive its tick. A not-ready answer
+			// still proves the shard is alive (and its data intact), so
+			// only an unreachable peer counts as a failure.
+			ctx, cancel := context.WithTimeout(context.Background(), interval)
+			defer cancel()
+			_, err := cl.Ready(ctx)
+			verdicts[i] = verdict{peer, err == nil}
+		}(i, peer, cl)
+	}
+	wg.Wait()
+
+	var eject []string
+	c.probeMu.Lock()
+	for _, v := range verdicts {
+		if v.ok {
+			if c.suspects[v.peer] {
+				c.log.Info("suspect peer recovered", "peer", peerLabel(v.peer))
+			}
+			delete(c.probeFails, v.peer)
+			delete(c.suspects, v.peer)
+			continue
+		}
+		c.probeFails[v.peer]++
+		if c.probeFails[v.peer] >= c.cfg.ProbeFailures && !c.suspects[v.peer] {
+			c.suspects[v.peer] = true
+			c.log.Warn("peer suspect after consecutive probe failures",
+				"peer", peerLabel(v.peer), "failures", c.probeFails[v.peer])
+			if c.cfg.AutoEject {
+				eject = append(eject, v.peer)
+			}
+		}
+	}
+	c.suspectPeers.Set(int64(len(c.suspects)))
+	c.probeMu.Unlock()
+
+	for _, peer := range eject {
+		c.ejectPeer(peer)
+	}
+}
+
+// suspectList snapshots the peers currently suspected dead.
+func (c *Coordinator) suspectList() []string {
+	c.probeMu.Lock()
+	defer c.probeMu.Unlock()
+	out := make([]string, 0, len(c.suspects))
+	for p := range c.suspects {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ejectPeer drops a suspect peer from the ring via the same SetPeers
+// drain path an operator uses, then kicks a background rebalance so
+// the survivors re-replicate what the dead peer held. The last peer is
+// never ejected — a coordinator with an empty ring can serve nothing.
+func (c *Coordinator) ejectPeer(peer string) {
+	var survivors []string
+	for _, p := range c.ring.Peers() {
+		if p != peer {
+			survivors = append(survivors, p)
+		}
+	}
+	if len(survivors) == 0 {
+		c.log.Warn("not auto-ejecting the last peer", "peer", peerLabel(peer))
+		return
+	}
+	if err := c.SetPeers(survivors); err != nil {
+		c.log.Error("auto-eject membership change failed", "peer", peerLabel(peer), "err", err)
+		return
+	}
+	c.ejections.Inc()
+	c.log.Warn("peer auto-ejected from ring", "peer", peerLabel(peer), "peers", survivors)
+	go func() {
+		if !c.rebalanceMu.TryLock() {
+			return // a running rebalance will pick the change up next run
+		}
+		defer c.rebalanceMu.Unlock()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*c.cfg.PeerTimeout)
+		defer cancel()
+		if moved, _, err := c.rebalance(ctx); err != nil {
+			c.log.Warn("post-eject replica repair failed", "err", err)
+		} else if moved > 0 {
+			c.log.Info("post-eject replica repair complete", "copies", moved)
+		}
+	}()
 }
 
 // nextClient picks the next peer round-robin, for work with no

@@ -58,6 +58,7 @@ func startCoordinator(t *testing.T, cfg Config) (*Coordinator, string) {
 	if err != nil {
 		t.Fatalf("cluster.New: %v", err)
 	}
+	t.Cleanup(c.Close)
 	ts := httptest.NewServer(c)
 	t.Cleanup(ts.Close)
 	return c, ts.URL

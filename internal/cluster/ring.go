@@ -110,15 +110,45 @@ func (r *Ring) Len() int {
 
 // Owner returns the peer owning the key, or "" on an empty ring.
 func (r *Ring) Owner(key string) string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if len(r.points) == 0 {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
 		return ""
 	}
-	h := hashKey(key)
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0 // wrap: first vnode clockwise of the top of the space
+	return owners[0]
+}
+
+// Owners returns the key's replica set: the first n distinct peers
+// clockwise of the key's hash point, primary first. Fewer than n peers
+// on the ring degrades gracefully to all of them. The walk is over the
+// sorted point list — vnode hash ties were broken by peer name at sort
+// time — so the set is deterministic across processes and restarts.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n <= 0 || len(r.points) == 0 {
+		return nil
 	}
-	return r.points[i].peer
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	return ownersFrom(r.points, hashKey(key), n)
+}
+
+// ownersFrom walks points clockwise from hash h collecting the first n
+// distinct peers. Factored off the Ring so tests can feed synthetic
+// point sets (hash ties, tiny rings) directly.
+func ownersFrom(points []point, h uint64, n int) []string {
+	i := sort.Search(len(points), func(i int) bool { return points[i].hash >= h })
+	out := make([]string, 0, n)
+walk:
+	for k := 0; k < len(points) && len(out) < n; k++ {
+		p := points[(i+k)%len(points)].peer
+		for _, o := range out {
+			if o == p {
+				continue walk
+			}
+		}
+		out = append(out, p)
+	}
+	return out
 }

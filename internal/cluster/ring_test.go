@@ -93,6 +93,92 @@ func TestRingBoundedRebalance(t *testing.T) {
 	}
 }
 
+func TestRingOwnersDistinctAndPrimaryFirst(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(peers, 0)
+	for _, k := range ringKeys(500) {
+		owners := r.Owners(k, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%q, 2) = %v, want 2 peers", k, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%q, 2) repeats peer %q", k, owners[0])
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners(%q, 2)[0] = %q, Owner = %q: primary must come first", k, owners[0], r.Owner(k))
+		}
+	}
+}
+
+func TestRingOwnersDegradesWhenRExceedsPeers(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1"}
+	r := NewRing(peers, 0)
+	for _, k := range ringKeys(50) {
+		owners := r.Owners(k, 5)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%q, 5) on 2-peer ring = %v, want both peers", k, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%q, 5) repeats %q", k, owners[0])
+		}
+	}
+	if got := r.Owners("k", 0); got != nil {
+		t.Fatalf("Owners(k, 0) = %v, want nil", got)
+	}
+	if got := NewRing(nil, 0).Owners("k", 2); got != nil {
+		t.Fatalf("empty-ring Owners = %v, want nil", got)
+	}
+}
+
+// TestOwnersFromHashTies feeds ownersFrom a synthetic point list with
+// colliding vnode hashes: the walk must be deterministic (ties were
+// broken by peer name at sort time) and still return distinct peers.
+func TestOwnersFromHashTies(t *testing.T) {
+	points := []point{
+		{10, "http://a:1"}, {10, "http://b:1"}, {10, "http://c:1"},
+		{20, "http://b:1"}, {20, "http://c:1"},
+		{30, "http://a:1"},
+	}
+	got := ownersFrom(points, 10, 2)
+	want := []string{"http://a:1", "http://b:1"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ownersFrom at tied hash = %v, want %v", got, want)
+	}
+	// Landing past the last point wraps to the first.
+	got = ownersFrom(points, 31, 3)
+	want = []string{"http://a:1", "http://b:1", "http://c:1"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("ownersFrom wrap = %v, want %v", got, want)
+	}
+}
+
+// TestRingOwnersBoundedMovement is the replica-set version of the
+// bounded-rebalance property: adding one peer to an n-peer ring may
+// change only ~1/n of replica sets, and every changed set must include
+// the new peer (a surviving pair never reshuffles between themselves).
+func TestRingOwnersBoundedMovement(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	before := NewRing(peers, 0)
+	after := NewRing(append(append([]string{}, peers...), "http://e:1"), 0)
+	keys := ringKeys(4000)
+	changed := 0
+	for _, k := range keys {
+		ob, oa := before.Owners(k, 2), after.Owners(k, 2)
+		if ob[0] == oa[0] && ob[1] == oa[1] {
+			continue
+		}
+		changed++
+		if oa[0] != "http://e:1" && oa[1] != "http://e:1" {
+			t.Fatalf("key %q replica set changed %v → %v without involving the new peer", k, ob, oa)
+		}
+	}
+	// Each of the new peer's two roles (primary, replica) claims ~1/5 of
+	// keys, so ~2/5 of sets may change; allow slack but fail a reshuffle.
+	if changed == 0 || changed > len(keys)*3/5 {
+		t.Fatalf("peer add changed %d of %d replica sets, want ~%d", changed, len(keys), 2*len(keys)/5)
+	}
+}
+
 func TestRingSetPeersDedup(t *testing.T) {
 	r := NewRing([]string{"http://a:1", "http://a:1", "", "http://b:1"}, 4)
 	if got := r.Peers(); len(got) != 2 {

@@ -174,7 +174,8 @@ func (c *Coordinator) handleDiff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Ref-routed: the whole call goes to the reference's ring owner.
+	// Ref-routed: the call goes to the reference's ring owner, failing
+	// over along its replica set when the owner is dead or missed.
 	if refID := q.Get("ref"); refID != "" {
 		images, ok := c.formImages(w, r, "b")
 		if !ok {
@@ -185,12 +186,15 @@ func (c *Coordinator) handleDiff(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "invalid_argument", `no "b" upload in form`, rid)
 			return
 		}
-		peer, cl := c.ownerClient(refID)
-		if cl == nil {
-			writeError(w, http.StatusServiceUnavailable, "unavailable", "no shard owns this reference", rid)
-			return
-		}
-		res, err := cl.Diff(r.Context(), apiclient.DiffRequest{RefID: refID, B: b, Engine: engine})
+		var res *apiclient.DiffResult
+		peer, err := c.readOwners(refID, func(_ string, cl *apiclient.Client) error {
+			got, derr := cl.Diff(r.Context(), apiclient.DiffRequest{RefID: refID, B: b, Engine: engine})
+			if derr != nil {
+				return derr
+			}
+			res = got
+			return nil
+		})
 		if err != nil {
 			if apiclient.IsNotFound(err) {
 				c.routeMisses.Inc()
@@ -315,19 +319,28 @@ func (c *Coordinator) handleInspect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_argument", `no "scan" upload in form`, rid)
 		return
 	}
+	var rep *apiclient.InspectReport
 	var peer string
-	var cl *apiclient.Client
+	var err error
 	if req.RefID != "" {
-		peer, cl = c.ownerClient(req.RefID)
+		peer, err = c.readOwners(req.RefID, func(_ string, cl *apiclient.Client) error {
+			got, ierr := cl.Inspect(r.Context(), req)
+			if ierr != nil {
+				return ierr
+			}
+			rep = got
+			return nil
+		})
 	} else {
 		req.Ref = images["ref"]
 		if req.Ref == nil {
 			writeError(w, http.StatusBadRequest, "invalid_argument", `form needs a "ref" upload or ?ref=<id>`, rid)
 			return
 		}
+		var cl *apiclient.Client
 		peer, cl = c.nextClient()
+		rep, err = cl.Inspect(r.Context(), req)
 	}
-	rep, err := cl.Inspect(r.Context(), req)
 	if err != nil {
 		if req.RefID != "" && apiclient.IsNotFound(err) {
 			c.routeMisses.Inc()
@@ -355,19 +368,28 @@ func (c *Coordinator) handleAlign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_argument", `no "scan" upload in form`, rid)
 		return
 	}
+	var res *apiclient.AlignResult
 	var peer string
-	var cl *apiclient.Client
+	var err error
 	if req.RefID != "" {
-		peer, cl = c.ownerClient(req.RefID)
+		peer, err = c.readOwners(req.RefID, func(_ string, cl *apiclient.Client) error {
+			got, aerr := cl.Align(r.Context(), req)
+			if aerr != nil {
+				return aerr
+			}
+			res = got
+			return nil
+		})
 	} else {
 		req.Ref = images["ref"]
 		if req.Ref == nil {
 			writeError(w, http.StatusBadRequest, "invalid_argument", `form needs a "ref" upload or ?ref=<id>`, rid)
 			return
 		}
+		var cl *apiclient.Client
 		peer, cl = c.nextClient()
+		res, err = cl.Align(r.Context(), req)
 	}
-	res, err := cl.Align(r.Context(), req)
 	if err != nil {
 		if req.RefID != "" && apiclient.IsNotFound(err) {
 			c.routeMisses.Inc()
@@ -429,13 +451,38 @@ func (c *Coordinator) handleRefPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "unprocessable", err.Error(), rid)
 		return
 	}
-	peer, cl := c.ownerClient(id)
-	meta, err := cl.PutReference(r.Context(), img)
-	if err != nil {
-		c.relayError(w, r, peer, err)
+	// Replicated write: fan out to every ring owner concurrently and
+	// require all of them (quorum = all). Content addressing makes the
+	// whole operation idempotent — a partial write retried by the client
+	// re-registers the already-placed copies as no-ops, so there is no
+	// partial-failure cleanup to do here.
+	owners := c.ownerRefs(id)
+	if len(owners) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "no shards in the ring", rid)
 		return
 	}
-	writeJSON(w, http.StatusCreated, meta)
+	type putResult struct {
+		meta *apiclient.RefMeta
+		err  error
+	}
+	results := make([]putResult, len(owners))
+	var wg sync.WaitGroup
+	for i, o := range owners {
+		wg.Add(1)
+		go func(i int, o ownerRef) {
+			defer wg.Done()
+			meta, perr := o.cl.PutReference(r.Context(), img)
+			results[i] = putResult{meta, perr}
+		}(i, o)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.err != nil {
+			c.relayError(w, r, owners[i].peer, res.err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, results[0].meta)
 }
 
 func (c *Coordinator) handleRefList(w http.ResponseWriter, r *http.Request) {
@@ -457,13 +504,22 @@ func (c *Coordinator) handleRefList(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
+	// With replication every reference appears on R shards; dedupe by
+	// content id so clients see each reference once.
 	all := []apiclient.RefMeta{}
+	seen := make(map[string]bool)
 	for _, pr := range results {
 		if pr.err != nil {
 			c.relayError(w, r, pr.peer, pr.err)
 			return
 		}
-		all = append(all, pr.refs...)
+		for _, ref := range pr.refs {
+			if seen[ref.ID] {
+				continue
+			}
+			seen[ref.ID] = true
+			all = append(all, ref)
+		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
 	writeJSON(w, http.StatusOK, map[string]any{"references": all})
@@ -471,8 +527,15 @@ func (c *Coordinator) handleRefList(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleRefGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	peer, cl := c.ownerClient(id)
-	meta, err := cl.GetReference(r.Context(), id)
+	var meta *apiclient.RefMeta
+	peer, err := c.readOwners(id, func(_ string, cl *apiclient.Client) error {
+		got, gerr := cl.GetReference(r.Context(), id)
+		if gerr != nil {
+			return gerr
+		}
+		meta = got
+		return nil
+	})
 	if err != nil {
 		c.relayError(w, r, peer, err)
 		return
@@ -482,8 +545,15 @@ func (c *Coordinator) handleRefGet(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleRefContent(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	peer, cl := c.ownerClient(id)
-	img, err := cl.ReferenceContent(r.Context(), id)
+	var img *rle.Image
+	peer, err := c.readOwners(id, func(_ string, cl *apiclient.Client) error {
+		got, gerr := cl.ReferenceContent(r.Context(), id)
+		if gerr != nil {
+			return gerr
+		}
+		img = got
+		return nil
+	})
 	if err != nil {
 		c.relayError(w, r, peer, err)
 		return
@@ -492,11 +562,33 @@ func (c *Coordinator) handleRefContent(w http.ResponseWriter, r *http.Request) {
 	_ = imageio.Write(w, "rleb", img)
 }
 
+// handleRefDelete removes the reference from every ring owner. A 404
+// from an individual owner is fine (a replica may have died and been
+// repaired elsewhere); only if every owner 404s does the delete itself
+// report not-found.
 func (c *Coordinator) handleRefDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	peer, cl := c.ownerClient(id)
-	if err := cl.DeleteReference(r.Context(), id); err != nil {
-		c.relayError(w, r, peer, err)
+	owners := c.ownerRefs(id)
+	if len(owners) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "unavailable",
+			"no shards in the ring", r.Header.Get("X-Request-Id"))
+		return
+	}
+	notFound := 0
+	for _, o := range owners {
+		err := o.cl.DeleteReference(r.Context(), id)
+		switch {
+		case err == nil:
+		case apiclient.IsNotFound(err):
+			notFound++
+		default:
+			c.relayError(w, r, o.peer, err)
+			return
+		}
+	}
+	if notFound == len(owners) {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("reference %s not found on any owner", id), r.Header.Get("X-Request-Id"))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -702,6 +794,8 @@ func (c *Coordinator) handleRing(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"peers":         c.ring.Peers(),
 		"virtual_nodes": c.ring.vnodes,
+		"replicas":      c.replicas,
+		"suspects":      c.suspectList(),
 	})
 }
 
@@ -709,15 +803,34 @@ func (c *Coordinator) handleRing(w http.ResponseWriter, r *http.Request) {
 // JSON body {"peers": ["http://...", ...]} replaces the ring (removed
 // peers drain; unreachable ones are dropped without evacuation — a
 // dead shard's data died with it). An empty body keeps the current
-// membership and just moves misplaced references.
+// membership and just repairs placement. Overlapping rebalances would
+// work from stale listings and double-move references, so a second
+// concurrent caller gets 409 instead of queueing behind the first —
+// the lock covers the membership change too, keeping change+repair
+// atomic with respect to other rebalances.
 func (c *Coordinator) handleRebalance(w http.ResponseWriter, r *http.Request) {
 	rid := r.Header.Get("X-Request-Id")
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	// Read one byte past the cap to tell "exactly 1 MiB" from
+	// "truncated at 1 MiB": a truncated JSON body must be 413, not a
+	// confusing parse error.
+	const maxBody = 1 << 20
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_argument",
 			fmt.Sprintf("reading body: %v", err), rid)
 		return
 	}
+	if len(body) > maxBody {
+		writeError(w, http.StatusRequestEntityTooLarge, "payload_too_large",
+			fmt.Sprintf("body exceeds %d bytes", maxBody), rid)
+		return
+	}
+	if !c.rebalanceMu.TryLock() {
+		writeError(w, http.StatusConflict, "conflict",
+			"a rebalance is already running", rid)
+		return
+	}
+	defer c.rebalanceMu.Unlock()
 	if len(body) > 0 {
 		var req struct {
 			Peers []string `json:"peers"`
@@ -734,7 +847,7 @@ func (c *Coordinator) handleRebalance(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	moved, scanned, err := c.Rebalance(r.Context())
+	moved, scanned, err := c.rebalance(r.Context())
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error(), rid)
 		return

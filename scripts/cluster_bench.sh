@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # cluster_bench.sh — regenerate BENCH_PR9.json: the same seeded
 # open-loop loadgen burst against a single sysdiffd node and against a
-# coordinator fronting three shard processes, so the committed report
-# compares 1-node vs 3-shard latency percentiles plus the cluster's
-# ref-placement cache-hit ratio.
+# coordinator (with -replicas 2) fronting three shard processes, so
+# the committed report compares 1-node vs 3-shard latency percentiles
+# plus the cluster's ref-placement cache-hit ratio and failover count
+# (0 in a healthy run — replication costs the write fan-out, not reads).
 #
 #   scripts/cluster_bench.sh [out.json]
 #
 # Tunables via environment: RATE (req/s, default 80), DURATION
 # (default 5s), WIDTH/HEIGHT (default 512x512), REFS (default 8),
-# SEED (default 1), BASE_PORT (default 18422).
+# SEED (default 1), BASE_PORT (default 18422), REPLICAS (default 2).
 set -euo pipefail
 
 OUT=${1:-BENCH_PR9.json}
@@ -20,6 +21,7 @@ HEIGHT=${HEIGHT:-512}
 REFS=${REFS:-8}
 SEED=${SEED:-1}
 BASE_PORT=${BASE_PORT:-18422}
+REPLICAS=${REPLICAS:-2}
 
 SINGLE_PORT=$BASE_PORT
 SHARD1_PORT=$((BASE_PORT + 1))
@@ -67,7 +69,7 @@ start -addr "127.0.0.1:$SHARD3_PORT"
 for p in "$SINGLE_PORT" "$SHARD1_PORT" "$SHARD2_PORT" "$SHARD3_PORT"; do
     wait_ready "$p"
 done
-start -addr "127.0.0.1:$COORD_PORT" -coordinator \
+start -addr "127.0.0.1:$COORD_PORT" -coordinator -replicas "$REPLICAS" \
     -peers "http://127.0.0.1:$SHARD1_PORT,http://127.0.0.1:$SHARD2_PORT,http://127.0.0.1:$SHARD3_PORT"
 wait_ready "$COORD_PORT"
 
